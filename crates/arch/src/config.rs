@@ -1,0 +1,348 @@
+//! Accelerator configuration: the structural parameters of Figure 2.
+//!
+//! The Squeezelerator consists of an N×N PE array with mesh inter-PE
+//! links, a preload buffer feeding the top row, a stream (broadcast)
+//! buffer, a 128 KB global buffer, and a DMA controller to DRAM. Each PE
+//! has a 16-bit multiplier, an accumulator, and a small register file.
+
+use std::error::Error;
+use std::fmt;
+
+/// DRAM timing model: fixed latency plus effective streaming bandwidth.
+///
+/// The paper approximates DRAM with exactly these two numbers
+/// (§4.1.3: 100 cycles and 16 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Access latency in core cycles.
+    pub latency_cycles: u64,
+    /// Effective bandwidth in bytes per core cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl DramModel {
+    /// The paper's model at the given core clock: 100-cycle latency,
+    /// 16 GB/s effective bandwidth.
+    pub fn paper_default(clock_mhz: f64) -> Self {
+        Self { latency_cycles: 100, bytes_per_cycle: 16.0e9 / (clock_mhz * 1.0e6) }
+    }
+
+    /// Cycles to transfer `bytes` (latency excluded).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// Error returned by [`AcceleratorConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError {
+    detail: String,
+}
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid accelerator configuration: {}", self.detail)
+    }
+}
+
+impl Error for InvalidConfigError {}
+
+/// A validated accelerator configuration.
+///
+/// Use [`AcceleratorConfig::paper_default`] for the configuration the
+/// paper evaluates (32×32 PEs, RF 16, 128 KB global buffer), or the
+/// [`AcceleratorConfigBuilder`] for sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_arch::AcceleratorConfig;
+///
+/// # fn main() -> Result<(), codesign_arch::InvalidConfigError> {
+/// let cfg = AcceleratorConfig::builder().array_size(16).rf_depth(8).build()?;
+/// assert_eq!(cfg.array_size(), 16);
+/// assert_eq!(cfg.pe_count(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    array_size: usize,
+    rf_depth: usize,
+    global_buffer_bytes: usize,
+    bytes_per_element: usize,
+    clock_mhz: f64,
+    dram: DramModel,
+    double_buffering: bool,
+}
+
+impl AcceleratorConfig {
+    /// The configuration evaluated in the paper: 32×32 PEs, 16-entry RF
+    /// (after the 8→16 tune-up), 128 KB global buffer, 16-bit data,
+    /// 100-cycle / 16 GB/s DRAM, double buffering on. Core clock 200 MHz
+    /// (not stated in the paper; chosen so AlexNet's FC runtime share
+    /// lands near the reported 73 % — documented assumption in DESIGN.md).
+    pub fn paper_default() -> Self {
+        Self::builder().build().expect("paper default configuration is valid")
+    }
+
+    /// Starts a builder initialized to [`AcceleratorConfig::paper_default`].
+    pub fn builder() -> AcceleratorConfigBuilder {
+        AcceleratorConfigBuilder::new()
+    }
+
+    /// PE array edge length N (the array is N×N).
+    pub fn array_size(&self) -> usize {
+        self.array_size
+    }
+
+    /// Total PE count (N²).
+    pub fn pe_count(&self) -> usize {
+        self.array_size * self.array_size
+    }
+
+    /// Per-PE register-file depth in elements (8 in the initial
+    /// Squeezelerator, 16 after the SqueezeNext tune-up).
+    pub fn rf_depth(&self) -> usize {
+        self.rf_depth
+    }
+
+    /// Global buffer capacity in bytes.
+    pub fn global_buffer_bytes(&self) -> usize {
+        self.global_buffer_bytes
+    }
+
+    /// Bytes per activation/weight element (2 for the 16-bit datapath).
+    pub fn bytes_per_element(&self) -> usize {
+        self.bytes_per_element
+    }
+
+    /// Core clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// The DRAM timing model.
+    pub fn dram(&self) -> DramModel {
+        self.dram
+    }
+
+    /// Whether DRAM transfers overlap compute via double buffering
+    /// (§4.1.3; can be disabled for the ablation study).
+    pub fn double_buffering(&self) -> bool {
+        self.double_buffering
+    }
+
+    /// Converts a cycle count to milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1.0e3)
+    }
+
+    /// Usable capacity of one double-buffer half in bytes: with double
+    /// buffering the global buffer is split in two halves so the DMA can
+    /// fill one while the PE array drains the other.
+    pub fn working_buffer_bytes(&self) -> usize {
+        if self.double_buffering {
+            self.global_buffer_bytes / 2
+        } else {
+            self.global_buffer_bytes
+        }
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} PEs, RF {}, GB {} KB, {} MHz",
+            self.array_size,
+            self.array_size,
+            self.rf_depth,
+            self.global_buffer_bytes / 1024,
+            self.clock_mhz
+        )
+    }
+}
+
+/// Builder for [`AcceleratorConfig`]; all setters default to the paper
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfigBuilder {
+    array_size: usize,
+    rf_depth: usize,
+    global_buffer_bytes: usize,
+    bytes_per_element: usize,
+    clock_mhz: f64,
+    dram: Option<DramModel>,
+    double_buffering: bool,
+}
+
+impl Default for AcceleratorConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AcceleratorConfigBuilder {
+    /// Starts from the paper defaults.
+    pub fn new() -> Self {
+        Self {
+            array_size: 32,
+            rf_depth: 16,
+            global_buffer_bytes: 128 * 1024,
+            bytes_per_element: 2,
+            clock_mhz: 200.0,
+            dram: None,
+            double_buffering: true,
+        }
+    }
+
+    /// Sets the PE array edge length N (paper: 8..=32).
+    pub fn array_size(&mut self, n: usize) -> &mut Self {
+        self.array_size = n;
+        self
+    }
+
+    /// Sets the per-PE register-file depth.
+    pub fn rf_depth(&mut self, depth: usize) -> &mut Self {
+        self.rf_depth = depth;
+        self
+    }
+
+    /// Sets the global buffer capacity in bytes.
+    pub fn global_buffer_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.global_buffer_bytes = bytes;
+        self
+    }
+
+    /// Sets the element width in bytes.
+    pub fn bytes_per_element(&mut self, bytes: usize) -> &mut Self {
+        self.bytes_per_element = bytes;
+        self
+    }
+
+    /// Sets the core clock in MHz (also used to derive the default DRAM
+    /// bytes/cycle).
+    pub fn clock_mhz(&mut self, mhz: f64) -> &mut Self {
+        self.clock_mhz = mhz;
+        self
+    }
+
+    /// Overrides the DRAM model.
+    pub fn dram(&mut self, dram: DramModel) -> &mut Self {
+        self.dram = Some(dram);
+        self
+    }
+
+    /// Enables or disables double buffering.
+    pub fn double_buffering(&mut self, enabled: bool) -> &mut Self {
+        self.double_buffering = enabled;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] when a parameter is out of its
+    /// physical range (array size 2..=256, RF depth ≥ 1, buffer at least
+    /// large enough for one PE-array tile, positive clock).
+    pub fn build(&self) -> Result<AcceleratorConfig, InvalidConfigError> {
+        let err = |detail: &str| InvalidConfigError { detail: detail.to_owned() };
+        if !(2..=256).contains(&self.array_size) {
+            return Err(err("array size must be in 2..=256"));
+        }
+        if self.rf_depth == 0 {
+            return Err(err("register file depth must be at least 1"));
+        }
+        if self.bytes_per_element == 0 || self.bytes_per_element > 8 {
+            return Err(err("bytes per element must be in 1..=8"));
+        }
+        let min_buffer = 2 * self.array_size * self.array_size * self.bytes_per_element;
+        if self.global_buffer_bytes < min_buffer {
+            return Err(err("global buffer must hold at least two PE-array tiles"));
+        }
+        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
+            return Err(err("clock must be positive"));
+        }
+        Ok(AcceleratorConfig {
+            array_size: self.array_size,
+            rf_depth: self.rf_depth,
+            global_buffer_bytes: self.global_buffer_bytes,
+            bytes_per_element: self.bytes_per_element,
+            clock_mhz: self.clock_mhz,
+            dram: self.dram.unwrap_or_else(|| DramModel::paper_default(self.clock_mhz)),
+            double_buffering: self.double_buffering,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_the_text() {
+        let cfg = AcceleratorConfig::paper_default();
+        assert_eq!(cfg.array_size(), 32);
+        assert_eq!(cfg.pe_count(), 1024);
+        assert_eq!(cfg.rf_depth(), 16);
+        assert_eq!(cfg.global_buffer_bytes(), 128 * 1024);
+        assert_eq!(cfg.bytes_per_element(), 2);
+        assert_eq!(cfg.dram().latency_cycles, 100);
+        // 16 GB/s at 200 MHz = 80 B/cycle.
+        assert!((cfg.dram().bytes_per_cycle - 80.0).abs() < 1e-9);
+        assert!(cfg.double_buffering());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = AcceleratorConfig::builder()
+            .array_size(8)
+            .rf_depth(8)
+            .global_buffer_bytes(64 * 1024)
+            .double_buffering(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.array_size(), 8);
+        assert_eq!(cfg.working_buffer_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn double_buffering_halves_working_set() {
+        let cfg = AcceleratorConfig::paper_default();
+        assert_eq!(cfg.working_buffer_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(AcceleratorConfig::builder().array_size(1).build().is_err());
+        assert!(AcceleratorConfig::builder().array_size(512).build().is_err());
+        assert!(AcceleratorConfig::builder().rf_depth(0).build().is_err());
+        assert!(AcceleratorConfig::builder().global_buffer_bytes(16).build().is_err());
+        assert!(AcceleratorConfig::builder().clock_mhz(0.0).build().is_err());
+        assert!(AcceleratorConfig::builder().bytes_per_element(0).build().is_err());
+    }
+
+    #[test]
+    fn dram_transfer_cycles_round_up() {
+        let d = DramModel { latency_cycles: 100, bytes_per_cycle: 32.0 };
+        assert_eq!(d.transfer_cycles(0), 0);
+        assert_eq!(d.transfer_cycles(32), 1);
+        assert_eq!(d.transfer_cycles(33), 2);
+    }
+
+    #[test]
+    fn cycles_to_ms() {
+        let cfg = AcceleratorConfig::paper_default();
+        // 200 MHz -> 200k cycles per ms.
+        assert!((cfg.cycles_to_ms(200_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let s = AcceleratorConfig::paper_default().to_string();
+        assert!(s.contains("32x32"));
+        assert!(s.contains("128 KB"));
+    }
+}

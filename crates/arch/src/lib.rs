@@ -1,0 +1,30 @@
+//! # codesign-arch — accelerator hardware description
+//!
+//! Structural and cost parameters of the Squeezelerator (Figure 2 of the
+//! paper): PE array geometry, register-file depth, global/preload/stream
+//! buffer organization, DRAM timing, and the Eyeriss-style normalized
+//! energy table.
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_arch::{AcceleratorConfig, Dataflow, EnergyModel};
+//!
+//! let cfg = AcceleratorConfig::paper_default();
+//! assert_eq!(cfg.pe_count(), 32 * 32);
+//! assert_eq!(Dataflow::WeightStationary.tag(), "WS");
+//! assert_eq!(EnergyModel::default().mac, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod config;
+pub mod dataflow;
+pub mod energy;
+
+pub use area::{area, AreaBreakdown, AreaModel};
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, DramModel, InvalidConfigError};
+pub use dataflow::{Dataflow, DataflowPolicy};
+pub use energy::{AccessCounts, EnergyModel};

@@ -1,0 +1,29 @@
+//! One Criterion bench per paper artifact: measures how long each
+//! table/figure takes to regenerate (the whole workload generator +
+//! simulator + baselines pipeline behind it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use codesign_bench::experiments::{
+    ablations, codesign, dse_sweep, fig1, fig3, fig4, headlines, ranges, table1, table2, Context,
+};
+
+fn bench_artifacts(c: &mut Criterion) {
+    let ctx = Context::paper_default();
+    let mut g = c.benchmark_group("artifacts");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| table1(&ctx)));
+    g.bench_function("table2", |b| b.iter(|| table2(&ctx)));
+    g.bench_function("fig1", |b| b.iter(|| fig1(&ctx)));
+    g.bench_function("fig3", |b| b.iter(|| fig3(&ctx)));
+    g.bench_function("fig4", |b| b.iter(|| fig4(&ctx)));
+    g.bench_function("ranges_s1", |b| b.iter(|| ranges(&ctx)));
+    g.bench_function("codesign_s3", |b| b.iter(|| codesign(&ctx)));
+    g.bench_function("headlines_s3", |b| b.iter(|| headlines(&ctx)));
+    g.bench_function("dse_sweep_a1a", |b| b.iter(|| dse_sweep(&ctx)));
+    g.bench_function("ablations_a1b", |b| b.iter(|| ablations(&ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! report [all|table1|table2|fig1|fig3|fig4|ranges|codesign|sweep|ablations] [--out DIR]
+//! ```
+//!
+//! Markdown goes to stdout; CSV series are written to `--out` (default
+//! `results/`).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use codesign_bench::experiments::{
+    ablations, batch_sweep, codesign, compression, constraints, dse_sweep, energy_breakdown,
+    event_crosscheck, fusion_study, fig1, fig3, fig4, headlines, multicore_scaling, per_layer_all, ranges,
+    roofline_table, schedule_robustness, table1, table2, taxonomy, Context,
+};
+use codesign_bench::{bar_chart, bars_svg, scatter_svg, Bar, ScatterPoint, Table};
+
+/// An experiment generator entry: name plus the table function.
+type Experiment = (&'static str, fn(&Context) -> Table);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => which = other.to_owned(),
+        }
+    }
+
+    let ctx = Context::paper_default();
+    let all: Vec<Experiment> = vec![
+        ("table1", table1),
+        ("table2", table2),
+        ("fig1", fig1),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("ranges", ranges),
+        ("codesign", codesign),
+        ("headlines", headlines),
+        ("sweep", dse_sweep),
+        ("ablations", ablations),
+        ("batch", batch_sweep),
+        ("compression", compression),
+        ("roofline", roofline_table),
+        ("event", event_crosscheck),
+        ("perlayer", per_layer_all),
+        ("energy", energy_breakdown),
+        ("robustness", schedule_robustness),
+        ("fusion", fusion_study),
+        ("taxonomy", taxonomy),
+        ("multicore", multicore_scaling),
+        ("constraints", constraints),
+    ];
+    let selected: Vec<_> = all
+        .iter()
+        .filter(|(name, _)| {
+            which == "all"
+                || which == *name
+                || (which == "codesign" && *name == "headlines")
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "unknown experiment `{which}`; expected one of all, {}",
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, gen) in selected {
+        let table = gen(&ctx);
+        println!("{}", table.to_markdown());
+        if *name == "fig1" {
+            let bars: Vec<Bar> = (0..table.len())
+                .map(|i| Bar {
+                    label: table.cell(i, 0).expect("fig1 rows have labels").to_owned(),
+                    value: table
+                        .cell(i, 5)
+                        .and_then(|c| c.parse().ok())
+                        .unwrap_or_default(),
+                    secondary: table.cell(i, 6).and_then(|c| c.parse().ok()),
+                })
+                .collect();
+            println!("{}", bar_chart("Figure 1 (hybrid cycles, utilization)", &bars, 50));
+            let svg_path = out_dir.join("fig1.svg");
+            if let Err(e) = fs::write(
+                &svg_path,
+                bars_svg("Figure 1: SqueezeNet v1.0 per-layer cycles (utilization)", &bars),
+            ) {
+                eprintln!("cannot write {}: {e}", svg_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", svg_path.display());
+        }
+        if *name == "fig4" {
+            let family = |label: &str| {
+                if label.contains("SqNxt") {
+                    0
+                } else if label.contains("MobileNet") {
+                    1
+                } else if label.contains("SqueezeNet") {
+                    2
+                } else {
+                    3
+                }
+            };
+            let points: Vec<ScatterPoint> = (0..table.len())
+                .filter_map(|i| {
+                    Some(ScatterPoint {
+                        label: table.cell(i, 0)?.to_owned(),
+                        x: table.cell(i, 2)?.parse().ok()?,
+                        y: table.cell(i, 1)?.parse().ok()?,
+                        series: family(table.cell(i, 0)?),
+                    })
+                })
+                .collect();
+            let svg_path = out_dir.join("fig4.svg");
+            if let Err(e) = fs::write(
+                &svg_path,
+                scatter_svg(
+                    "Figure 4: accuracy vs inference time (higher-left is better)",
+                    "inference time (ms)",
+                    "top-1 accuracy (%)",
+                    &points,
+                ),
+            ) {
+                eprintln!("cannot write {}: {e}", svg_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", svg_path.display());
+        }
+        let path = out_dir.join(format!("{name}.csv"));
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,98 @@
+//! Terminal bar charts for the figure reproductions.
+//!
+//! Figures 1 and 3 are bar-plus-line plots in the paper; the report
+//! renders the same series as unicode horizontal bars with an inline
+//! utilization column, so the shape is visible without leaving the
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// One bar of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Row label (layer name).
+    pub label: String,
+    /// Bar magnitude (cycles).
+    pub value: f64,
+    /// Optional secondary 0..=1 series (utilization), shown numerically.
+    pub secondary: Option<f64>,
+}
+
+/// Renders labeled horizontal bars scaled to `width` characters.
+///
+/// Returns an empty string for an empty series; non-finite or negative
+/// values clamp to zero length.
+pub fn bar_chart(title: &str, bars: &[Bar], width: usize) -> String {
+    if bars.is_empty() {
+        return String::new();
+    }
+    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for b in bars {
+        let frac = (b.value / max).clamp(0.0, 1.0);
+        let frac = if frac.is_finite() { frac } else { 0.0 };
+        let filled = (frac * width as f64).round() as usize;
+        let bar: String = "█".repeat(filled) + &"·".repeat(width - filled);
+        match b.secondary {
+            Some(u) => {
+                let _ = writeln!(
+                    out,
+                    "{:<label_w$} {bar} {:>10.0} ({:>3.0}%)",
+                    b.label,
+                    b.value,
+                    100.0 * u.clamp(0.0, 1.0)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<label_w$} {bar} {:>10.0}", b.label, b.value);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bars() -> Vec<Bar> {
+        vec![
+            Bar { label: "conv1".into(), value: 100.0, secondary: Some(0.5) },
+            Bar { label: "fire2/squeeze1x1".into(), value: 50.0, secondary: Some(1.0) },
+            Bar { label: "pool".into(), value: 0.0, secondary: None },
+        ]
+    }
+
+    #[test]
+    fn longest_bar_fills_the_width() {
+        let s = bar_chart("t", &bars(), 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].matches('█').count(), 20);
+        assert_eq!(lines[2].matches('█').count(), 10);
+        assert_eq!(lines[3].matches('█').count(), 0);
+    }
+
+    #[test]
+    fn secondary_series_is_percent() {
+        let s = bar_chart("t", &bars(), 10);
+        assert!(s.contains("( 50%)"));
+        assert!(s.contains("(100%)"));
+    }
+
+    #[test]
+    fn empty_series_renders_nothing() {
+        assert_eq!(bar_chart("t", &[], 10), "");
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let s = bar_chart("t", &bars(), 5);
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let starts: Vec<usize> =
+            lines.iter().map(|l| l.find('█').or_else(|| l.find('·')).unwrap()).collect();
+        assert!(starts.windows(2).all(|w| w[0] == w[1]), "{starts:?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # codesign-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation as
+//! markdown/CSV (see the `report` binary), and hosts the Criterion
+//! benches measuring the simulator itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_bench::{experiments, experiments::Context};
+//!
+//! let t = experiments::table1(&Context::paper_default());
+//! assert!(t.to_markdown().contains("SqueezeNet"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod experiments;
+pub mod svg;
+pub mod table;
+
+pub use chart::{bar_chart, Bar};
+pub use svg::{bars_svg, scatter_svg, ScatterPoint};
+pub use experiments::Context;
+pub use table::Table;

@@ -1,0 +1,238 @@
+//! Minimal self-contained SVG rendering for the figure artifacts.
+//!
+//! No plotting dependency: the two figure shapes the paper uses — a
+//! labeled scatter (Figure 4) and a horizontal bar chart with a
+//! utilization series (Figures 1/3) — are emitted directly as SVG
+//! markup.
+
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// One scatter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// Point label.
+    pub label: String,
+    /// X value (cost: time or energy).
+    pub x: f64,
+    /// Y value (accuracy).
+    pub y: f64,
+    /// Series index (colors cycle per family).
+    pub series: usize,
+}
+
+const PALETTE: [&str; 6] = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#9c6b4e"];
+
+/// Renders a labeled scatter plot (Figure-4 style: "higher and to the
+/// left is better").
+///
+/// Returns a complete standalone SVG document. Empty input yields a
+/// frame with axes only.
+pub fn scatter_svg(title: &str, x_label: &str, y_label: &str, points: &[ScatterPoint]) -> String {
+    let (w, h) = (720.0, 480.0);
+    let (ml, mr, mt, mb) = (70.0, 30.0, 50.0, 60.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+    let (xmin, xmax) = bounds(points.iter().map(|p| p.x));
+    let (ymin, ymax) = bounds(points.iter().map(|p| p.y));
+    let sx = |x: f64| ml + (x - xmin) / (xmax - xmin).max(f64::MIN_POSITIVE) * pw;
+    let sy = |y: f64| mt + ph - (y - ymin) / (ymax - ymin).max(f64::MIN_POSITIVE) * ph;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(s, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="28" text-anchor="middle" font-size="16">{}</text>"#,
+        w / 2.0,
+        esc(title)
+    );
+    // Axes.
+    let _ = writeln!(
+        s,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        mt + ph,
+        ml + pw,
+        mt + ph
+    );
+    let _ = writeln!(s, r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#, mt + ph);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+        ml + pw / 2.0,
+        h - 14.0,
+        esc(x_label)
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="18" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 18 {})">{}</text>"#,
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        esc(y_label)
+    );
+    // Ticks (min/max).
+    for (v, x) in [(xmin, ml), (xmax, ml + pw)] {
+        let _ = writeln!(
+            s,
+            r#"<text x="{x}" y="{}" text-anchor="middle" font-size="10">{v:.1}</text>"#,
+            mt + ph + 16.0
+        );
+    }
+    for (v, y) in [(ymin, mt + ph), (ymax, mt)] {
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="end" font-size="10">{v:.1}</text>"#,
+            ml - 6.0,
+            y + 4.0
+        );
+    }
+    for p in points {
+        let color = PALETTE[p.series % PALETTE.len()];
+        let (cx, cy) = (sx(p.x), sy(p.y));
+        let _ = writeln!(s, r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="5" fill="{color}"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" font-size="9">{}</text>"#,
+            cx + 7.0,
+            cy + 3.0,
+            esc(&p.label)
+        );
+    }
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+/// Renders a horizontal bar chart with an optional secondary percentage
+/// (Figure-1/3 style: per-layer cycles with the utilization line).
+pub fn bars_svg(title: &str, bars: &[crate::chart::Bar]) -> String {
+    let row_h = 16.0;
+    let (ml, mr, mt, mb) = (190.0, 110.0, 46.0, 20.0);
+    let pw = 440.0;
+    let h = mt + mb + row_h * bars.len() as f64;
+    let w = ml + pw + mr;
+    let max = bars.iter().map(|b| b.value).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(s, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="26" text-anchor="middle" font-size="15">{}</text>"#,
+        w / 2.0,
+        esc(title)
+    );
+    for (i, b) in bars.iter().enumerate() {
+        let y = mt + row_h * i as f64;
+        let bw = (b.value / max).clamp(0.0, 1.0) * pw;
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="10">{}</text>"#,
+            ml - 6.0,
+            y + row_h - 5.0,
+            esc(&b.label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<rect x="{ml}" y="{:.1}" width="{bw:.1}" height="{:.1}" fill="{}"/>"#,
+            y + 2.0,
+            row_h - 4.0,
+            PALETTE[0]
+        );
+        let note = match b.secondary {
+            Some(u) => format!("{:.0} ({:.0}%)", b.value, 100.0 * u.clamp(0.0, 1.0)),
+            None => format!("{:.0}", b.value),
+        };
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" font-size="9">{}</text>"#,
+            ml + bw + 5.0,
+            y + row_h - 5.0,
+            esc(&note)
+        );
+    }
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    if min == max {
+        return (min - 0.5, max + 0.5);
+    }
+    // 5% padding.
+    let pad = (max - min) * 0.05;
+    (min - pad, max + pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Bar;
+
+    fn points() -> Vec<ScatterPoint> {
+        vec![
+            ScatterPoint { label: "a".into(), x: 1.0, y: 55.0, series: 0 },
+            ScatterPoint { label: "b & co".into(), x: 2.0, y: 60.0, series: 1 },
+        ]
+    }
+
+    #[test]
+    fn scatter_is_wellformed_svg() {
+        let svg = scatter_svg("Figure 4", "time (ms)", "top-1 (%)", &points());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        // Escaping.
+        assert!(svg.contains("b &amp; co"));
+        assert!(svg.contains("Figure 4"));
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_degenerate_input() {
+        let svg = scatter_svg("t", "x", "y", &[]);
+        assert!(svg.contains("</svg>"));
+        let one = vec![ScatterPoint { label: "only".into(), x: 3.0, y: 3.0, series: 0 }];
+        let svg = scatter_svg("t", "x", "y", &one);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn bars_render_one_rect_per_bar() {
+        let bars = vec![
+            Bar { label: "conv1".into(), value: 10.0, secondary: Some(0.5) },
+            Bar { label: "fire2".into(), value: 5.0, secondary: None },
+        ];
+        let svg = bars_svg("Figure 1", &bars);
+        // One background rect + two bar rects.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("(50%)"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn series_colors_cycle() {
+        let many: Vec<ScatterPoint> = (0..8)
+            .map(|i| ScatterPoint { label: format!("p{i}"), x: i as f64, y: i as f64, series: i })
+            .collect();
+        let svg = scatter_svg("t", "x", "y", &many);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[5]));
+    }
+}

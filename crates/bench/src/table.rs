@@ -1,0 +1,153 @@
+//! Tiny table model with markdown and CSV rendering — the output format
+//! of every experiment report.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell at `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Renders GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            let _ = writeln!(out, "| {} |", joined.join(" | "));
+        };
+        line(&self.headers, &mut out);
+        let seps: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", seps.join("-|-"));
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV (RFC-4180-ish: cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["with,comma".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = t().to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("| name"));
+        assert_eq!(md.lines().filter(|l| l.starts_with('|')).count(), 4);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = t().to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = t();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(0, 1), Some("1"));
+        assert_eq!(t.cell(5, 0), None);
+        assert_eq!(t.title(), "Demo");
+    }
+}

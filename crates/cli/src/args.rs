@@ -1,0 +1,255 @@
+//! Hand-rolled argument parsing for the `codesign` binary.
+
+use std::fmt;
+
+use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, InvalidConfigError};
+
+/// The selected subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Simulate a network end to end.
+    Simulate,
+    /// Print the per-layer WS/OS schedule.
+    Schedule,
+    /// Print the compiled command stream.
+    Compile,
+    /// Compare hybrid vs the fixed references (one Table-2 row).
+    Compare,
+    /// Sweep the hardware design space.
+    Sweep,
+    /// Dump a layer's cycle-machine waveform as VCD.
+    Wave,
+    /// List the model zoo.
+    List,
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Subcommand.
+    pub action: Action,
+    /// Network name (zoo) or path to a `.net` text file.
+    pub network: Option<String>,
+    /// Dataflow policy (default: per-layer hybrid).
+    pub policy: DataflowPolicy,
+    /// Hardware overrides applied to the paper default.
+    pub array_size: Option<usize>,
+    /// Register-file depth override.
+    pub rf_depth: Option<usize>,
+    /// Global buffer size override, in KiB.
+    pub buffer_kib: Option<usize>,
+    /// Batch size (default 1).
+    pub batch: u64,
+    /// Core count (default 1).
+    pub cores: usize,
+    /// Layer name (for `wave`).
+    pub layer: Option<String>,
+}
+
+impl Invocation {
+    /// Builds the accelerator configuration with the overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvalidConfigError`] for out-of-range overrides.
+    pub fn config(&self) -> Result<AcceleratorConfig, InvalidConfigError> {
+        let mut b = AcceleratorConfig::builder();
+        if let Some(n) = self.array_size {
+            b.array_size(n);
+        }
+        if let Some(r) = self.rf_depth {
+            b.rf_depth(r);
+        }
+        if let Some(kb) = self.buffer_kib {
+            b.global_buffer_bytes(kb * 1024);
+        }
+        b.build()
+    }
+}
+
+/// Error from [`parse_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+usage: codesign <command> [network] [options]
+
+commands:
+  simulate <net>   end-to-end cycles, time, energy, utilization
+  schedule <net>   per-layer WS/OS schedule (Figure-1 style)
+  compile  <net>   compiled accelerator command stream
+  compare  <net>   hybrid vs fixed WS/OS references (Table-2 row)
+  sweep    <net>   hardware design-space sweep
+  wave     <net> <layer>  layer waveform as VCD (stdout; pipe to a file)
+  list             list the model zoo
+
+<net> is a zoo name (try `codesign list`) or a path to a .net file.
+
+options:
+  --arch ws|os|hybrid    dataflow policy            (default hybrid)
+  --array N              PE array edge              (default 32)
+  --rf R                 register-file depth        (default 16)
+  --buffer KB            global buffer KiB          (default 128)
+  --batch B              batch size                 (default 1)
+  --cores C              core count                 (default 1)
+";
+
+fn parse_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<String>,
+) -> Result<T, ParseArgsError> {
+    value
+        .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))?
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad value for {flag}")))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] with a user-facing message on any malformed
+/// input.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, ParseArgsError> {
+    let mut it = args.into_iter();
+    let action = match it.next().as_deref() {
+        Some("simulate") => Action::Simulate,
+        Some("schedule") => Action::Schedule,
+        Some("compile") => Action::Compile,
+        Some("compare") => Action::Compare,
+        Some("sweep") => Action::Sweep,
+        Some("wave") => Action::Wave,
+        Some("list") => Action::List,
+        Some(other) => return Err(ParseArgsError(format!("unknown command `{other}`"))),
+        None => return Err(ParseArgsError("missing command".to_owned())),
+    };
+    let mut inv = Invocation {
+        action,
+        network: None,
+        policy: DataflowPolicy::PerLayer,
+        array_size: None,
+        rf_depth: None,
+        buffer_kib: None,
+        batch: 1,
+        cores: 1,
+        layer: None,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => {
+                inv.policy = match it.next().as_deref() {
+                    Some("ws") => DataflowPolicy::Fixed(Dataflow::WeightStationary),
+                    Some("os") => DataflowPolicy::Fixed(Dataflow::OutputStationary),
+                    Some("hybrid") => DataflowPolicy::PerLayer,
+                    other => {
+                        return Err(ParseArgsError(format!(
+                            "--arch must be ws, os, or hybrid (got {:?})",
+                            other.unwrap_or("nothing")
+                        )))
+                    }
+                };
+            }
+            "--array" => inv.array_size = Some(parse_value("--array", it.next())?),
+            "--rf" => inv.rf_depth = Some(parse_value("--rf", it.next())?),
+            "--buffer" => inv.buffer_kib = Some(parse_value("--buffer", it.next())?),
+            "--batch" => inv.batch = parse_value("--batch", it.next())?,
+            "--cores" => inv.cores = parse_value("--cores", it.next())?,
+            flag if flag.starts_with("--") => {
+                return Err(ParseArgsError(format!("unknown option `{flag}`")));
+            }
+            name if inv.network.is_none() => inv.network = Some(name.to_owned()),
+            name if inv.action == Action::Wave && inv.layer.is_none() => {
+                inv.layer = Some(name.to_owned())
+            }
+            extra => return Err(ParseArgsError(format!("unexpected argument `{extra}`"))),
+        }
+    }
+    if inv.network.is_none() && inv.action != Action::List {
+        return Err(ParseArgsError("this command needs a network".to_owned()));
+    }
+    if inv.action == Action::Wave && inv.layer.is_none() {
+        return Err(ParseArgsError("`wave` needs a layer name (see `schedule`)".to_owned()));
+    }
+    if inv.batch == 0 {
+        return Err(ParseArgsError("--batch must be at least 1".to_owned()));
+    }
+    if inv.cores == 0 {
+        return Err(ParseArgsError("--cores must be at least 1".to_owned()));
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Invocation, ParseArgsError> {
+        parse_args(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let inv = parse("simulate mobilenet --arch ws --array 16 --rf 8 --buffer 64 --batch 4 --cores 2")
+            .unwrap();
+        assert_eq!(inv.action, Action::Simulate);
+        assert_eq!(inv.network.as_deref(), Some("mobilenet"));
+        assert_eq!(inv.policy, DataflowPolicy::Fixed(Dataflow::WeightStationary));
+        assert_eq!(inv.array_size, Some(16));
+        assert_eq!(inv.batch, 4);
+        assert_eq!(inv.cores, 2);
+        let cfg = inv.config().unwrap();
+        assert_eq!(cfg.array_size(), 16);
+        assert_eq!(cfg.global_buffer_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let inv = parse("compare squeezenet").unwrap();
+        assert_eq!(inv.policy, DataflowPolicy::PerLayer);
+        let cfg = inv.config().unwrap();
+        assert_eq!(cfg.array_size(), 32);
+        assert_eq!(cfg.rf_depth(), 16);
+    }
+
+    #[test]
+    fn list_needs_no_network() {
+        assert_eq!(parse("list").unwrap().action, Action::List);
+        assert!(parse("simulate").is_err());
+    }
+
+    #[test]
+    fn wave_takes_a_layer_operand() {
+        let inv = parse("wave squeezenet conv1").unwrap();
+        assert_eq!(inv.action, Action::Wave);
+        assert_eq!(inv.layer.as_deref(), Some("conv1"));
+        assert!(parse("wave squeezenet").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("").is_err());
+        assert!(parse("explode net").is_err());
+        assert!(parse("simulate net --arch sideways").is_err());
+        assert!(parse("simulate net --array").is_err());
+        assert!(parse("simulate net --array twelve").is_err());
+        assert!(parse("simulate net --frobnicate 3").is_err());
+        assert!(parse("simulate net extra").is_err());
+        assert!(parse("simulate net --batch 0").is_err());
+        assert!(parse("simulate net --cores 0").is_err());
+    }
+
+    #[test]
+    fn config_surfaces_invalid_overrides() {
+        let inv = parse("simulate net --array 1000").unwrap();
+        assert!(inv.config().is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! `codesign` — command-line front end to the co-design toolkit.
+//!
+//! ```text
+//! codesign simulate squeezenet-v1.0
+//! codesign schedule mobilenet --array 16
+//! codesign compile my_model.net --arch os
+//! codesign compare squeezenext
+//! codesign sweep tiny-darknet
+//! codesign list
+//! ```
+
+mod args;
+
+use std::fs;
+use std::process::ExitCode;
+
+use codesign_arch::EnergyModel;
+use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedule, SweepSpace};
+use codesign_dnn::{parse_network, zoo, Network};
+use codesign_sim::{
+    compare_dataflows, cycle, simulate_network_batched, simulate_network_multicore, ConvWork,
+    MultiCoreConfig, Program, SimOptions,
+};
+
+use args::{parse_args, Action, Invocation, USAGE};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return if argv.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    let inv = match parse_args(argv) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("codesign: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&inv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("codesign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_network(spec: &str) -> Result<Network, String> {
+    if let Some(net) = zoo::by_name(spec) {
+        return Ok(net);
+    }
+    if spec.ends_with(".net") || spec.contains('/') {
+        let text = fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        return parse_network(&text).map_err(|e| format!("{spec}: {e}"));
+    }
+    Err(format!("unknown network `{spec}` (see `codesign list`, or pass a .net file)"))
+}
+
+fn run(inv: &Invocation) -> Result<(), String> {
+    let opts = SimOptions::paper_default();
+    let energy = EnergyModel::default();
+
+    if inv.action == Action::List {
+        println!("model zoo:");
+        for net in zoo::table_networks() {
+            println!("  {net}");
+        }
+        for v in 1..=5 {
+            println!("  {}", zoo::squeezenext_variant(v));
+        }
+        println!("  {}", zoo::squeezedet_trunk());
+        return Ok(());
+    }
+
+    let cfg = inv.config().map_err(|e| e.to_string())?;
+    let net = load_network(inv.network.as_deref().expect("non-list commands have a network"))?;
+
+    match inv.action {
+        Action::Simulate => {
+            let mc = MultiCoreConfig { core: cfg.clone(), cores: inv.cores };
+            let perf = if inv.cores > 1 {
+                simulate_network_multicore(&net, &mc, inv.policy, opts)
+            } else {
+                simulate_network_batched(&net, &cfg, inv.policy, opts, inv.batch)
+            };
+            let per_image = perf.total_cycles() as f64 / inv.batch as f64;
+            println!("{net}");
+            println!("hardware: {cfg} x{} core(s), {} policy", inv.cores, inv.policy);
+            println!("cycles:      {} ({} per image)", perf.total_cycles(), per_image as u64);
+            println!("time:        {:.3} ms/image", cfg.cycles_to_ms(per_image as u64));
+            println!("energy:      {:.1} MMAC-eq", perf.total_energy(&energy) / 1e6);
+            println!(
+                "utilization: {:.1}%",
+                100.0 * perf.average_utilization(cfg.pe_count() * inv.cores)
+            );
+        }
+        Action::Schedule => {
+            let schedule = NetworkSchedule::build(&net, &cfg, opts);
+            println!(
+                "{:<26} {:>6} {:>12} {:>12} {:>8} {:>7}",
+                "layer", "class", "WS cycles", "OS cycles", "chosen", "util"
+            );
+            for e in &schedule.entries {
+                println!(
+                    "{:<26} {:>6} {:>12} {:>12} {:>8} {:>6.1}%",
+                    e.name,
+                    e.class.to_string(),
+                    e.ws_cycles,
+                    e.os_cycles,
+                    e.chosen.map_or("SIMD", |d| d.tag()),
+                    100.0 * e.utilization
+                );
+            }
+            println!("total: {} cycles", schedule.total_cycles());
+        }
+        Action::Compile => {
+            let program = Program::compile(&net, &cfg, inv.policy, opts);
+            print!("{}", program.listing());
+            println!("; {} commands, {} cycles replayed", program.len(), program.estimate(&cfg));
+        }
+        Action::Compare => {
+            let c = ArchitectureComparison::evaluate(&net, &cfg, opts, energy);
+            println!("{c}");
+        }
+        Action::Sweep => {
+            let points = codesign_core::sweep(&net, &SweepSpace::paper_default(), opts, &energy);
+            println!("{:<18} {:>12} {:>14} {:>8}", "design", "cycles", "energy (MMAC)", "util");
+            for p in &points {
+                println!(
+                    "{:<18} {:>12} {:>14.1} {:>7.1}%",
+                    p.params.to_string(),
+                    p.cycles,
+                    p.energy / 1e6,
+                    100.0 * p.utilization
+                );
+            }
+            if let Some(best) = best_by_energy_delay(&points) {
+                println!("best energy-delay: {}", best.params);
+            }
+        }
+        Action::Wave => {
+            let layer_name = inv.layer.as_deref().expect("wave requires a layer");
+            let layer = net
+                .layer(layer_name)
+                .ok_or_else(|| format!("no layer `{layer_name}` in {}", net.name()))?;
+            let work = ConvWork::from_layer(layer)
+                .ok_or_else(|| format!("`{layer_name}` is not a PE-array layer"))?;
+            let (_, _, best) = compare_dataflows(layer, &cfg, opts);
+            let trace = match best {
+                codesign_arch::Dataflow::WeightStationary => cycle::trace_ws(&work, &cfg),
+                codesign_arch::Dataflow::OutputStationary => {
+                    cycle::trace_os(&work, &cfg, opts.os)
+                }
+            };
+            print!("{}", cycle::trace_to_vcd(&trace, layer_name));
+            eprintln!(
+                "; {} on {}: {} cycles, {} segments",
+                layer_name,
+                best,
+                trace.cycles(),
+                trace.segments().len()
+            );
+        }
+        Action::List => unreachable!("handled above"),
+    }
+    Ok(())
+}

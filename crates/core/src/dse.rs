@@ -1,0 +1,270 @@
+//! Design-space exploration: tailoring the accelerator to a DNN
+//! (§4.1, "a careful tuning of the accelerator architecture to a DNN
+//! model can lead to a 1.9–6.3× improvement in speed").
+
+use std::fmt;
+
+use codesign_arch::{area, AcceleratorConfig, AreaModel, DataflowPolicy, EnergyModel};
+use codesign_dnn::Network;
+use codesign_sim::{simulate_network, SimOptions};
+
+/// The swept hardware parameters of one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignParams {
+    /// PE array edge length.
+    pub array_size: usize,
+    /// Register-file depth.
+    pub rf_depth: usize,
+    /// Global buffer bytes.
+    pub global_buffer_bytes: usize,
+}
+
+impl fmt::Display for DesignParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}/rf{}/{}KB",
+            self.array_size,
+            self.array_size,
+            self.rf_depth,
+            self.global_buffer_bytes / 1024
+        )
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The hardware parameters.
+    pub params: DesignParams,
+    /// Inference cycles on the hybrid architecture.
+    pub cycles: u64,
+    /// Energy in MAC-normalized units.
+    pub energy: f64,
+    /// Average PE utilization.
+    pub utilization: f64,
+    /// Silicon area in MAC-normalized units (dual-dataflow array).
+    pub area: f64,
+}
+
+impl DesignPoint {
+    /// Energy-delay product — the single-number figure of merit used to
+    /// rank design points.
+    pub fn energy_delay(&self) -> f64 {
+        self.energy * self.cycles as f64
+    }
+}
+
+/// The swept parameter grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpace {
+    /// Array sizes to try (paper: 8..=32).
+    pub array_sizes: Vec<usize>,
+    /// RF depths to try (paper tune-up: 8 -> 16).
+    pub rf_depths: Vec<usize>,
+    /// Buffer capacities to try.
+    pub buffer_bytes: Vec<usize>,
+}
+
+impl SweepSpace {
+    /// The space the paper discusses: N ∈ {8, 16, 32}, RF ∈ {8, 16, 32},
+    /// buffer ∈ {64 KB, 128 KB, 256 KB}.
+    pub fn paper_default() -> Self {
+        Self {
+            array_sizes: vec![8, 16, 32],
+            rf_depths: vec![8, 16, 32],
+            buffer_bytes: vec![64 * 1024, 128 * 1024, 256 * 1024],
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.array_sizes.len() * self.rf_depths.len() * self.buffer_bytes.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SweepSpace {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Evaluates every design point in `space` for `network` on the hybrid
+/// architecture. Invalid configurations (e.g. a buffer too small for the
+/// array) are skipped.
+pub fn sweep(
+    network: &Network,
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> Vec<DesignPoint> {
+    let mut points = Vec::with_capacity(space.len());
+    for &n in &space.array_sizes {
+        for &rf in &space.rf_depths {
+            for &buf in &space.buffer_bytes {
+                let Ok(cfg) = AcceleratorConfig::builder()
+                    .array_size(n)
+                    .rf_depth(rf)
+                    .global_buffer_bytes(buf)
+                    .build()
+                else {
+                    continue;
+                };
+                let perf = simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts);
+                points.push(DesignPoint {
+                    params: DesignParams { array_size: n, rf_depth: rf, global_buffer_bytes: buf },
+                    cycles: perf.total_cycles(),
+                    energy: perf.total_energy(energy_model),
+                    utilization: perf.average_utilization(cfg.pe_count()),
+                    area: area(&cfg, &AreaModel::default(), true).total(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// The design point with the lowest energy-delay product.
+pub fn best_by_energy_delay(points: &[DesignPoint]) -> Option<&DesignPoint> {
+    points.iter().min_by(|a, b| {
+        a.energy_delay().partial_cmp(&b.energy_delay()).expect("energy-delay is finite")
+    })
+}
+
+/// The Pareto-optimal hardware designs over (cycles, energy, area): a
+/// point survives unless some other point is no worse on all three axes
+/// and strictly better on at least one. Returned sorted by ascending
+/// cycles.
+pub fn pareto_designs(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let dominated = |p: &DesignPoint| {
+        points.iter().any(|q| {
+            q.cycles <= p.cycles
+                && q.energy <= p.energy
+                && q.area <= p.area
+                && (q.cycles < p.cycles || q.energy < p.energy || q.area < p.area)
+        })
+    };
+    let mut front: Vec<DesignPoint> =
+        points.iter().filter(|p| !dominated(p)).cloned().collect();
+    front.sort_by_key(|p| p.cycles);
+    front
+}
+
+/// Isolated effect of the paper's register-file tune-up (8 -> 16) on a
+/// network: returns `(cycles at rf 8, cycles at rf 16)`.
+pub fn rf_tuneup_effect(network: &Network, opts: SimOptions) -> (u64, u64) {
+    let mk = |rf: usize| {
+        let cfg = AcceleratorConfig::builder().rf_depth(rf).build().expect("valid rf sweep point");
+        simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts).total_cycles()
+    };
+    (mk(8), mk(16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::zoo;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8],
+            buffer_bytes: vec![64 * 1024],
+        };
+        let pts = sweep(
+            &zoo::squeezenet_v1_1(),
+            &space,
+            SimOptions::default(),
+            &EnergyModel::default(),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.cycles > 0 && p.energy > 0.0));
+    }
+
+    #[test]
+    fn bigger_arrays_are_faster_for_big_nets() {
+        let space = SweepSpace {
+            array_sizes: vec![8, 32],
+            rf_depths: vec![16],
+            buffer_bytes: vec![128 * 1024],
+        };
+        let pts = sweep(&zoo::squeezenet_v1_0(), &space, SimOptions::default(), &EnergyModel::default());
+        let n8 = pts.iter().find(|p| p.params.array_size == 8).unwrap();
+        let n32 = pts.iter().find(|p| p.params.array_size == 32).unwrap();
+        assert!(n32.cycles < n8.cycles);
+        // But small arrays utilize better.
+        assert!(n8.utilization > n32.utilization);
+    }
+
+    #[test]
+    fn rf_tuneup_helps_squeezenext() {
+        // §4.2: "fine-tuned the hardware utilization by doubling the
+        // register file size from 8 to 16".
+        let (rf8, rf16) = rf_tuneup_effect(&zoo::squeezenext(), SimOptions::default());
+        assert!(rf16 < rf8, "rf16 {rf16} should beat rf8 {rf8}");
+    }
+
+    #[test]
+    fn best_point_exists_and_minimizes_edp() {
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![128 * 1024],
+        };
+        let pts = sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default());
+        let best = best_by_energy_delay(&pts).unwrap();
+        for p in &pts {
+            assert!(best.energy_delay() <= p.energy_delay());
+        }
+    }
+
+    #[test]
+    fn pareto_designs_drop_dominated_points() {
+        let space = SweepSpace {
+            array_sizes: vec![8, 16, 32],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![128 * 1024],
+        };
+        let pts = sweep(&zoo::squeezenet_v1_1(), &space, SimOptions::default(), &EnergyModel::default());
+        let front = pareto_designs(&pts);
+        assert!(!front.is_empty() && front.len() <= pts.len());
+        // No front point dominates another front point.
+        for a in &front {
+            for b in &front {
+                if a.params != b.params {
+                    let dominates = a.cycles <= b.cycles
+                        && a.energy <= b.energy
+                        && a.area <= b.area
+                        && (a.cycles < b.cycles || a.energy < b.energy || a.area < b.area);
+                    assert!(!dominates, "{} dominates {}", a.params, b.params);
+                }
+            }
+        }
+        // Sorted by cycles.
+        assert!(front.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+    }
+
+    #[test]
+    fn invalid_points_are_skipped() {
+        let space = SweepSpace {
+            array_sizes: vec![64],
+            rf_depths: vec![8],
+            buffer_bytes: vec![1024], // too small for a 64x64 array
+        };
+        let pts = sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default());
+        assert!(pts.is_empty());
+        assert!(best_by_energy_delay(&pts).is_none());
+    }
+
+    #[test]
+    fn space_len() {
+        assert_eq!(SweepSpace::paper_default().len(), 27);
+        assert!(!SweepSpace::paper_default().is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Whole-network architecture evaluation: the machinery behind Table 2.
+
+use std::fmt;
+
+use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
+use codesign_dnn::Network;
+use codesign_sim::{simulate_network, NetworkPerf, SimOptions};
+
+/// Simulation of one network on the hybrid (Squeezelerator) architecture
+/// and on the two fixed-dataflow references.
+#[derive(Debug, Clone)]
+pub struct ArchitectureComparison {
+    /// Network name.
+    pub network: String,
+    /// Per-layer-best (Squeezelerator) run.
+    pub hybrid: NetworkPerf,
+    /// Fixed weight-stationary reference run.
+    pub ws: NetworkPerf,
+    /// Fixed output-stationary reference run.
+    pub os: NetworkPerf,
+    energy_model: EnergyModel,
+}
+
+impl ArchitectureComparison {
+    /// Simulates `network` on all three architectures.
+    pub fn evaluate(
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        energy_model: EnergyModel,
+    ) -> Self {
+        Self {
+            network: network.name().to_owned(),
+            hybrid: simulate_network(network, cfg, DataflowPolicy::PerLayer, opts),
+            ws: simulate_network(
+                network,
+                cfg,
+                DataflowPolicy::Fixed(Dataflow::WeightStationary),
+                opts,
+            ),
+            os: simulate_network(
+                network,
+                cfg,
+                DataflowPolicy::Fixed(Dataflow::OutputStationary),
+                opts,
+            ),
+            energy_model,
+        }
+    }
+
+    /// Hybrid speedup over the fixed-OS reference (Table 2, "Speedup vs
+    /// OS").
+    pub fn speedup_vs_os(&self) -> f64 {
+        self.os.total_cycles() as f64 / self.hybrid.total_cycles() as f64
+    }
+
+    /// Hybrid speedup over the fixed-WS reference (Table 2, "Speedup vs
+    /// WS").
+    pub fn speedup_vs_ws(&self) -> f64 {
+        self.ws.total_cycles() as f64 / self.hybrid.total_cycles() as f64
+    }
+
+    /// Hybrid energy reduction vs the fixed-OS reference, as a fraction
+    /// (Table 2 prints percentages; negative means the hybrid spends
+    /// more).
+    pub fn energy_reduction_vs_os(&self) -> f64 {
+        1.0 - self.hybrid.total_energy(&self.energy_model) / self.os.total_energy(&self.energy_model)
+    }
+
+    /// Hybrid energy reduction vs the fixed-WS reference, as a fraction.
+    pub fn energy_reduction_vs_ws(&self) -> f64 {
+        1.0 - self.hybrid.total_energy(&self.energy_model) / self.ws.total_energy(&self.energy_model)
+    }
+
+    /// The energy model used.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+}
+
+impl fmt::Display for ArchitectureComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2}x vs OS, {:.2}x vs WS, energy {:+.0}% / {:+.0}%",
+            self.network,
+            self.speedup_vs_os(),
+            self.speedup_vs_ws(),
+            100.0 * self.energy_reduction_vs_os(),
+            100.0 * self.energy_reduction_vs_ws()
+        )
+    }
+}
+
+/// Relative speed and energy between two (network, architecture) runs —
+/// the §4.2 headline comparisons (SqueezeNext vs SqueezeNet, vs AlexNet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeResult {
+    /// `baseline cycles / subject cycles` (> 1 means the subject is
+    /// faster).
+    pub speedup: f64,
+    /// `baseline energy / subject energy` (> 1 means the subject is more
+    /// efficient).
+    pub energy_gain: f64,
+}
+
+/// Compares a subject network against a baseline, both on the hybrid
+/// architecture.
+pub fn compare_networks(
+    subject: &Network,
+    baseline: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> RelativeResult {
+    let s = simulate_network(subject, cfg, DataflowPolicy::PerLayer, opts);
+    let b = simulate_network(baseline, cfg, DataflowPolicy::PerLayer, opts);
+    RelativeResult {
+        speedup: b.total_cycles() as f64 / s.total_cycles() as f64,
+        energy_gain: b.total_energy(energy_model) / s.total_energy(energy_model),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::zoo;
+
+    fn setup() -> (AcceleratorConfig, SimOptions, EnergyModel) {
+        (AcceleratorConfig::paper_default(), SimOptions::paper_default(), EnergyModel::default())
+    }
+
+    #[test]
+    fn hybrid_dominates_both_references() {
+        let (cfg, opts, em) = setup();
+        for net in [zoo::squeezenet_v1_1(), zoo::tiny_darknet()] {
+            let c = ArchitectureComparison::evaluate(&net, &cfg, opts, em);
+            assert!(c.speedup_vs_os() >= 1.0, "{}", net.name());
+            assert!(c.speedup_vs_ws() >= 1.0, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn mobilenet_gains_most_vs_ws() {
+        // Table 2's strongest row: MobileNet vs WS is 6.35x in the paper.
+        let (cfg, opts, em) = setup();
+        let c = ArchitectureComparison::evaluate(&zoo::mobilenet_v1(), &cfg, opts, em);
+        assert!(c.speedup_vs_ws() > 4.0, "got {:.2}", c.speedup_vs_ws());
+        assert!(c.speedup_vs_os() > 1.5, "got {:.2}", c.speedup_vs_os());
+    }
+
+    #[test]
+    fn alexnet_gains_least() {
+        // FC-dominated AlexNet benefits least from dataflow flexibility.
+        let (cfg, opts, em) = setup();
+        let alex = ArchitectureComparison::evaluate(&zoo::alexnet(), &cfg, opts, em);
+        let mobile = ArchitectureComparison::evaluate(&zoo::mobilenet_v1(), &cfg, opts, em);
+        assert!(alex.speedup_vs_ws() < mobile.speedup_vs_ws());
+        assert!(alex.speedup_vs_os() < mobile.speedup_vs_os());
+        assert!(alex.speedup_vs_os() < 1.5);
+    }
+
+    #[test]
+    fn squeezenext_beats_squeezenet_headline() {
+        // §4.2: "2.59x faster and 2.25x more energy efficient than
+        // SqueezeNet 1.0" — our reproduction lands in the same region.
+        let (cfg, opts, em) = setup();
+        let r = compare_networks(
+            &zoo::squeezenext(),
+            &zoo::squeezenet_v1_0(),
+            &cfg,
+            opts,
+            &em,
+        );
+        assert!((2.0..3.5).contains(&r.speedup), "speedup = {:.2}", r.speedup);
+        assert!((1.8..3.5).contains(&r.energy_gain), "energy = {:.2}", r.energy_gain);
+    }
+
+    #[test]
+    fn squeezenext_crushes_alexnet_headline() {
+        // §4.2: 8.26x faster, 7.5x more efficient than AlexNet.
+        let (cfg, opts, em) = setup();
+        let r = compare_networks(&zoo::squeezenext(), &zoo::alexnet(), &cfg, opts, &em);
+        assert!(r.speedup > 4.5, "speedup = {:.2}", r.speedup);
+        assert!(r.energy_gain > 4.5, "energy = {:.2}", r.energy_gain);
+    }
+
+    #[test]
+    fn display_row_mentions_both_ratios() {
+        let (cfg, opts, em) = setup();
+        let c = ArchitectureComparison::evaluate(&zoo::squeezenet_v1_1(), &cfg, opts, em);
+        let s = c.to_string();
+        assert!(s.contains("vs OS") && s.contains("vs WS"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # codesign-core — the co-design engine
+//!
+//! The paper's primary contribution, built on the substrates: per-layer
+//! hybrid dataflow scheduling (the Squeezelerator), whole-network
+//! architecture comparison (Table 2), design-space exploration and the
+//! RF tune-up, hardware-aware model transformations (the Figure-3
+//! SqueezeNext variant ladder), accuracy/cost spectra and Pareto fronts
+//! (Figure 4), and the per-layer-class dataflow advantage ranges
+//! (§4.1.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_arch::{AcceleratorConfig, EnergyModel};
+//! use codesign_core::ArchitectureComparison;
+//! use codesign_dnn::zoo;
+//! use codesign_sim::SimOptions;
+//!
+//! let cfg = AcceleratorConfig::paper_default();
+//! let row = ArchitectureComparison::evaluate(
+//!     &zoo::squeezenet_v1_1(),
+//!     &cfg,
+//!     SimOptions::paper_default(),
+//!     EnergyModel::default(),
+//! );
+//! // The Squeezelerator is never slower than either fixed reference.
+//! assert!(row.speedup_vs_os() >= 1.0 && row.speedup_vs_ws() >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codesign;
+pub mod dse;
+pub mod evaluate;
+pub mod fusion;
+pub mod pareto;
+pub mod ranges;
+pub mod roofline;
+pub mod schedule;
+pub mod select;
+
+pub use codesign::{evaluate_variant, CodesignStudy, ModelTransform, VariantResult};
+pub use dse::{best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, DesignParams, DesignPoint, SweepSpace};
+pub use evaluate::{compare_networks, ArchitectureComparison, RelativeResult};
+pub use fusion::{fusion_savings, plan_fusion, FusionGroup, FusionSavings};
+pub use pareto::{pareto_front, spectrum, CostAxis, ModelPoint};
+pub use ranges::{advantage_range, AdvantageRange};
+pub use roofline::{machine_balance, roofline, Bound, LayerRoofline, NetworkRoofline};
+pub use schedule::{schedule_sparsity_robustness, LayerScheduleEntry, NetworkSchedule};
+pub use select::{select_model, Constraints};

@@ -1,0 +1,164 @@
+//! Accuracy / energy / latency spectra — the data behind Figure 4.
+
+use std::fmt;
+
+use codesign_arch::{AcceleratorConfig, DataflowPolicy, EnergyModel};
+use codesign_dnn::Network;
+use codesign_sim::{simulate_network, SimOptions};
+
+/// One model's position in the accuracy-vs-cost space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPoint {
+    /// Model name.
+    pub name: String,
+    /// ImageNet top-1 accuracy (published metadata).
+    pub accuracy: f64,
+    /// Inference time in milliseconds on the hybrid architecture.
+    pub time_ms: f64,
+    /// Energy in MAC-normalized units.
+    pub energy: f64,
+}
+
+impl fmt::Display for ModelPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1}% top-1, {:.2} ms, {:.1} MMAC-eq energy",
+            self.name,
+            self.accuracy,
+            self.time_ms,
+            self.energy / 1e6
+        )
+    }
+}
+
+/// Simulates each network and returns its spectrum point. Networks with
+/// no accuracy metadata are skipped (they cannot be placed in Figure 4).
+pub fn spectrum(
+    networks: &[Network],
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> Vec<ModelPoint> {
+    networks
+        .iter()
+        .filter_map(|net| {
+            let accuracy = net.top1_accuracy()?;
+            let perf = simulate_network(net, cfg, DataflowPolicy::PerLayer, opts);
+            Some(ModelPoint {
+                name: net.name().to_owned(),
+                accuracy,
+                time_ms: cfg.cycles_to_ms(perf.total_cycles()),
+                energy: perf.total_energy(energy_model),
+            })
+        })
+        .collect()
+}
+
+/// The cost axis of a Pareto query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostAxis {
+    /// Inference time.
+    Time,
+    /// Energy.
+    Energy,
+}
+
+/// Returns the Pareto-optimal subset: points for which no other point has
+/// both higher accuracy and lower cost. The result is sorted by ascending
+/// cost.
+pub fn pareto_front(points: &[ModelPoint], axis: CostAxis) -> Vec<ModelPoint> {
+    let cost = |p: &ModelPoint| match axis {
+        CostAxis::Time => p.time_ms,
+        CostAxis::Energy => p.energy,
+    };
+    // q dominates p: no worse on both axes, strictly better on one.
+    let mut front: Vec<ModelPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                q.accuracy >= p.accuracy
+                    && cost(q) <= cost(p)
+                    && (q.accuracy > p.accuracy || cost(q) < cost(p))
+            })
+        })
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| cost(a).partial_cmp(&cost(b)).expect("costs are finite"));
+    front.dedup_by(|a, b| a.name == b.name);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::zoo;
+
+    fn point(name: &str, acc: f64, time: f64, energy: f64) -> ModelPoint {
+        ModelPoint { name: name.into(), accuracy: acc, time_ms: time, energy }
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let pts = vec![
+            point("good", 60.0, 1.0, 100.0),
+            point("dominated", 55.0, 2.0, 200.0),
+            point("accurate-slow", 70.0, 5.0, 500.0),
+        ];
+        let front = pareto_front(&pts, CostAxis::Time);
+        let names: Vec<&str> = front.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["good", "accurate-slow"]);
+    }
+
+    #[test]
+    fn ties_prefer_cheaper_and_more_accurate() {
+        let pts = vec![
+            point("a", 60.0, 1.0, 1.0),
+            point("same-acc-slower", 60.0, 2.0, 1.0),
+            point("same-time-worse-acc", 59.0, 1.0, 1.0),
+        ];
+        let front = pareto_front(&pts, CostAxis::Time);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].name, "a");
+    }
+
+    #[test]
+    fn figure_4_narrative_squeezenext_dominates_squeezenet() {
+        // "SqueezeNext shows superior performance (higher and to the
+        // left)": SqueezeNet v1.0 must not be on the Pareto front once
+        // the SqueezeNext family is present.
+        let cfg = AcceleratorConfig::paper_default();
+        let mut nets = zoo::squeezenext_family();
+        nets.push(zoo::squeezenet_v1_0());
+        nets.push(zoo::squeezenet_v1_1());
+        let pts = spectrum(&nets, &cfg, SimOptions::default(), &EnergyModel::default());
+        for axis in [CostAxis::Time, CostAxis::Energy] {
+            let front = pareto_front(&pts, axis);
+            assert!(
+                !front.iter().any(|p| p.name == "SqueezeNet v1.0"),
+                "SqueezeNet v1.0 should be dominated on {axis:?}"
+            );
+            assert!(
+                front.iter().any(|p| p.name.contains("SqNxt")),
+                "a SqueezeNext model should sit on the {axis:?} front"
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_skips_models_without_accuracy() {
+        let cfg = AcceleratorConfig::paper_default();
+        let unnamed = codesign_dnn::NetworkBuilder::new("anon", codesign_dnn::Shape::new(3, 32, 32))
+            .conv("c", 8, 3, 1, 1)
+            .finish()
+            .unwrap();
+        let pts = spectrum(&[unnamed], &cfg, SimOptions::default(), &EnergyModel::default());
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_accuracy() {
+        let p = point("x", 59.2, 1.5, 2e6);
+        assert!(p.to_string().contains("59.2"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Constraint-driven model selection.
+//!
+//! §4.2's payoff: the SqueezeNext family "allows the user to select the
+//! right DNN from this family based on the target application's
+//! constraints" — §2 frames those constraints as a required accuracy, a
+//! real-time latency bound, and energy/power budgets.
+
+use std::fmt;
+
+use crate::pareto::ModelPoint;
+
+/// An embedded application's requirements (§2): any field may be left
+/// unconstrained.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Constraints {
+    /// Maximum inference latency in milliseconds (real-time bound).
+    pub max_time_ms: Option<f64>,
+    /// Maximum energy per inference, in MAC-normalized units.
+    pub max_energy: Option<f64>,
+    /// Minimum acceptable top-1 accuracy in percent.
+    pub min_accuracy: Option<f64>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A real-time latency bound (e.g. `33.3` for 30 fps).
+    pub fn real_time_ms(max_time_ms: f64) -> Self {
+        Self { max_time_ms: Some(max_time_ms), ..Self::default() }
+    }
+
+    /// Whether a model point satisfies the constraints.
+    pub fn admits(&self, point: &ModelPoint) -> bool {
+        self.max_time_ms.is_none_or(|t| point.time_ms <= t)
+            && self.max_energy.is_none_or(|e| point.energy <= e)
+            && self.min_accuracy.is_none_or(|a| point.accuracy >= a)
+    }
+}
+
+impl fmt::Display for Constraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(t) = self.max_time_ms {
+            parts.push(format!("time <= {t:.2} ms"));
+        }
+        if let Some(e) = self.max_energy {
+            parts.push(format!("energy <= {e:.0}"));
+        }
+        if let Some(a) = self.min_accuracy {
+            parts.push(format!("top-1 >= {a:.1}%"));
+        }
+        if parts.is_empty() {
+            f.write_str("unconstrained")
+        } else {
+            f.write_str(&parts.join(", "))
+        }
+    }
+}
+
+/// Picks the most accurate model admitted by the constraints; among
+/// equally accurate candidates, the fastest wins. Returns `None` when no
+/// model qualifies (the constraints are infeasible for this family).
+pub fn select_model<'a>(points: &'a [ModelPoint], constraints: &Constraints) -> Option<&'a ModelPoint> {
+    points
+        .iter()
+        .filter(|p| constraints.admits(p))
+        .max_by(|a, b| {
+            a.accuracy
+                .partial_cmp(&b.accuracy)
+                .expect("accuracies are finite")
+                .then(b.time_ms.partial_cmp(&a.time_ms).expect("times are finite"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, acc: f64, time: f64, energy: f64) -> ModelPoint {
+        ModelPoint { name: name.into(), accuracy: acc, time_ms: time, energy }
+    }
+
+    fn family() -> Vec<ModelPoint> {
+        vec![
+            point("small", 55.0, 1.0, 100.0),
+            point("medium", 60.0, 2.5, 250.0),
+            point("large", 65.0, 5.0, 600.0),
+        ]
+    }
+
+    #[test]
+    fn unconstrained_picks_the_most_accurate() {
+        let f = family();
+        assert_eq!(select_model(&f, &Constraints::none()).unwrap().name, "large");
+    }
+
+    #[test]
+    fn latency_bound_prunes_large_models() {
+        let f = family();
+        let c = Constraints::real_time_ms(3.0);
+        assert_eq!(select_model(&f, &c).unwrap().name, "medium");
+    }
+
+    #[test]
+    fn combined_constraints() {
+        let f = family();
+        let c = Constraints {
+            max_time_ms: Some(10.0),
+            max_energy: Some(300.0),
+            min_accuracy: Some(56.0),
+        };
+        assert_eq!(select_model(&f, &c).unwrap().name, "medium");
+    }
+
+    #[test]
+    fn infeasible_constraints_return_none() {
+        let f = family();
+        let c = Constraints { min_accuracy: Some(90.0), ..Constraints::default() };
+        assert!(select_model(&f, &c).is_none());
+    }
+
+    #[test]
+    fn accuracy_ties_break_on_speed() {
+        let f = vec![point("slow", 60.0, 5.0, 1.0), point("fast", 60.0, 1.0, 1.0)];
+        assert_eq!(select_model(&f, &Constraints::none()).unwrap().name, "fast");
+    }
+
+    #[test]
+    fn display_lists_active_constraints() {
+        let c = Constraints::real_time_ms(33.3);
+        assert!(c.to_string().contains("33.30 ms"));
+        assert_eq!(Constraints::none().to_string(), "unconstrained");
+    }
+}

@@ -1,0 +1,35 @@
+//! # codesign-dnn — DNN model IR and zoo
+//!
+//! The model-side substrate of the DAC'18 co-design reproduction: a small
+//! intermediate representation for feed-forward convolutional networks,
+//! a shape-checked builder, MAC/parameter accounting in the paper's
+//! Table-1 taxonomy, and a zoo with every network the paper evaluates
+//! (AlexNet, SqueezeNet v1.0/v1.1, MobileNet, Tiny Darknet, and the
+//! SqueezeNext family including the five co-design variants).
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_dnn::{zoo, LayerClass, MacBreakdown};
+//!
+//! let net = zoo::squeezenet_v1_0();
+//! let breakdown = MacBreakdown::of(&net);
+//! // Table 1: 1x1 convolutions are ~25 % of SqueezeNet v1.0's MACs.
+//! assert!((breakdown.percent(LayerClass::Pointwise) - 25.0).abs() < 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layer;
+pub mod network;
+pub mod shape;
+pub mod stats;
+pub mod textfmt;
+pub mod zoo;
+
+pub use layer::{ConvSpec, Kernel, Layer, LayerClass, LayerOp, PoolKind};
+pub use network::{BuildNetworkError, Network, NetworkBuilder};
+pub use shape::Shape;
+pub use stats::{peak_activation_bytes, weight_bytes, MacBreakdown};
+pub use textfmt::{parse_network, write_network, ParseNetworkError};

@@ -1,0 +1,161 @@
+//! Operation-count statistics: the accounting behind Table 1 of the paper.
+
+use std::fmt;
+
+use crate::layer::LayerClass;
+use crate::network::Network;
+
+/// MAC breakdown of a network across the Table-1 layer classes.
+///
+/// Percentages are of **total** network operations (which is why the
+/// paper's AlexNet row sums to 89 % — the remaining 11 % is FC work).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacBreakdown {
+    macs: [u64; LayerClass::ALL.len()],
+}
+
+impl MacBreakdown {
+    /// Computes the breakdown for a network.
+    pub fn of(network: &Network) -> Self {
+        let mut macs = [0u64; LayerClass::ALL.len()];
+        for layer in network.layers() {
+            let idx = LayerClass::ALL
+                .iter()
+                .position(|c| *c == layer.class())
+                .expect("every class is in ALL");
+            macs[idx] += layer.macs();
+        }
+        Self { macs }
+    }
+
+    /// MACs in the given class.
+    pub fn macs(&self, class: LayerClass) -> u64 {
+        let idx = LayerClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.macs[idx]
+    }
+
+    /// Total MACs across all classes.
+    pub fn total(&self) -> u64 {
+        self.macs.iter().sum()
+    }
+
+    /// Fraction (0..=1) of total MACs in the given class. Returns 0 for an
+    /// empty network.
+    pub fn fraction(&self, class: LayerClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.macs(class) as f64 / total as f64
+        }
+    }
+
+    /// Percentage (0..=100) of total MACs in the given class.
+    pub fn percent(&self, class: LayerClass) -> f64 {
+        100.0 * self.fraction(class)
+    }
+
+    /// Iterates `(class, macs, fraction)` in Table-1 order.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerClass, u64, f64)> + '_ {
+        let total = self.total();
+        LayerClass::ALL.iter().enumerate().map(move |(i, class)| {
+            let frac = if total == 0 { 0.0 } else { self.macs[i] as f64 / total as f64 };
+            (*class, self.macs[i], frac)
+        })
+    }
+}
+
+impl fmt::Display for MacBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (class, _, frac) in self.iter() {
+            if frac > 0.0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {:.0}%", class, 100.0 * frac)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "no MAC work")?;
+        }
+        Ok(())
+    }
+}
+
+/// Weight footprint of a network in bytes at the given element width.
+///
+/// The Squeezelerator stores 16-bit integer weights, so pass `2`.
+pub fn weight_bytes(network: &Network, bytes_per_element: usize) -> u64 {
+    network.total_params() * bytes_per_element as u64
+}
+
+/// Peak single-layer activation working set (input + output bytes) — a
+/// proxy for the feature-map memory pressure the paper's §2 discusses.
+pub fn peak_activation_bytes(network: &Network, bytes_per_element: usize) -> u64 {
+    network
+        .layers()
+        .iter()
+        .map(|l| (l.input.bytes(bytes_per_element) + l.output.bytes(bytes_per_element)) as u64)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::shape::Shape;
+
+    fn toy() -> Network {
+        NetworkBuilder::new("toy", Shape::new(3, 16, 16))
+            .conv("first", 8, 3, 1, 1) // FirstConv: 16*16*9*3*8 = 55296
+            .pointwise_conv("pw", 16) // Pointwise: 16*16*8*16 = 32768
+            .depthwise_conv("dw", 3, 1, 1) // DW: 16*16*9*16 = 36864
+            .conv("sp", 8, 3, 1, 1) // Spatial: 16*16*9*16*8 = 294912
+            .global_avg_pool("gap")
+            .fully_connected("fc", 10) // FC: 8*10 = 80
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn breakdown_partitions_total() {
+        let net = toy();
+        let b = MacBreakdown::of(&net);
+        assert_eq!(b.total(), net.total_macs());
+        assert_eq!(b.macs(LayerClass::FirstConv), 55_296);
+        assert_eq!(b.macs(LayerClass::Pointwise), 32_768);
+        assert_eq!(b.macs(LayerClass::Depthwise), 36_864);
+        assert_eq!(b.macs(LayerClass::Spatial), 294_912);
+        assert_eq!(b.macs(LayerClass::FullyConnected), 80);
+        assert_eq!(b.macs(LayerClass::Other), 0);
+        let frac_sum: f64 = b.iter().map(|(_, _, f)| f).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_is_fraction_times_100() {
+        let b = MacBreakdown::of(&toy());
+        for class in LayerClass::ALL {
+            assert!((b.percent(class) - 100.0 * b.fraction(class)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_lists_nonzero_classes() {
+        let s = MacBreakdown::of(&toy()).to_string();
+        assert!(s.contains("Conv1"));
+        assert!(s.contains("DW"));
+        assert!(!s.contains("Other"));
+    }
+
+    #[test]
+    fn footprints() {
+        let net = toy();
+        assert_eq!(weight_bytes(&net, 2), net.total_params() * 2);
+        // Peak is the depthwise conv: input 16x16x16 + output 16x16x16 at 2 B.
+        assert_eq!(peak_activation_bytes(&net, 2), (16 * 256 + 16 * 256) * 2);
+    }
+}

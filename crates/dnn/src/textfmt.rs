@@ -1,0 +1,373 @@
+//! A plain-text network description format.
+//!
+//! Lets users bring their own models to the simulator without writing
+//! Rust: one directive per line, darknet-cfg-flavored, built through the
+//! same shape-checked [`NetworkBuilder`] as the zoo.
+//!
+//! ```text
+//! # mini classifier
+//! network mini 3x32x32
+//! conv      conv1   16 3x3 s2 p1
+//! maxpool   pool1   3 s2
+//! fire      fire2   8 16 16
+//! depthwise dw3     3 s1 p1
+//! pointwise pw4     32
+//! gap       pool4
+//! fc        logits  10
+//! accuracy  61.5
+//! ```
+//!
+//! Grammar per line (whitespace separated, `#` starts a comment):
+//!
+//! Layer names must not contain whitespace; the network name may.
+//!
+//! | directive | operands |
+//! |---|---|
+//! | `network` | name, input `CxHxW` |
+//! | `conv` | name, out-channels, `KxK` (or `KhxKw`), `s<stride>`, `p<pad>`, optional `g<groups>` |
+//! | `pointwise` | name, out-channels |
+//! | `depthwise` | name, kernel, `s<stride>`, `p<pad>` |
+//! | `fire` | name, squeeze, expand1x1, expand3x3 |
+//! | `maxpool` / `avgpool` | name, kernel, `s<stride>` |
+//! | `gap` | name |
+//! | `fc` | name, out-features |
+//! | `accuracy` | published top-1 percent |
+
+use std::error::Error;
+use std::fmt;
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Error from [`parse_network`], carrying the offending line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetworkError {
+    line: usize,
+    detail: String,
+}
+
+impl ParseNetworkError {
+    fn new(line: usize, detail: impl Into<String>) -> Self {
+        Self { line, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+impl Error for ParseNetworkError {}
+
+fn parse_dims(token: &str, line: usize) -> Result<Vec<usize>, ParseNetworkError> {
+    token
+        .split('x')
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| ParseNetworkError::new(line, format!("bad dimension `{p}`")))
+        })
+        .collect()
+}
+
+fn parse_prefixed(token: &str, prefix: char, line: usize) -> Result<usize, ParseNetworkError> {
+    token
+        .strip_prefix(prefix)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseNetworkError::new(line, format!("expected `{prefix}<n>`, got `{token}`")))
+}
+
+fn parse_num<T: std::str::FromStr>(token: &str, what: &str, line: usize) -> Result<T, ParseNetworkError> {
+    token.parse().map_err(|_| ParseNetworkError::new(line, format!("bad {what} `{token}`")))
+}
+
+/// Parses a network description.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] on malformed directives, and converts
+/// shape errors from the underlying builder (reported against the last
+/// line).
+pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
+    let mut builder: Option<NetworkBuilder> = None;
+    let mut last_line = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        last_line = line;
+        let mut it = content.split_whitespace();
+        let directive = it.next().expect("non-empty line has a first token");
+        let toks: Vec<&str> = it.collect();
+        let need = |n: usize| {
+            if toks.len() < n {
+                Err(ParseNetworkError::new(
+                    line,
+                    format!("`{directive}` needs {n} operands, got {}", toks.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        if directive == "network" {
+            need(2)?;
+            // The shape is the last token; everything before it is the
+            // (possibly space-containing) network name.
+            let dims = parse_dims(toks[toks.len() - 1], line)?;
+            if dims.len() != 3 {
+                return Err(ParseNetworkError::new(line, "input must be CxHxW"));
+            }
+            let name = toks[..toks.len() - 1].join(" ");
+            builder = Some(NetworkBuilder::new(name, Shape::new(dims[0], dims[1], dims[2])));
+            continue;
+        }
+        let b = builder
+            .as_mut()
+            .ok_or_else(|| ParseNetworkError::new(line, "`network` must come first"))?;
+        match directive {
+            "conv" => {
+                need(4)?;
+                let out: usize = parse_num(toks[1], "channel count", line)?;
+                let k = parse_dims(toks[2], line)?;
+                let stride = parse_prefixed(toks[3], 's', line)?;
+                let pad = if toks.len() > 4 { parse_prefixed(toks[4], 'p', line)? } else { 0 };
+                let groups = if toks.len() > 5 { parse_prefixed(toks[5], 'g', line)? } else { 1 };
+                match k.as_slice() {
+                    [kk] => {
+                        if groups == 1 {
+                            b.conv(toks[0], out, *kk, stride, pad);
+                        } else {
+                            b.grouped_conv(toks[0], out, *kk, stride, pad, groups);
+                        }
+                    }
+                    [kh, kw] if groups == 1 => {
+                        b.conv_rect(toks[0], out, *kh, *kw, stride);
+                    }
+                    _ => {
+                        return Err(ParseNetworkError::new(
+                            line,
+                            "kernel must be K or KhxKw (grouped conv needs a square kernel)",
+                        ));
+                    }
+                }
+            }
+            "pointwise" => {
+                need(2)?;
+                let out = parse_num(toks[1], "channel count", line)?;
+                b.pointwise_conv(toks[0], out);
+            }
+            "depthwise" => {
+                need(3)?;
+                let k = parse_num(toks[1], "kernel", line)?;
+                let stride = parse_prefixed(toks[2], 's', line)?;
+                let pad = if toks.len() > 3 { parse_prefixed(toks[3], 'p', line)? } else { 0 };
+                b.depthwise_conv(toks[0], k, stride, pad);
+            }
+            "fire" => {
+                need(4)?;
+                let s = parse_num(toks[1], "squeeze width", line)?;
+                let e1 = parse_num(toks[2], "expand1x1 width", line)?;
+                let e3 = parse_num(toks[3], "expand3x3 width", line)?;
+                b.fire(toks[0], s, e1, e3);
+            }
+            "maxpool" | "avgpool" => {
+                need(3)?;
+                let k = parse_num(toks[1], "kernel", line)?;
+                let stride = parse_prefixed(toks[2], 's', line)?;
+                if directive == "maxpool" {
+                    b.max_pool(toks[0], k, stride);
+                } else {
+                    b.avg_pool(toks[0], k, stride);
+                }
+            }
+            "gap" => {
+                need(1)?;
+                b.global_avg_pool(toks[0]);
+            }
+            "fc" => {
+                need(2)?;
+                let out = parse_num(toks[1], "feature count", line)?;
+                b.fully_connected(toks[0], out);
+            }
+            "accuracy" => {
+                need(1)?;
+                let acc: f64 = parse_num(toks[0], "accuracy", line)?;
+                b.top1_accuracy(acc);
+            }
+            other => {
+                return Err(ParseNetworkError::new(line, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+    builder
+        .ok_or_else(|| ParseNetworkError::new(last_line.max(1), "missing `network` directive"))?
+        .finish()
+        .map_err(|e| ParseNetworkError::new(last_line, e.to_string()))
+}
+
+/// Serializes a network built of representable layers back to the text
+/// format. Returns `None` when the network contains constructs the
+/// format cannot express (merge layers outside fire modules, rectangular
+/// pads, ...).
+pub fn write_network(network: &Network) -> Option<String> {
+    use crate::layer::{LayerOp, PoolKind};
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let input = network.input();
+    let _ = writeln!(out, "network {} {}x{}x{}", network.name(), input.channels, input.height, input.width);
+    let mut skip_until_concat: Option<String> = None;
+    for layer in network.layers() {
+        // Fire modules serialize as one directive; recognize the builder's
+        // naming convention and skip the expanded layers.
+        if let Some(prefix) = &skip_until_concat {
+            let done = layer.name == format!("{prefix}/concat");
+            if layer.name.starts_with(prefix.as_str()) {
+                if done {
+                    skip_until_concat = None;
+                }
+                continue;
+            }
+            return None; // unexpected interleaving
+        }
+        if let Some(prefix) = layer.name.strip_suffix("/squeeze1x1") {
+            let e1 = network.layer(&format!("{prefix}/expand1x1"))?;
+            let e3 = network.layer(&format!("{prefix}/expand3x3"))?;
+            let _ = writeln!(
+                out,
+                "fire {prefix} {} {} {}",
+                layer.output.channels, e1.output.channels, e3.output.channels
+            );
+            skip_until_concat = Some(prefix.to_owned());
+            continue;
+        }
+        match &layer.op {
+            LayerOp::Conv(spec) => {
+                if layer.is_depthwise() {
+                    let _ = writeln!(
+                        out,
+                        "depthwise {} {} s{} p{}",
+                        layer.name, spec.kernel.height, spec.stride, spec.pad_h
+                    );
+                } else if spec.kernel.is_pointwise() && spec.stride == 1 && spec.pad_h == 0 {
+                    let _ = writeln!(out, "pointwise {} {}", layer.name, spec.out_channels);
+                } else {
+                    if spec.pad_h != spec.pad_w && spec.kernel.height == spec.kernel.width {
+                        return None;
+                    }
+                    let kernel = if spec.kernel.height == spec.kernel.width {
+                        format!("{}", spec.kernel.height)
+                    } else {
+                        format!("{}x{}", spec.kernel.height, spec.kernel.width)
+                    };
+                    let groups = if spec.groups > 1 { format!(" g{}", spec.groups) } else { String::new() };
+                    let _ = writeln!(
+                        out,
+                        "conv {} {} {} s{} p{}{}",
+                        layer.name, spec.out_channels, kernel, spec.stride, spec.pad_h, groups
+                    );
+                }
+            }
+            LayerOp::Pool { kind, kernel, stride, .. } => {
+                let d = match kind {
+                    PoolKind::Max => "maxpool",
+                    PoolKind::Average => "avgpool",
+                };
+                let _ = writeln!(out, "{d} {} {kernel} s{stride}", layer.name);
+            }
+            LayerOp::GlobalAvgPool => {
+                let _ = writeln!(out, "gap {}", layer.name);
+            }
+            LayerOp::FullyConnected { out_features } => {
+                let _ = writeln!(out, "fc {} {out_features}", layer.name);
+            }
+            LayerOp::EltwiseAdd | LayerOp::Concat { .. } => return None,
+        }
+    }
+    if let Some(acc) = network.top1_accuracy() {
+        let _ = writeln!(out, "accuracy {acc}");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    const MINI: &str = "\
+# mini classifier
+network mini 3x32x32
+conv      conv1   16 3 s2 p1
+maxpool   pool1   3 s2
+fire      fire2   8 16 16
+depthwise dw3     3 s1 p1
+pointwise pw4     32
+gap       pool4
+fc        logits  10
+accuracy  61.5
+";
+
+    #[test]
+    fn parses_the_example() {
+        let net = parse_network(MINI).unwrap();
+        assert_eq!(net.name(), "mini");
+        assert_eq!(net.output(), Shape::vector(10));
+        assert_eq!(net.top1_accuracy(), Some(61.5));
+        assert!(net.layer("fire2/expand3x3").is_some());
+        assert!(net.layer("dw3").unwrap().is_depthwise());
+    }
+
+    #[test]
+    fn round_trips_the_example() {
+        let net = parse_network(MINI).unwrap();
+        let text = write_network(&net).unwrap();
+        let again = parse_network(&text).unwrap();
+        assert_eq!(net, again);
+    }
+
+    #[test]
+    fn round_trips_zoo_classifiers() {
+        for net in [zoo::squeezenet_v1_0(), zoo::squeezenet_v1_1(), zoo::mobilenet_v1(), zoo::tiny_darknet(), zoo::alexnet()] {
+            let text = write_network(&net)
+                .unwrap_or_else(|| panic!("{} should serialize", net.name()));
+            let again = parse_network(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert_eq!(net.total_macs(), again.total_macs(), "{}", net.name());
+            assert_eq!(net.layers().len(), again.layers().len(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn squeezenext_is_not_representable() {
+        // Residual adds fall outside the format: write_network must say
+        // so instead of silently dropping layers.
+        assert!(write_network(&zoo::squeezenext()).is_none());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_network("network t 3x8x8\nconv c 8 3 zz\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2: expected `s<n>`, got `zz`");
+        let err = parse_network("conv c 8 3 s1\n").unwrap_err();
+        assert!(err.to_string().contains("`network` must come first"));
+        let err = parse_network("# nothing\n").unwrap_err();
+        assert!(err.to_string().contains("missing `network`"));
+        let err = parse_network("network t 3x8x8\nwarp w\n").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn shape_errors_surface() {
+        let err = parse_network("network t 3x8x8\nconv c 8 11 s1\n").unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let net = parse_network("\n# hi\nnetwork t 1x4x4\nconv c 2 3 s1 p1 # same pad\n").unwrap();
+        assert_eq!(net.layers().len(), 1);
+    }
+}

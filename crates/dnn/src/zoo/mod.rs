@@ -1,0 +1,106 @@
+//! The model zoo: every DNN evaluated in the paper, built from scratch
+//! with the shape-checked [`crate::NetworkBuilder`].
+
+mod alexnet;
+mod darknet;
+mod mobilenet;
+mod squeezedet;
+mod squeezenet;
+mod squeezenext;
+
+pub use alexnet::alexnet;
+pub use darknet::tiny_darknet;
+pub use mobilenet::{
+    mobilenet, mobilenet_family, mobilenet_resolution, mobilenet_resolution_family, mobilenet_v1,
+};
+pub use squeezedet::squeezedet_trunk;
+pub use squeezenet::{squeezenet_v1_0, squeezenet_v1_1};
+pub use squeezenext::{
+    squeezenext, squeezenext_family, squeezenext_variant, squeezenext_variants,
+    SqueezeNextConfig,
+};
+
+use crate::network::Network;
+
+/// The six networks of Tables 1 and 2, in the paper's row order.
+pub fn table_networks() -> Vec<Network> {
+    vec![
+        alexnet(),
+        mobilenet_v1(),
+        tiny_darknet(),
+        squeezenet_v1_0(),
+        squeezenet_v1_1(),
+        squeezenext(),
+    ]
+}
+
+/// Looks up a zoo network by (case-insensitive) name.
+///
+/// Recognized names include `"alexnet"`, `"mobilenet"`,
+/// `"tiny-darknet"`, `"squeezenet-v1.0"`, `"squeezenet-v1.1"`,
+/// `"squeezenext"` and `"sqnxt-23v1"` .. `"sqnxt-23v5"`.
+pub fn by_name(name: &str) -> Option<Network> {
+    let key: String =
+        name.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+    let net = match key.as_str() {
+        "alexnet" => alexnet(),
+        "mobilenet" | "mobilenetv1" | "10mobilenet224" => mobilenet_v1(),
+        "tinydarknet" | "darknet" => tiny_darknet(),
+        "squeezenet" | "squeezenetv10" => squeezenet_v1_0(),
+        "squeezenetv11" => squeezenet_v1_1(),
+        "squeezenext" | "10sqnxt23" => squeezenext(),
+        "squeezedet" | "squeezedettrunk" => squeezedet_trunk(),
+        "sqnxt23v1" | "10sqnxt23v1" => squeezenext_variant(1),
+        "sqnxt23v2" | "10sqnxt23v2" => squeezenext_variant(2),
+        "sqnxt23v3" | "10sqnxt23v3" => squeezenext_variant(3),
+        "sqnxt23v4" | "10sqnxt23v4" => squeezenext_variant(4),
+        "sqnxt23v5" | "10sqnxt23v5" => squeezenext_variant(5),
+        _ => return None,
+    };
+    Some(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_networks_are_the_six_rows() {
+        let nets = table_networks();
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "AlexNet",
+                "1.00-MobileNet-224",
+                "Tiny Darknet",
+                "SqueezeNet v1.0",
+                "SqueezeNet v1.1",
+                "1.0-SqNxt-23v5",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_is_forgiving() {
+        assert!(by_name("AlexNet").is_some());
+        assert!(by_name("squeezenet-v1.1").is_some());
+        assert!(by_name("SqNxt-23v3").is_some());
+        assert!(by_name("MobileNet").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_zoo_network_classifies_to_1000_classes() {
+        for net in table_networks() {
+            assert_eq!(net.output().elements(), 1000, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn every_zoo_network_has_positive_macs() {
+        for net in table_networks() {
+            assert!(net.total_macs() > 10_000_000, "{}", net.name());
+        }
+    }
+}

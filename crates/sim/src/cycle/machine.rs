@@ -1,0 +1,134 @@
+//! Trace representation shared by the WS and OS machines.
+
+use crate::perf::PhaseCycles;
+
+/// What the PE array is doing during a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Loading stationary data (weights in WS, input tiles in OS).
+    Load,
+    /// Performing MAC work.
+    Compute,
+    /// Draining results to the global buffer.
+    Drain,
+}
+
+/// A run of consecutive cycles in the same machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSegment {
+    /// Activity during the segment.
+    pub phase: Phase,
+    /// Number of cycles.
+    pub cycles: u64,
+    /// Useful MACs performed per cycle (0 outside compute).
+    pub macs_per_cycle: u64,
+    /// PEs busy per cycle (for utilization traces).
+    pub active_pes: u64,
+}
+
+/// Snapshot of one machine cycle (produced by
+/// [`MachineTrace::iter_cycles`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleState {
+    /// Cycle index from the start of the layer.
+    pub cycle: u64,
+    /// Activity.
+    pub phase: Phase,
+    /// Useful MACs this cycle.
+    pub macs: u64,
+    /// Busy PEs this cycle.
+    pub active_pes: u64,
+}
+
+/// The full execution trace of one layer on the stepped machine.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MachineTrace {
+    segments: Vec<PhaseSegment>,
+}
+
+impl MachineTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment (no-op when `cycles == 0`).
+    pub fn push(&mut self, phase: Phase, cycles: u64, macs_per_cycle: u64, active_pes: u64) {
+        if cycles > 0 {
+            self.segments.push(PhaseSegment { phase, cycles, macs_per_cycle, active_pes });
+        }
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[PhaseSegment] {
+        &self.segments
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total useful MACs.
+    pub fn macs(&self) -> u64 {
+        self.segments.iter().map(|s| s.cycles * s.macs_per_cycle).sum()
+    }
+
+    /// Busy-PE cycle integral (for average utilization).
+    pub fn active_pe_cycles(&self) -> u64 {
+        self.segments.iter().map(|s| s.cycles * s.active_pes).sum()
+    }
+
+    /// Per-phase totals in [`PhaseCycles`] form, comparable with the
+    /// analytic models' output.
+    pub fn phase_totals(&self) -> PhaseCycles {
+        let mut t = PhaseCycles::default();
+        for s in &self.segments {
+            match s.phase {
+                Phase::Load => t.load += s.cycles,
+                Phase::Compute => t.compute += s.cycles,
+                Phase::Drain => t.drain += s.cycles,
+            }
+        }
+        t
+    }
+
+    /// Expands the trace to one [`CycleState`] per machine cycle.
+    pub fn iter_cycles(&self) -> impl Iterator<Item = CycleState> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| (0..s.cycles).map(move |_| s))
+            .enumerate()
+            .map(|(i, s)| CycleState {
+                cycle: i as u64,
+                phase: s.phase,
+                macs: s.macs_per_cycle,
+                active_pes: s.active_pes,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_expansion() {
+        let mut t = MachineTrace::new();
+        t.push(Phase::Load, 3, 0, 0);
+        t.push(Phase::Compute, 2, 64, 64);
+        t.push(Phase::Drain, 0, 0, 0); // dropped
+        t.push(Phase::Drain, 1, 0, 0);
+        assert_eq!(t.segments().len(), 3);
+        assert_eq!(t.cycles(), 6);
+        assert_eq!(t.macs(), 128);
+        assert_eq!(t.active_pe_cycles(), 128);
+        let p = t.phase_totals();
+        assert_eq!((p.load, p.compute, p.drain), (3, 2, 1));
+        let states: Vec<_> = t.iter_cycles().collect();
+        assert_eq!(states.len(), 6);
+        assert_eq!(states[3].phase, Phase::Compute);
+        assert_eq!(states[5].phase, Phase::Drain);
+        assert_eq!(states[4].cycle, 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cycle-stepped PE-array machine.
+//!
+//! An independent implementation of the two dataflow schedules as explicit
+//! state machines that advance phase segments (and can be expanded to
+//! single cycles): the machine walks the *actual* tile/pass/channel loop
+//! structure and emits one segment per schedule step, where the analytic
+//! models in [`crate::ws`]/[`crate::os`] sum closed forms. Agreement
+//! between the two is asserted by the validation tests — a bug in either
+//! loop structure breaks the equality.
+
+mod machine;
+mod os_machine;
+mod rs_machine;
+pub mod vcd;
+mod ws_machine;
+
+pub use machine::{CycleState, MachineTrace, Phase, PhaseSegment};
+pub use os_machine::trace_os;
+pub use rs_machine::trace_rs;
+pub use vcd::trace_to_vcd;
+pub use ws_machine::trace_ws;
+
+#[cfg(test)]
+mod validation {
+    use super::*;
+    use crate::os::{simulate_os, OsModelOptions, SparsityModel};
+    use crate::workload::{ConvWork, WorkKind};
+    use crate::ws::simulate_ws;
+    use codesign_arch::AcceleratorConfig;
+
+    fn corpus() -> Vec<ConvWork> {
+        let mk = |kind, c: usize, k: usize, f: usize, s: usize, oh: usize, ow: usize| ConvWork {
+            kind,
+            groups: 1,
+            in_channels: c,
+            out_channels: k,
+            kernel_h: f,
+            kernel_w: f,
+            stride: s,
+            in_h: (oh - 1) * s + f,
+            in_w: (ow - 1) * s + f,
+            out_h: oh,
+            out_w: ow,
+        };
+        vec![
+            mk(WorkKind::Dense, 3, 96, 7, 2, 111, 111),
+            mk(WorkKind::Dense, 96, 16, 1, 1, 55, 55),
+            mk(WorkKind::Dense, 16, 64, 3, 1, 55, 55),
+            mk(WorkKind::Dense, 512, 1000, 1, 1, 13, 13),
+            mk(WorkKind::Dense, 64, 256, 3, 1, 13, 13),
+            mk(WorkKind::Depthwise, 32, 32, 3, 1, 112, 112),
+            mk(WorkKind::Depthwise, 512, 512, 3, 1, 7, 7),
+            mk(WorkKind::FullyConnected, 4096, 1000, 1, 1, 1, 1),
+            ConvWork { groups: 2, ..mk(WorkKind::Dense, 48, 128, 5, 1, 27, 27) },
+        ]
+    }
+
+    fn configs() -> Vec<AcceleratorConfig> {
+        vec![
+            AcceleratorConfig::paper_default(),
+            AcceleratorConfig::builder().array_size(16).rf_depth(8).build().unwrap(),
+            AcceleratorConfig::builder().array_size(8).rf_depth(32).build().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn ws_machine_matches_analytic_phases_exactly() {
+        for cfg in configs() {
+            for work in corpus() {
+                let analytic = simulate_ws(&work, &cfg);
+                let trace = trace_ws(&work, &cfg);
+                assert_eq!(
+                    trace.phase_totals(),
+                    analytic.phases,
+                    "WS phases diverge for {work:?} on {cfg}"
+                );
+                assert_eq!(
+                    trace.macs(),
+                    analytic.executed_macs,
+                    "WS MACs diverge for {work:?} on {cfg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn os_machine_matches_analytic_phases() {
+        let opt_sets = [
+            OsModelOptions::paper_default(),
+            OsModelOptions {
+                sparsity: SparsityModel::dense(),
+                preload_overlap: false,
+                channel_packing: false,
+            },
+            OsModelOptions {
+                sparsity: SparsityModel { zero_fraction: 0.4, exploit: true },
+                preload_overlap: false,
+                channel_packing: true,
+            },
+        ];
+        for cfg in configs() {
+            for work in corpus() {
+                for opts in opt_sets {
+                    let analytic = simulate_os(&work, &cfg, opts);
+                    let trace = trace_os(&work, &cfg, opts);
+                    assert_eq!(
+                        trace.phase_totals(),
+                        analytic.phases,
+                        "OS phases diverge for {work:?} on {cfg} with {opts:?}"
+                    );
+                    // Broadcast quantization differs by at most one
+                    // pixel-tile worth of MACs per compute segment.
+                    let diff = trace.macs().abs_diff(analytic.executed_macs);
+                    let bound = trace
+                        .segments()
+                        .iter()
+                        .filter(|s| s.phase == Phase::Compute)
+                        .count() as u64
+                        * cfg.pe_count() as u64;
+                    assert!(
+                        diff <= bound,
+                        "OS MACs diverge beyond rounding for {work:?}: {diff} > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_cycle_expansion_is_consistent() {
+        let cfg = AcceleratorConfig::builder().array_size(8).rf_depth(8).build().unwrap();
+        let work = ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: 8,
+            out_channels: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 12,
+            in_w: 12,
+            out_h: 10,
+            out_w: 10,
+        };
+        for trace in [trace_ws(&work, &cfg), trace_os(&work, &cfg, OsModelOptions::paper_default())]
+        {
+            let cycles = trace.iter_cycles().count() as u64;
+            assert_eq!(cycles, trace.cycles());
+            let macs: u64 = trace.iter_cycles().map(|c| c.macs).sum();
+            assert_eq!(macs, trace.macs());
+        }
+    }
+}

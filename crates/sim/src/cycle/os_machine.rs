@@ -1,0 +1,184 @@
+//! Stepped output-stationary machine.
+
+use codesign_arch::AcceleratorConfig;
+
+use crate::os::OsModelOptions;
+use crate::workload::{split, ConvWork, WorkKind};
+
+use super::machine::{MachineTrace, Phase};
+
+/// Walks the OS schedule step by step: for each output tile and filter
+/// pass — preload the input tile (overlapped with broadcasts when
+/// enabled), broadcast the non-zero weights channel by channel, then
+/// drain the finished partial sums.
+pub fn trace_os(work: &ConvWork, cfg: &AcceleratorConfig, opts: OsModelOptions) -> MachineTrace {
+    match work.kind {
+        WorkKind::FullyConnected => trace_os_fc(work, cfg),
+        WorkKind::Dense => trace_os_conv(work, cfg, opts, false),
+        WorkKind::Depthwise => trace_os_conv(work, cfg, opts, true),
+    }
+}
+
+/// Splits `total` units over `parts` consumers: everyone gets the floor
+/// share and the last consumer absorbs the remainder — mirroring how the
+/// stream buffer's fractional per-channel broadcast quota materializes.
+fn distribute(total: u64, parts: u64) -> Vec<u64> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let mut v = vec![base; parts as usize];
+    *v.last_mut().expect("parts > 0") += total % parts;
+    v
+}
+
+fn trace_os_conv(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: OsModelOptions,
+    depthwise: bool,
+) -> MachineTrace {
+    let n = cfg.array_size();
+    let eff = opts.sparsity.efficiency();
+    let taps = work.taps() as u64;
+    let th_tiles = split(work.out_h, n);
+    let tw_tiles = split(work.out_w, n);
+
+    let mut trace = MachineTrace::new();
+    for _group in 0..work.groups {
+        for &th in &th_tiles {
+            for &tw in &tw_tiles {
+                let rows = (th - 1) * work.stride + work.kernel_h;
+                let cols = (tw - 1) * work.stride + work.kernel_w;
+                let row_load = rows as u64 * (cols as u64).div_ceil(n as u64);
+                let pixels = (th * tw) as u64;
+                let c = work.in_channels as u64;
+
+                let kg_list: Vec<usize> = if depthwise {
+                    vec![0] // sentinel: one pass over all channels
+                } else {
+                    let packing = if opts.channel_packing {
+                        ((n * n) / (th * tw).max(1)).max(1)
+                    } else {
+                        1
+                    };
+                    let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
+                    split(work.out_channels, resident)
+                };
+
+                for kg in kg_list {
+                    let per_channel = if depthwise {
+                        taps as f64 * eff
+                    } else {
+                        (kg as u64 * taps) as f64 * eff
+                    };
+                    // Per-pass integer budgets, matching the analytic
+                    // model's rounding.
+                    let broadcasts = (per_channel * c as f64).ceil() as u64;
+                    let stall_total = if opts.preload_overlap {
+                        ((row_load as f64 - per_channel).max(0.0) * c as f64).round() as u64
+                    } else {
+                        0
+                    };
+                    if opts.preload_overlap {
+                        trace.push(Phase::Load, row_load, 0, 0); // pipeline fill
+                    }
+                    let stalls = distribute(stall_total, c);
+                    let casts = distribute(broadcasts, c);
+                    for ch in 0..c as usize {
+                        if opts.preload_overlap {
+                            trace.push(Phase::Load, stalls[ch], 0, 0);
+                        } else {
+                            trace.push(Phase::Load, row_load, 0, 0);
+                        }
+                        trace.push(Phase::Compute, casts[ch], pixels, pixels);
+                    }
+                    let produced = if depthwise { pixels * c } else { pixels * kg as u64 };
+                    trace.push(Phase::Drain, produced.div_ceil(n as u64), 0, 0);
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn trace_os_fc(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
+    let n = cfg.array_size() as u64;
+    let c = work.in_channels as u64;
+    let mut trace = MachineTrace::new();
+    for kp in split(work.out_channels, cfg.pe_count()) {
+        let kp = kp as u64;
+        let cycles = (c * kp).div_ceil(n).max(c);
+        let macs = c * kp;
+        // Two-rate split so the trace's MAC total is exact.
+        let lo_rate = macs / cycles;
+        let hi_cycles = macs - lo_rate * cycles;
+        trace.push(Phase::Compute, hi_cycles, lo_rate + 1, kp.min(cfg.pe_count() as u64));
+        trace.push(Phase::Compute, cycles - hi_cycles, lo_rate, kp.min(cfg.pe_count() as u64));
+        trace.push(Phase::Drain, kp.div_ceil(n), 0, 0);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::SparsityModel;
+
+    #[test]
+    fn distribute_conserves_total() {
+        assert_eq!(distribute(10, 3), vec![3, 3, 4]);
+        assert_eq!(distribute(0, 2), vec![0, 0]);
+        assert_eq!(distribute(5, 1), vec![5]);
+        assert!(distribute(5, 0).is_empty());
+    }
+
+    #[test]
+    fn fc_trace_mac_total_is_exact() {
+        let cfg = AcceleratorConfig::paper_default();
+        let work = ConvWork {
+            kind: WorkKind::FullyConnected,
+            groups: 1,
+            in_channels: 4096,
+            out_channels: 1000,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        let t = trace_os(&work, &cfg, OsModelOptions::paper_default());
+        assert_eq!(t.macs(), 4096 * 1000);
+    }
+
+    #[test]
+    fn serial_loads_appear_per_channel() {
+        let cfg = AcceleratorConfig::builder().array_size(8).rf_depth(8).build().unwrap();
+        let work = ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: 4,
+            out_channels: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 10,
+            in_w: 10,
+            out_h: 8,
+            out_w: 8,
+        };
+        let opts = OsModelOptions {
+            sparsity: SparsityModel::dense(),
+            preload_overlap: false,
+            channel_packing: false,
+        };
+        let t = trace_os(&work, &cfg, opts);
+        // One tile, one pass, 4 channels: load = 4 * 10 rows * ceil(10/8).
+        assert_eq!(t.phase_totals().load, 4 * 10 * 2);
+        // Broadcasts: 8 filters * 9 taps per channel.
+        assert_eq!(t.phase_totals().compute, 4 * 72);
+        assert_eq!(t.macs(), work.macs());
+    }
+}

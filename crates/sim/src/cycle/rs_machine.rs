@@ -1,0 +1,121 @@
+//! Stepped row-stationary machine, validating [`crate::rs`] the same way
+//! the WS/OS machines validate their analytic models.
+
+use codesign_arch::AcceleratorConfig;
+
+use crate::workload::{split, ConvWork, WorkKind};
+
+use super::machine::{MachineTrace, Phase};
+
+/// Walks the RS schedule step by step: for each group and output-row
+/// strip — per folded pair wave, preload the filter rows, stream the
+/// `W'·Fw` broadcast walk, then drain the finished output rows.
+pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
+    let n = cfg.array_size();
+    let fh = work.kernel_h.min(n);
+    let fw = work.kernel_w as u64;
+    let ow = work.out_w as u64;
+    let fold = (n / fh).max(1);
+    let pairs_per_group = match work.kind {
+        WorkKind::Depthwise => work.in_channels as u64,
+        _ => (work.in_channels * work.out_channels) as u64,
+    };
+    let pair_waves = pairs_per_group.div_ceil(fold as u64);
+    // Useful MACs, distributed uniformly over the streamed cycles so the
+    // trace total matches the analytic model's dense count exactly.
+    let total_macs = work.macs();
+    let stream_cycles_total = work.groups as u64
+        * split(work.out_h, n).len() as u64
+        * pair_waves
+        * ow
+        * fw;
+
+    let mut trace = MachineTrace::new();
+    let mut emitted_macs = 0u64;
+    let mut emitted_stream = 0u64;
+    for _group in 0..work.groups {
+        for &strip in &split(work.out_h, n) {
+            for _wave in 0..pair_waves {
+                trace.push(Phase::Load, fh as u64, 0, 0);
+                let stream = ow * fw;
+                // Two-rate split keeps the integer MAC total exact.
+                let target = if stream_cycles_total == 0 {
+                    0
+                } else {
+                    total_macs * (emitted_stream + stream) / stream_cycles_total
+                };
+                let macs_this = target - emitted_macs;
+                let lo = macs_this / stream.max(1);
+                let hi_cycles = macs_this - lo * stream;
+                let active = (fh * strip * fold) as u64;
+                trace.push(Phase::Compute, hi_cycles, lo + 1, active);
+                trace.push(Phase::Compute, stream - hi_cycles, lo, active);
+                emitted_macs = target;
+                emitted_stream += stream;
+                trace.push(
+                    Phase::Drain,
+                    (strip as u64 * ow).div_ceil(n as u64),
+                    0,
+                    0,
+                );
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs::simulate_rs;
+
+    fn corpus() -> Vec<ConvWork> {
+        let mk = |kind, c: usize, k: usize, f: usize, oh: usize| ConvWork {
+            kind,
+            groups: 1,
+            in_channels: c,
+            out_channels: k,
+            kernel_h: f,
+            kernel_w: f,
+            stride: 1,
+            in_h: oh + f - 1,
+            in_w: oh + f - 1,
+            out_h: oh,
+            out_w: oh,
+        };
+        vec![
+            mk(WorkKind::Dense, 16, 32, 3, 28),
+            mk(WorkKind::Dense, 512, 64, 1, 13),
+            mk(WorkKind::Dense, 3, 96, 7, 111),
+            mk(WorkKind::Depthwise, 64, 64, 3, 28),
+            ConvWork { groups: 2, ..mk(WorkKind::Dense, 48, 128, 5, 27) },
+        ]
+    }
+
+    #[test]
+    fn matches_analytic_compute_and_macs() {
+        for cfg in [
+            AcceleratorConfig::paper_default(),
+            AcceleratorConfig::builder().array_size(8).build().unwrap(),
+        ] {
+            for work in corpus() {
+                let analytic = simulate_rs(&work, &cfg);
+                let trace = trace_rs(&work, &cfg);
+                let totals = trace.phase_totals();
+                assert_eq!(totals.load, analytic.phases.load, "{work:?}");
+                assert_eq!(totals.compute, analytic.phases.compute, "{work:?}");
+                assert_eq!(totals.drain, analytic.phases.drain, "{work:?}");
+                assert_eq!(trace.macs(), analytic.executed_macs, "{work:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn drains_follow_every_wave() {
+        let cfg = AcceleratorConfig::builder().array_size(8).build().unwrap();
+        let work = corpus()[0];
+        let trace = trace_rs(&work, &cfg);
+        let drains = trace.segments().iter().filter(|s| s.phase == Phase::Drain).count();
+        assert!(drains > 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The layer- and network-level simulation driver: runs each layer under
+//! a dataflow policy, folds in DRAM timing, and assembles whole-network
+//! results.
+
+use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
+use codesign_dnn::{Layer, Network};
+
+use crate::compression::WeightCompression;
+use crate::dram::{combine_cycles, conv_traffic, simd_traffic};
+use crate::os::{simulate_os, OsModelOptions};
+use crate::tiling::optimize_tiling;
+use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
+use crate::simd::simulate_simd;
+use crate::workload::ConvWork;
+use crate::ws::simulate_ws;
+
+/// How per-layer DRAM traffic is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrafficModel {
+    /// The documented closed-form approximation in [`crate::dram`].
+    ClosedForm,
+    /// The paper's tiling search ("the size of the tile and the order of
+    /// loops that give the shortest execution time are selected").
+    #[default]
+    TilingSearch,
+}
+
+/// Simulation options shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// OS datapath model switches (sparsity, preload overlap, channel
+    /// packing).
+    pub os: OsModelOptions,
+    /// DRAM traffic derivation.
+    pub traffic: TrafficModel,
+    /// Optional sparse weight encoding on the DMA path (`None` matches
+    /// the paper, which streams dense weights).
+    pub weight_compression: Option<WeightCompression>,
+}
+
+impl SimOptions {
+    /// The paper's configuration: 40 % weight zeros skipped by OS,
+    /// preload overlap and channel packing enabled, tiling search on,
+    /// no weight compression.
+    pub fn paper_default() -> Self {
+        Self {
+            os: OsModelOptions::paper_default(),
+            traffic: TrafficModel::TilingSearch,
+            weight_compression: None,
+        }
+    }
+
+    /// The layer's DRAM traffic under these options.
+    pub(crate) fn layer_traffic(
+        &self,
+        work: &ConvWork,
+        cfg: &AcceleratorConfig,
+    ) -> crate::dram::DramTraffic {
+        let raw = match self.traffic {
+            TrafficModel::ClosedForm => conv_traffic(work, cfg),
+            TrafficModel::TilingSearch => optimize_tiling(work, cfg).traffic,
+        };
+        match self.weight_compression {
+            Some(c) => c.apply(
+                raw,
+                work.weight_elements(),
+                self.os.sparsity.zero_fraction,
+                cfg.bytes_per_element() as u64,
+            ),
+            None => raw,
+        }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Runs one convolution-shaped workload under a specific dataflow.
+pub fn simulate_conv(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> ComputePerf {
+    match dataflow {
+        Dataflow::WeightStationary => simulate_ws(work, cfg),
+        Dataflow::OutputStationary => simulate_os(work, cfg, opts.os),
+    }
+}
+
+fn finish_layer(
+    layer: &Layer,
+    dataflow: Option<Dataflow>,
+    mut compute: ComputePerf,
+    dram_bytes: u64,
+    cfg: &AcceleratorConfig,
+) -> LayerPerf {
+    let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
+    let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
+    compute.accesses.dram += dram_bytes / cfg.bytes_per_element() as u64;
+    let utilization = if total_cycles == 0 {
+        0.0
+    } else {
+        compute.executed_macs as f64 / (total_cycles as f64 * cfg.pe_count() as f64)
+    };
+    LayerPerf {
+        name: layer.name.clone(),
+        dataflow,
+        compute,
+        dram_bytes,
+        dram_cycles,
+        total_cycles,
+        utilization,
+    }
+}
+
+/// Simulates one layer under a forced dataflow (non-PE layers always take
+/// the SIMD path, regardless of `dataflow`).
+pub fn simulate_layer(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> LayerPerf {
+    match ConvWork::from_layer(layer) {
+        Some(work) => {
+            let compute = simulate_conv(&work, cfg, opts, dataflow);
+            let traffic = opts.layer_traffic(&work, cfg);
+            finish_layer(layer, Some(dataflow), compute, traffic.total(), cfg)
+        }
+        None => {
+            let compute = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+            let traffic =
+                simd_traffic(layer.input.elements() as u64, layer.output.elements() as u64, cfg);
+            finish_layer(layer, None, compute, traffic.total(), cfg)
+        }
+    }
+}
+
+/// Simulates one layer under both dataflows and returns
+/// `(ws, os, best)` where `best` is the faster of the two — the choice
+/// the Squeezelerator's static scheduler makes ("each layer configuration
+/// must be simulated to determine which architecture is best").
+pub fn compare_dataflows(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+) -> (LayerPerf, LayerPerf, Dataflow) {
+    let ws = simulate_layer(layer, cfg, opts, Dataflow::WeightStationary);
+    let os = simulate_layer(layer, cfg, opts, Dataflow::OutputStationary);
+    let best = if os.total_cycles < ws.total_cycles {
+        Dataflow::OutputStationary
+    } else {
+        Dataflow::WeightStationary
+    };
+    (ws, os, best)
+}
+
+/// Simulates a whole network under the given dataflow policy.
+///
+/// With [`DataflowPolicy::PerLayer`] each layer takes whichever dataflow
+/// simulates faster (no switching overhead, per the paper); with
+/// [`DataflowPolicy::Fixed`] every layer is forced onto one dataflow —
+/// the paper's reference WS and OS architectures.
+pub fn simulate_network(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> NetworkPerf {
+    let layers = network
+        .layers()
+        .iter()
+        .map(|layer| match policy {
+            DataflowPolicy::Fixed(d) => simulate_layer(layer, cfg, opts, d),
+            DataflowPolicy::PerLayer => {
+                let (ws, os, best) = compare_dataflows(layer, cfg, opts);
+                match best {
+                    Dataflow::WeightStationary => ws,
+                    Dataflow::OutputStationary => os,
+                }
+            }
+        })
+        .collect();
+    NetworkPerf { name: network.name().to_owned(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::{zoo, NetworkBuilder, Shape};
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper_default()
+    }
+
+    #[test]
+    fn hybrid_never_slower_than_fixed_per_layer() {
+        let net = zoo::squeezenet_v1_1();
+        let opts = SimOptions::paper_default();
+        let hybrid = simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
+        let ws = simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
+        let os = simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
+        for ((h, w), o) in hybrid.layers.iter().zip(&ws.layers).zip(&os.layers) {
+            assert!(h.total_cycles <= w.total_cycles, "{}", h.name);
+            assert!(h.total_cycles <= o.total_cycles, "{}", h.name);
+        }
+        assert!(hybrid.total_cycles() <= ws.total_cycles().min(os.total_cycles()));
+    }
+
+    #[test]
+    fn pointwise_prefers_ws_and_first_conv_prefers_os() {
+        let net = NetworkBuilder::new("t", Shape::new(3, 227, 227))
+            .conv("conv1", 96, 7, 2, 0)
+            .max_pool("pool1", 3, 2)
+            .pointwise_conv("pw", 64)
+            .finish()
+            .unwrap();
+        let opts = SimOptions::paper_default();
+        let (_, _, best1) = compare_dataflows(net.layer("conv1").unwrap(), &cfg(), opts);
+        assert_eq!(best1, Dataflow::OutputStationary);
+        let (_, _, best2) = compare_dataflows(net.layer("pw").unwrap(), &cfg(), opts);
+        assert_eq!(best2, Dataflow::WeightStationary);
+    }
+
+    #[test]
+    fn depthwise_strongly_prefers_os() {
+        let net = NetworkBuilder::new("t", Shape::new(256, 28, 28))
+            .conv("warmup", 256, 1, 1, 0) // make dw not the first conv
+            .depthwise_conv("dw", 3, 1, 1)
+            .finish()
+            .unwrap();
+        let (ws, os, best) =
+            compare_dataflows(net.layer("dw").unwrap(), &cfg(), SimOptions::paper_default());
+        assert_eq!(best, Dataflow::OutputStationary);
+        let speedup = ws.total_cycles as f64 / os.total_cycles as f64;
+        assert!(speedup > 5.0, "OS should crush WS on depthwise, got {speedup:.1}x");
+    }
+
+    #[test]
+    fn non_pe_layers_have_no_dataflow() {
+        let net = NetworkBuilder::new("t", Shape::new(4, 16, 16))
+            .conv("c", 4, 3, 1, 1)
+            .max_pool("p", 2, 2)
+            .finish()
+            .unwrap();
+        let perf = simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, SimOptions::default());
+        assert!(perf.layer("c").unwrap().dataflow.is_some());
+        assert!(perf.layer("p").unwrap().dataflow.is_none());
+    }
+
+    #[test]
+    fn dram_accounted_in_totals() {
+        let net = NetworkBuilder::new("t", Shape::new(4, 16, 16))
+            .conv("c", 4, 3, 1, 1)
+            .finish()
+            .unwrap();
+        let perf = simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, SimOptions::default());
+        let l = &perf.layers[0];
+        assert!(l.dram_bytes > 0);
+        assert!(l.total_cycles >= l.compute.cycles());
+        assert!(l.compute.accesses.dram > 0);
+    }
+
+    #[test]
+    fn fc_layer_is_weight_movement_bound() {
+        // Batch-1 FC reuses nothing: the 16.8 M weights must all move
+        // through DRAM and the preload port, so the layer is
+        // weight-movement bound and PE utilization is negligible —
+        // "the fully-connected layers ... cannot take advantage of
+        // hardware acceleration by either dataflow architecture".
+        let net = NetworkBuilder::new("t", Shape::new(4096, 1, 1))
+            .fully_connected("fc", 4096)
+            .finish()
+            .unwrap();
+        let l = simulate_layer(
+            net.layer("fc").unwrap(),
+            &cfg(),
+            SimOptions::default(),
+            Dataflow::WeightStationary,
+        );
+        // Preload (weight loading) dominates streaming by far.
+        assert!(l.compute.phases.load > 10 * l.compute.phases.compute);
+        // DRAM traffic is the full weight matrix.
+        assert!(l.dram_bytes >= 4096 * 4096 * 2);
+        assert!(l.utilization < 0.05, "util = {}", l.utilization);
+        assert_eq!(l.total_cycles, l.compute.cycles().max(l.dram_cycles) + 100);
+    }
+}

@@ -1,0 +1,479 @@
+//! Functional dataflow executors: run the WS and OS schedules over real
+//! tensor data.
+//!
+//! These follow the exact loop structure of the hardware schedules — tile
+//! loops, register-file-bounded filter passes, per-column adder chains,
+//! zero-weight skipping — and must produce **bit-identical** results to
+//! the reference convolution in `codesign-tensor`. They are the proof
+//! that the schedules the performance models count cycles for actually
+//! compute the right convolution.
+
+use codesign_arch::AcceleratorConfig;
+use codesign_dnn::ConvSpec;
+use codesign_tensor::{Filters, ShapeMismatchError, Tensor};
+
+use crate::workload::split;
+
+fn check_conv_args(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    op: &'static str,
+) -> Result<codesign_dnn::Shape, ShapeMismatchError> {
+    let in_shape = input.shape();
+    if spec.groups == 0
+        || !in_shape.channels.is_multiple_of(spec.groups)
+        || !spec.out_channels.is_multiple_of(spec.groups)
+    {
+        return Err(ShapeMismatchError::new(op, "invalid group count"));
+    }
+    if filters.in_channels() != in_shape.channels / spec.groups
+        || filters.out_channels() != spec.out_channels
+        || filters.kernel_height() != spec.kernel.height
+        || filters.kernel_width() != spec.kernel.width
+    {
+        return Err(ShapeMismatchError::new(op, "filter bank does not match spec"));
+    }
+    codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
+        .ok_or_else(|| ShapeMismatchError::new(op, "spec does not fit input"))
+}
+
+/// Executes a convolution with the weight-stationary schedule: weight
+/// tiles of at most N×N stay resident while every output pixel streams
+/// through; partial sums accumulate in a global-buffer image across row
+/// tiles and taps.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_ws(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d_ws")?;
+    let n = cfg.array_size();
+    let cg = input.shape().channels / spec.groups;
+    let kg = spec.out_channels / spec.groups;
+
+    // The global buffer's partial-sum image.
+    let mut psum = vec![0i64; out_shape.elements()];
+    let plane = out_shape.plane();
+
+    for group in 0..spec.groups {
+        let mut k0 = 0usize;
+        for ct in split(kg, n) {
+            let mut c0 = 0usize;
+            for rt in split(cg, n) {
+                for dy in 0..spec.kernel.height {
+                    for dx in 0..spec.kernel.width {
+                        // Weight tile (rt rows x ct cols) is resident;
+                        // stream every output pixel through the array.
+                        for oy in 0..out_shape.height {
+                            for ox in 0..out_shape.width {
+                                let iy = (oy * spec.stride + dy) as isize - spec.pad_h as isize;
+                                let ix = (ox * spec.stride + dx) as isize - spec.pad_w as isize;
+                                for kk in 0..ct {
+                                    let k = group * kg + k0 + kk;
+                                    // Adder chain down column kk.
+                                    let mut chain = 0i64;
+                                    for cc in 0..rt {
+                                        let c = group * cg + c0 + cc;
+                                        let v = input.at_padded(c, iy, ix) as i64;
+                                        let w = filters.tap(k, c0 + cc, dy, dx) as i64;
+                                        chain += v * w;
+                                    }
+                                    psum[k * plane + oy * out_shape.width + ox] += chain;
+                                }
+                            }
+                        }
+                    }
+                }
+                c0 += rt;
+            }
+            k0 += ct;
+        }
+    }
+
+    let data = psum.into_iter().map(saturate).collect();
+    Ok(Tensor::from_vec(out_shape, data))
+}
+
+/// Executes a convolution with the output-stationary schedule: N×N output
+/// tiles stay resident in per-PE register files (bounded by
+/// `rf_depth × packing` filters per pass), weights broadcast one at a
+/// time with **zero weights skipped**, finished tiles drain to the output.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_os(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d_os")?;
+    let n = cfg.array_size();
+    let cg = input.shape().channels / spec.groups;
+    let kg_total = spec.out_channels / spec.groups;
+    let depthwise = spec.groups > 1
+        && spec.groups == input.shape().channels
+        && spec.groups == spec.out_channels;
+
+    let mut out = Tensor::zeros(out_shape);
+
+    for y0 in tile_starts(out_shape.height, n) {
+        for x0 in tile_starts(out_shape.width, n) {
+            let th = n.min(out_shape.height - y0);
+            let tw = n.min(out_shape.width - x0);
+            if depthwise {
+                // Each channel independently: one resident partial sum
+                // per PE.
+                for c in 0..input.shape().channels {
+                    let mut rf = vec![0i64; th * tw];
+                    for dy in 0..spec.kernel.height {
+                        for dx in 0..spec.kernel.width {
+                            let w = filters.tap(c, 0, dy, dx) as i64;
+                            if w == 0 {
+                                continue; // zero-weight broadcast skipped
+                            }
+                            accumulate_tile(&mut rf, input, c, w, y0, x0, th, tw, dy, dx, spec);
+                        }
+                    }
+                    drain(&mut out, c, y0, x0, th, tw, &rf);
+                }
+                continue;
+            }
+            let packing = ((n * n) / (th * tw).max(1)).max(1);
+            let resident = (cfg.rf_depth() * packing).min(kg_total.max(1));
+            for group in 0..spec.groups {
+                let mut k0 = 0usize;
+                for pass in split(kg_total, resident) {
+                    // Register files: one partial sum per (pixel, filter).
+                    let mut rf = vec![0i64; th * tw * pass];
+                    for c in 0..cg {
+                        let ic = group * cg + c;
+                        // Input tile is resident; broadcast each non-zero
+                        // weight of the pass's filters.
+                        for f in 0..pass {
+                            let kabs = group * kg_total + k0 + f;
+                            for dy in 0..spec.kernel.height {
+                                for dx in 0..spec.kernel.width {
+                                    let w = filters.tap(kabs, c, dy, dx) as i64;
+                                    if w == 0 {
+                                        continue; // zero-weight skip
+                                    }
+                                    accumulate_tile(
+                                        &mut rf[f * th * tw..(f + 1) * th * tw],
+                                        input,
+                                        ic,
+                                        w,
+                                        y0,
+                                        x0,
+                                        th,
+                                        tw,
+                                        dy,
+                                        dx,
+                                        spec,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    for f in 0..pass {
+                        let kabs = group * kg_total + k0 + f;
+                        drain(&mut out, kabs, y0, x0, th, tw, &rf[f * th * tw..(f + 1) * th * tw]);
+                    }
+                    k0 += pass;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One weight broadcast: every PE of the tile multiplies its (shifted)
+/// input pixel by `w` and accumulates.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile(
+    rf: &mut [i64],
+    input: &Tensor,
+    channel: usize,
+    w: i64,
+    y0: usize,
+    x0: usize,
+    th: usize,
+    tw: usize,
+    dy: usize,
+    dx: usize,
+    spec: &ConvSpec,
+) {
+    for ty in 0..th {
+        for tx in 0..tw {
+            let iy = ((y0 + ty) * spec.stride + dy) as isize - spec.pad_h as isize;
+            let ix = ((x0 + tx) * spec.stride + dx) as isize - spec.pad_w as isize;
+            rf[ty * tw + tx] += input.at_padded(channel, iy, ix) as i64 * w;
+        }
+    }
+}
+
+fn tile_starts(extent: usize, tile: usize) -> impl Iterator<Item = usize> {
+    (0..extent).step_by(tile.max(1))
+}
+
+fn drain(out: &mut Tensor, k: usize, y0: usize, x0: usize, th: usize, tw: usize, rf: &[i64]) {
+    for ty in 0..th {
+        for tx in 0..tw {
+            *out.at_mut(k, y0 + ty, x0 + tx) = saturate(rf[ty * tw + tx]);
+        }
+    }
+}
+
+#[inline]
+fn saturate(acc: i64) -> i32 {
+    acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Executes a fully-connected layer with the weight-stationary schedule:
+/// N×N weight tiles resident, the input vector streamed through per-column
+/// adder chains — the degenerate (one-pixel) case of [`conv2d_ws`], which
+/// is how the array §4.1.2 describes runs "the FC layer operations".
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] when the weight matrix does not match
+/// the flattened input length.
+pub fn fc_ws(
+    input: &Tensor,
+    weights: &Filters,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    let flat = input.as_slice();
+    if weights.in_channels() != flat.len()
+        || weights.kernel_height() != 1
+        || weights.kernel_width() != 1
+    {
+        return Err(ShapeMismatchError::new("fc_ws", "weight matrix mismatch"));
+    }
+    let n = cfg.array_size();
+    let out_features = weights.out_channels();
+    let mut psum = vec![0i64; out_features];
+    let mut k0 = 0usize;
+    for ct in split(out_features, n) {
+        let mut c0 = 0usize;
+        for rt in split(flat.len(), n) {
+            // Weight tile resident; one streamed input vector slice.
+            for kk in 0..ct {
+                let mut chain = 0i64;
+                for cc in 0..rt {
+                    chain += flat[c0 + cc] as i64 * weights.tap(k0 + kk, c0 + cc, 0, 0) as i64;
+                }
+                psum[k0 + kk] += chain;
+            }
+            c0 += rt;
+        }
+        k0 += ct;
+    }
+    let data = psum.into_iter().map(saturate).collect();
+    Ok(Tensor::from_vec(codesign_dnn::Shape::vector(out_features), data))
+}
+
+/// Executes a whole network functionally, running every convolution with
+/// the dataflow the given policy selects and every FC layer with the
+/// degenerate-WS schedule ([`fc_ws`]); non-compute layers use the
+/// reference operators. The result must be bit-identical to
+/// [`codesign_tensor::run_network`]; the integration tests assert it.
+///
+/// # Errors
+///
+/// Returns [`codesign_tensor::RunNetworkError`] under the same conditions
+/// as the reference executor.
+pub fn run_network_on_accelerator(
+    network: &codesign_dnn::Network,
+    image: &Tensor,
+    weights: &codesign_tensor::WeightStore,
+    cfg: &AcceleratorConfig,
+    policy: codesign_arch::DataflowPolicy,
+    opts: crate::engine::SimOptions,
+) -> Result<codesign_tensor::NetworkActivations, codesign_tensor::RunNetworkError> {
+    use codesign_arch::{Dataflow, DataflowPolicy};
+    use codesign_dnn::LayerOp;
+    use codesign_tensor::RunNetworkError;
+
+    let mut outputs: Vec<(String, Tensor)> = Vec::with_capacity(network.layers().len());
+    for layer in network.layers() {
+        let input: &Tensor = match &layer.primary_input {
+            Some(name) => {
+                &outputs
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone()))?
+                    .1
+            }
+            None => image,
+        };
+        let out = match &layer.op {
+            LayerOp::Conv(spec) => {
+                let filters = weights
+                    .get(&layer.name)
+                    .ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))?;
+                let dataflow = match policy {
+                    DataflowPolicy::Fixed(d) => d,
+                    DataflowPolicy::PerLayer => {
+                        crate::engine::compare_dataflows(layer, cfg, opts).2
+                    }
+                };
+                match dataflow {
+                    Dataflow::WeightStationary => conv2d_ws(input, filters, spec, cfg)?,
+                    Dataflow::OutputStationary => conv2d_os(input, filters, spec, cfg)?,
+                }
+            }
+            LayerOp::FullyConnected { .. } => {
+                let filters = weights
+                    .get(&layer.name)
+                    .ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))?;
+                fc_ws(input, filters, cfg)?
+            }
+            _ => {
+                let merge = match &layer.extra_input {
+                    Some(name) => Some(
+                        outputs
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, t)| t)
+                            .ok_or_else(|| {
+                                RunNetworkError::MissingMergeInput(layer.name.clone())
+                            })?,
+                    ),
+                    None => match layer.op {
+                        LayerOp::EltwiseAdd => Some(image),
+                        _ => None,
+                    },
+                };
+                codesign_tensor::run_layer(layer, input, merge, weights)?
+            }
+        };
+        outputs.push((layer.name.clone(), out));
+    }
+    Ok(codesign_tensor::execute::NetworkActivations::from_outputs(outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::{Kernel, Shape};
+    use codesign_tensor::ops::conv2d;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_cfg() -> AcceleratorConfig {
+        AcceleratorConfig::builder()
+            .array_size(4)
+            .rf_depth(3)
+            .global_buffer_bytes(4096)
+            .build()
+            .unwrap()
+    }
+
+    fn random_case(rng: &mut StdRng) -> (Tensor, Filters, ConvSpec) {
+        let depthwise = rng.gen_bool(0.25);
+        let (groups, cg, cout) = if depthwise {
+            let c = rng.gen_range(2..=9);
+            (c, 1, c)
+        } else {
+            let groups = [1, 1, 1, 2][rng.gen_range(0..4)];
+            let cg = rng.gen_range(1..=6);
+            (groups, cg, groups * rng.gen_range(1..=7))
+        };
+        let (kh, kw) = [(1, 1), (3, 3), (1, 3), (3, 1), (5, 5), (7, 7)][rng.gen_range(0..6)];
+        let stride = rng.gen_range(1..=3);
+        let h = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
+        let w = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
+        let input = Tensor::random(Shape::new(groups * cg, h, w), 64, rng);
+        let filters = Filters::random(cout, cg, kh, kw, 16, 0.4, rng);
+        let spec = ConvSpec {
+            out_channels: cout,
+            kernel: Kernel::new(kh, kw),
+            stride,
+            pad_h: rng.gen_range(0..=kh / 2),
+            pad_w: rng.gen_range(0..=kw / 2),
+            groups,
+        };
+        (input, filters, spec)
+    }
+
+    #[test]
+    fn ws_schedule_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = small_cfg();
+        for i in 0..60 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d(&input, &filters, &spec).unwrap();
+            let got = conv2d_ws(&input, &filters, &spec, &cfg).unwrap();
+            assert_eq!(got, want, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn os_schedule_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = small_cfg();
+        for i in 0..60 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d(&input, &filters, &spec).unwrap();
+            let got = conv2d_os(&input, &filters, &spec, &cfg).unwrap();
+            assert_eq!(got, want, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn both_schedules_match_on_paper_array_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = AcceleratorConfig::paper_default();
+        for _ in 0..10 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d(&input, &filters, &spec).unwrap();
+            assert_eq!(conv2d_ws(&input, &filters, &spec, &cfg).unwrap(), want);
+            assert_eq!(conv2d_os(&input, &filters, &spec, &cfg).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn fc_schedule_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = small_cfg();
+        for _ in 0..20 {
+            let n = rng.gen_range(1..40);
+            let k = rng.gen_range(1..40);
+            let input = Tensor::random(Shape::new(n, 1, 1), 64, &mut rng);
+            let w = Filters::random(k, n, 1, 1, 16, 0.4, &mut rng);
+            let want = codesign_tensor::ops::fully_connected(&input, &w).unwrap();
+            let got = fc_ws(&input, &w, &cfg).unwrap();
+            assert_eq!(got, want);
+        }
+        let bad = Filters::zeros(4, 7, 1, 1);
+        let input = Tensor::zeros(Shape::new(3, 1, 1));
+        assert!(fc_ws(&input, &bad, &cfg).is_err());
+    }
+
+    #[test]
+    fn executors_validate_arguments() {
+        let cfg = small_cfg();
+        let input = Tensor::zeros(Shape::new(3, 8, 8));
+        let bad = Filters::zeros(8, 4, 3, 3);
+        let spec = ConvSpec {
+            out_channels: 8,
+            kernel: Kernel::square(3),
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+        };
+        assert!(conv2d_ws(&input, &bad, &spec, &cfg).is_err());
+        assert!(conv2d_os(&input, &bad, &spec, &cfg).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! # codesign-sim — the Squeezelerator simulator
+//!
+//! Reimplementation of the paper's "performance estimator": per-layer
+//! cycle, utilization, and energy modeling of an N×N-PE spatial
+//! accelerator that can run each layer in weight-stationary (WS) or
+//! output-stationary (OS) dataflow.
+//!
+//! Three cooperating layers of fidelity:
+//!
+//! * **analytic model** ([`ws`], [`os`], [`engine`]) — closed-form cycle
+//!   and access counts; drives every table/figure reproduction;
+//! * **cycle-stepped machine** ([`cycle`]) — an independent state-machine
+//!   implementation stepped one cycle at a time, used to validate the
+//!   analytic counts;
+//! * **functional executors** ([`functional`]) — run the same WS/OS
+//!   schedules over real tensors and must bit-match the reference
+//!   convolution from `codesign-tensor`.
+//!
+//! # Examples
+//!
+//! ```
+//! use codesign_arch::{AcceleratorConfig, DataflowPolicy};
+//! use codesign_dnn::zoo;
+//! use codesign_sim::{simulate_network, SimOptions};
+//!
+//! let cfg = AcceleratorConfig::paper_default();
+//! let net = zoo::squeezenet_v1_0();
+//! let perf = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, SimOptions::default());
+//! assert!(perf.total_cycles() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod compression;
+pub mod cycle;
+pub mod dram;
+pub mod engine;
+pub mod event;
+pub mod functional;
+pub mod multicore;
+pub mod nlr;
+pub mod os;
+pub mod perf;
+pub mod program;
+pub mod rs;
+pub mod simd;
+pub mod sparsity;
+pub mod taxonomy;
+pub mod tiling;
+pub mod workload;
+pub mod ws;
+
+pub use compression::WeightCompression;
+pub use batch::{simulate_layer_batched, simulate_network_batched};
+pub use event::{simulate_layer_event, simulate_network_event, EventLayerResult, EventResult};
+pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};
+pub use multicore::{
+    schedule_branch_parallel, simulate_network_multicore, BranchParallelResult, MultiCoreConfig,
+};
+pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
+pub use engine::{compare_dataflows, simulate_conv, simulate_layer, simulate_network, SimOptions, TrafficModel};
+pub use tiling::{optimize_tiling, LoopOrder, Tiling, TilingPlan};
+pub use nlr::simulate_nlr;
+pub use os::{simulate_os, OsModelOptions, SparsityModel};
+pub use rs::simulate_rs;
+pub use taxonomy::{compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
+pub use perf::{ComputePerf, LayerPerf, NetworkPerf, PhaseCycles};
+pub use program::{Command, LayerProgram, Program};
+pub use workload::{ConvWork, WorkKind};
+pub use ws::simulate_ws;

@@ -1,0 +1,383 @@
+//! Multi-core accelerator configurations (§3.2 lists "multi-core
+//! configuration" among the distinguishing features of NN accelerators).
+//!
+//! Model: `cores` identical Squeezelerator cores behind one shared DRAM
+//! channel. Each layer is data-parallel across cores — spatial layers
+//! split their output rows, vector-shaped layers (FC, global pooling
+//! results) split output channels. Weights are multicast (fetched from
+//! DRAM once); activations are naturally partitioned. Compute scales
+//! until the shared DRAM channel saturates.
+
+use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
+use codesign_dnn::{Layer, Network};
+
+use crate::dram::{combine_cycles, simd_traffic};
+use crate::engine::{simulate_conv, SimOptions};
+use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
+use crate::simd::simulate_simd;
+use crate::workload::ConvWork;
+
+/// A homogeneous multi-core accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreConfig {
+    /// Per-core configuration.
+    pub core: AcceleratorConfig,
+    /// Number of cores sharing the DRAM channel.
+    pub cores: usize,
+}
+
+impl MultiCoreConfig {
+    /// A single-core "multi-core" — must behave exactly like the plain
+    /// simulator.
+    pub fn single(core: AcceleratorConfig) -> Self {
+        Self { core, cores: 1 }
+    }
+}
+
+/// Splits a layer's workload into the slice one core processes.
+///
+/// Spatial layers split output rows; vector layers (`out_h == 1`) split
+/// output channels. Returns `None` when there are more cores than units
+/// of work (the extra cores idle and the largest slice is returned by
+/// [`core_slice`]'s caller anyway).
+fn core_slice(work: &ConvWork, cores: usize) -> ConvWork {
+    let mut slice = *work;
+    if work.out_h > 1 {
+        slice.out_h = work.out_h.div_ceil(cores).max(1);
+        // The input rows a core needs shrink accordingly; keep in_h
+        // consistent for tiling (halo included).
+        slice.in_h = (slice.out_h - 1) * work.stride + work.kernel_h;
+    } else {
+        slice.out_channels = work.out_channels.div_ceil(cores).max(1);
+    }
+    slice
+}
+
+fn simulate_layer_multicore(
+    layer: &Layer,
+    mc: &MultiCoreConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> LayerPerf {
+    let cfg = &mc.core;
+    match ConvWork::from_layer(layer) {
+        Some(work) => {
+            // The slowest (largest) slice gates the layer.
+            let slice = core_slice(&work, mc.cores);
+            let slice_perf = simulate_conv(&slice, cfg, opts, dataflow);
+            // Aggregate access counts: every core does its share; scale
+            // the slice's counts by the core count (upper bound — the
+            // last core's slice may be smaller).
+            let mut compute = ComputePerf {
+                phases: slice_perf.phases,
+                executed_macs: slice_perf.executed_macs * mc.cores as u64,
+                accesses: codesign_arch::AccessCounts {
+                    macs: slice_perf.accesses.macs * mc.cores as u64,
+                    register_file: slice_perf.accesses.register_file * mc.cores as u64,
+                    inter_pe: slice_perf.accesses.inter_pe * mc.cores as u64,
+                    global_buffer: slice_perf.accesses.global_buffer * mc.cores as u64,
+                    dram: 0,
+                },
+            };
+            // Shared DRAM: weights once (multicast), activations split.
+            let traffic = opts.layer_traffic(&work, cfg);
+            let dram_bytes = traffic.total();
+            let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
+            let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
+            compute.accesses.dram = dram_bytes / cfg.bytes_per_element() as u64;
+            let pes = cfg.pe_count() * mc.cores;
+            let utilization = if total_cycles == 0 {
+                0.0
+            } else {
+                compute.executed_macs as f64 / (total_cycles as f64 * pes as f64)
+            };
+            LayerPerf {
+                name: layer.name.clone(),
+                dataflow: Some(dataflow),
+                compute,
+                dram_bytes,
+                dram_cycles,
+                total_cycles,
+                utilization,
+            }
+        }
+        None => {
+            // SIMD path: split evenly too.
+            let compute = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+            let traffic =
+                simd_traffic(layer.input.elements() as u64, layer.output.elements() as u64, cfg);
+            let mut compute = compute;
+            compute.phases.compute = compute.phases.compute.div_ceil(mc.cores as u64);
+            let dram_bytes = traffic.total();
+            let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
+            let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
+            compute.accesses.dram = dram_bytes / cfg.bytes_per_element() as u64;
+            LayerPerf {
+                name: layer.name.clone(),
+                dataflow: None,
+                compute,
+                dram_bytes,
+                dram_cycles,
+                total_cycles,
+                utilization: 0.0,
+            }
+        }
+    }
+}
+
+/// Simulates a network on a multi-core accelerator.
+pub fn simulate_network_multicore(
+    network: &Network,
+    mc: &MultiCoreConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> NetworkPerf {
+    let layers = network
+        .layers()
+        .iter()
+        .map(|layer| match policy {
+            DataflowPolicy::Fixed(d) => simulate_layer_multicore(layer, mc, opts, d),
+            DataflowPolicy::PerLayer => {
+                let ws = simulate_layer_multicore(layer, mc, opts, Dataflow::WeightStationary);
+                let os = simulate_layer_multicore(layer, mc, opts, Dataflow::OutputStationary);
+                if os.total_cycles < ws.total_cycles {
+                    os
+                } else {
+                    ws
+                }
+            }
+        })
+        .collect();
+    NetworkPerf { name: network.name().to_owned(), layers }
+}
+
+/// Result of the branch-parallel schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchParallelResult {
+    /// Network name.
+    pub network: String,
+    /// Makespan in cycles.
+    pub makespan: u64,
+    /// Sum of layer durations (the single-core serial time).
+    pub serial_cycles: u64,
+    /// Layers that ran concurrently with at least one other layer.
+    pub overlapped_layers: usize,
+}
+
+impl BranchParallelResult {
+    /// Serial time over makespan (1.0 = no inter-layer parallelism found).
+    pub fn speedup(&self) -> f64 {
+        self.serial_cycles as f64 / self.makespan as f64
+    }
+}
+
+/// Schedules whole layers across cores, exploiting **inter-layer**
+/// parallelism: independent branches (fire expands, residual shortcuts)
+/// run on different cores concurrently. Each layer runs on one core with
+/// its single-core duration; dependencies follow the IR's
+/// `primary_input`/`extra_input` edges; DRAM contention between
+/// concurrent layers is not modeled (documented optimism — the
+/// data-parallel split in [`simulate_network_multicore`] is the
+/// conservative counterpart).
+pub fn schedule_branch_parallel(
+    network: &Network,
+    mc: &MultiCoreConfig,
+    opts: SimOptions,
+) -> BranchParallelResult {
+    use std::collections::HashMap;
+
+    let cfg = &mc.core;
+    // Single-core duration and ready-time bookkeeping per layer.
+    let durations: Vec<u64> = network
+        .layers()
+        .iter()
+        .map(|layer| {
+            let ws = crate::engine::simulate_layer(
+                layer,
+                cfg,
+                opts,
+                Dataflow::WeightStationary,
+            );
+            let os = crate::engine::simulate_layer(
+                layer,
+                cfg,
+                opts,
+                Dataflow::OutputStationary,
+            );
+            ws.total_cycles.min(os.total_cycles)
+        })
+        .collect();
+
+    let mut finish: HashMap<&str, u64> = HashMap::new();
+    let mut cores = vec![0u64; mc.cores.max(1)];
+    let mut overlapped = 0usize;
+    let mut makespan = 0u64;
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
+    for (layer, &dur) in network.layers().iter().zip(&durations) {
+        let dep = |name: &Option<String>| {
+            name.as_deref().and_then(|n| finish.get(n)).copied().unwrap_or(0)
+        };
+        let ready = dep(&layer.primary_input).max(dep(&layer.extra_input));
+        // Earliest-available core.
+        let core = cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = ready.max(cores[core]);
+        let end = start + dur;
+        cores[core] = end;
+        finish.insert(&layer.name, end);
+        if intervals.iter().any(|&(s, e)| start < e && s < end) {
+            overlapped += 1;
+        }
+        intervals.push((start, end));
+        makespan = makespan.max(end);
+    }
+    BranchParallelResult {
+        network: network.name().to_owned(),
+        makespan,
+        serial_cycles: durations.iter().sum(),
+        overlapped_layers: overlapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_network;
+    use codesign_dnn::zoo;
+
+    fn opts() -> SimOptions {
+        SimOptions::paper_default()
+    }
+
+    #[test]
+    fn single_core_matches_the_plain_simulator() {
+        let cfg = AcceleratorConfig::paper_default();
+        let mc = MultiCoreConfig::single(cfg.clone());
+        let net = zoo::squeezenet_v1_1();
+        let plain = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts());
+        let multi = simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, opts());
+        assert_eq!(plain.total_cycles(), multi.total_cycles());
+    }
+
+    #[test]
+    fn more_cores_never_slow_inference_down() {
+        let cfg = AcceleratorConfig::paper_default();
+        let net = zoo::squeezenet_v1_0();
+        let mut last = u64::MAX;
+        for cores in [1, 2, 4] {
+            let mc = MultiCoreConfig { core: cfg.clone(), cores };
+            let cycles = simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, opts())
+                .total_cycles();
+            assert!(cycles <= last, "{cores} cores: {cycles} > {last}");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn scaling_saturates_at_the_dram_wall() {
+        // AlexNet's FC layers are weight-movement bound: 4 cores barely
+        // help the whole network compared to a compute-bound one.
+        let cfg = AcceleratorConfig::paper_default();
+        let mc4 = MultiCoreConfig { core: cfg.clone(), cores: 4 };
+        let speedup = |net: &codesign_dnn::Network| {
+            let one = simulate_network(net, &cfg, DataflowPolicy::PerLayer, opts()).total_cycles();
+            let four = simulate_network_multicore(net, &mc4, DataflowPolicy::PerLayer, opts())
+                .total_cycles();
+            one as f64 / four as f64
+        };
+        let alex = speedup(&zoo::alexnet());
+        let tiny = speedup(&zoo::tiny_darknet());
+        assert!(tiny > alex, "compute-bound {tiny:.2} vs dram-bound {alex:.2}");
+        assert!(alex < 2.0, "AlexNet cannot scale past the DRAM wall: {alex:.2}");
+    }
+
+    #[test]
+    fn branch_parallel_matches_serial_on_one_core() {
+        let cfg = AcceleratorConfig::paper_default();
+        let mc = MultiCoreConfig::single(cfg.clone());
+        let net = zoo::squeezenet_v1_1();
+        let r = schedule_branch_parallel(&net, &mc, opts());
+        assert_eq!(r.makespan, r.serial_cycles);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fire_branches_overlap_on_two_cores() {
+        let cfg = AcceleratorConfig::paper_default();
+        let mc = MultiCoreConfig { core: cfg.clone(), cores: 2 };
+        let net = zoo::squeezenet_v1_0();
+        let r = schedule_branch_parallel(&net, &mc, opts());
+        // expand1x1 runs beside expand3x3 / shortcut work.
+        assert!(r.overlapped_layers > 4, "overlapped = {}", r.overlapped_layers);
+        assert!(r.makespan < r.serial_cycles);
+        assert!(r.speedup() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn linear_chains_cannot_overlap() {
+        // Tiny Darknet is a pure chain: extra cores buy nothing at the
+        // layer granularity.
+        let cfg = AcceleratorConfig::paper_default();
+        let mc = MultiCoreConfig { core: cfg.clone(), cores: 4 };
+        let r = schedule_branch_parallel(&zoo::tiny_darknet(), &mc, opts());
+        assert_eq!(r.overlapped_layers, 0);
+        assert_eq!(r.makespan, r.serial_cycles);
+    }
+
+    #[test]
+    fn branch_parallelism_is_modest_next_to_data_parallelism() {
+        // The fire expands are unbalanced (3x3 dominates), so inter-layer
+        // parallelism saves far less than splitting each layer spatially.
+        let cfg = AcceleratorConfig::paper_default();
+        let mc = MultiCoreConfig { core: cfg.clone(), cores: 2 };
+        let net = zoo::squeezenet_v1_0();
+        let branch = schedule_branch_parallel(&net, &mc, opts()).makespan;
+        let data =
+            simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, opts()).total_cycles();
+        assert!(data < branch, "data-parallel {data} should beat branch-parallel {branch}");
+    }
+
+    #[test]
+    fn vector_layers_split_channels() {
+        let work = ConvWork {
+            kind: crate::workload::WorkKind::FullyConnected,
+            groups: 1,
+            in_channels: 1024,
+            out_channels: 1000,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        let slice = core_slice(&work, 4);
+        assert_eq!(slice.out_channels, 250);
+        assert_eq!(slice.out_h, 1);
+    }
+
+    #[test]
+    fn spatial_layers_split_rows_with_halo() {
+        let work = ConvWork {
+            kind: crate::workload::WorkKind::Dense,
+            groups: 1,
+            in_channels: 16,
+            out_channels: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            in_h: 57,
+            in_w: 57,
+            out_h: 28,
+            out_w: 28,
+        };
+        let slice = core_slice(&work, 4);
+        assert_eq!(slice.out_h, 7);
+        assert_eq!(slice.in_h, 6 * 2 + 3);
+    }
+}

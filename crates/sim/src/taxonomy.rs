@@ -1,0 +1,216 @@
+//! The full §3.2 dataflow taxonomy, side by side.
+//!
+//! The paper's Squeezelerator chooses between **two** dataflows (WS, OS).
+//! The taxonomy it cites has four — WS, OS, RS, NLR. This module
+//! evaluates all four per layer and asks the design question the paper
+//! leaves open: how much would a hybrid that also offered RS and NLR
+//! gain over the shipped two-dataflow hybrid? (Answer, reproduced by the
+//! report's T3 table: nothing at all on SqueezeNet v1.0 — the network
+//! the accelerator was designed for — and ≤ 5 % on the SqueezeNet/
+//! SqueezeNext family, evidence *for* the paper's choice to build only
+//! two. RS would matter (~16 %) for depthwise-heavy MobileNet and for
+//! AlexNet's mid-size dense stacks.)
+
+use std::fmt;
+
+use codesign_arch::AcceleratorConfig;
+use codesign_dnn::{Layer, Network};
+
+use crate::dram::combine_cycles;
+use crate::engine::SimOptions;
+use crate::nlr::simulate_nlr;
+use crate::os::simulate_os;
+use crate::perf::ComputePerf;
+use crate::rs::simulate_rs;
+use crate::simd::simulate_simd;
+use crate::workload::ConvWork;
+use crate::ws::simulate_ws;
+
+/// All four taxonomy dataflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaxonomyDataflow {
+    /// Weight stationary.
+    Ws,
+    /// Output stationary.
+    Os,
+    /// Row stationary (Eyeriss).
+    Rs,
+    /// No local reuse (DianNao).
+    Nlr,
+}
+
+impl TaxonomyDataflow {
+    /// All four, in §3.2's order.
+    pub const ALL: [TaxonomyDataflow; 4] =
+        [TaxonomyDataflow::Ws, TaxonomyDataflow::Os, TaxonomyDataflow::Rs, TaxonomyDataflow::Nlr];
+
+    /// Report tag.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            TaxonomyDataflow::Ws => "WS",
+            TaxonomyDataflow::Os => "OS",
+            TaxonomyDataflow::Rs => "RS",
+            TaxonomyDataflow::Nlr => "NLR",
+        }
+    }
+}
+
+impl fmt::Display for TaxonomyDataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+fn layer_cycles(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: TaxonomyDataflow,
+) -> u64 {
+    let compute: ComputePerf = match ConvWork::from_layer(layer) {
+        Some(work) => {
+            let perf = match dataflow {
+                TaxonomyDataflow::Ws => simulate_ws(&work, cfg),
+                TaxonomyDataflow::Os => simulate_os(&work, cfg, opts.os),
+                TaxonomyDataflow::Rs => simulate_rs(&work, cfg),
+                TaxonomyDataflow::Nlr => simulate_nlr(&work, cfg),
+            };
+            let traffic = opts.layer_traffic(&work, cfg);
+            return combine_cycles(perf.cycles(), cfg.dram().transfer_cycles(traffic.total()), cfg);
+        }
+        None => simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path"),
+    };
+    let bytes =
+        (layer.input.elements() + layer.output.elements()) as u64 * cfg.bytes_per_element() as u64;
+    combine_cycles(compute.cycles(), cfg.dram().transfer_cycles(bytes), cfg)
+}
+
+/// Whole-network cycles under each fixed dataflow plus the two- and
+/// four-way per-layer hybrids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyComparison {
+    /// Network name.
+    pub network: String,
+    /// Total cycles per fixed dataflow, indexed like
+    /// [`TaxonomyDataflow::ALL`].
+    pub fixed: [u64; 4],
+    /// The paper's hybrid: per-layer min(WS, OS).
+    pub hybrid2: u64,
+    /// The hypothetical four-way hybrid: per-layer min over all four.
+    pub hybrid4: u64,
+    /// How many layers the four-way hybrid schedules differently
+    /// (i.e. picks RS or NLR).
+    pub extra_choices: usize,
+}
+
+impl TaxonomyComparison {
+    /// Total cycles under one fixed dataflow.
+    pub fn fixed_cycles(&self, d: TaxonomyDataflow) -> u64 {
+        let idx = TaxonomyDataflow::ALL.iter().position(|x| *x == d).expect("d in ALL");
+        self.fixed[idx]
+    }
+
+    /// Speedup of the four-way hybrid over the paper's two-way hybrid.
+    pub fn hybrid4_gain(&self) -> f64 {
+        self.hybrid2 as f64 / self.hybrid4 as f64
+    }
+}
+
+/// Evaluates the full taxonomy for one network.
+pub fn compare_taxonomy(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+) -> TaxonomyComparison {
+    let mut fixed = [0u64; 4];
+    let mut hybrid2 = 0u64;
+    let mut hybrid4 = 0u64;
+    let mut extra_choices = 0usize;
+    for layer in network.layers() {
+        let per: Vec<u64> = TaxonomyDataflow::ALL
+            .iter()
+            .map(|d| layer_cycles(layer, cfg, opts, *d))
+            .collect();
+        for (f, c) in fixed.iter_mut().zip(&per) {
+            *f += c;
+        }
+        let two = per[0].min(per[1]);
+        let four = *per.iter().min().expect("four dataflows");
+        hybrid2 += two;
+        hybrid4 += four;
+        if layer.is_compute() && four < two {
+            extra_choices += 1;
+        }
+    }
+    TaxonomyComparison {
+        network: network.name().to_owned(),
+        fixed,
+        hybrid2,
+        hybrid4,
+        extra_choices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::zoo;
+
+    fn setup() -> (AcceleratorConfig, SimOptions) {
+        (AcceleratorConfig::paper_default(), SimOptions::paper_default())
+    }
+
+    #[test]
+    fn hybrids_dominate_fixed_dataflows() {
+        let (cfg, opts) = setup();
+        for net in zoo::table_networks() {
+            let t = compare_taxonomy(&net, &cfg, opts);
+            for d in TaxonomyDataflow::ALL {
+                assert!(t.hybrid4 <= t.fixed_cycles(d), "{} vs {d}", net.name());
+            }
+            assert!(t.hybrid4 <= t.hybrid2, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn two_dataflows_capture_most_of_the_benefit() {
+        // The design question: what would adding RS and NLR buy?
+        // Nothing on SqueezeNet v1.0 (the design target), <= 6% on the
+        // rest of the SqueezeNet/SqueezeNext family — supporting the
+        // two-dataflow design point. Depthwise-heavy MobileNet and
+        // AlexNet's mid-size dense stacks would gain ~16% from RS.
+        let (cfg, opts) = setup();
+        for net in zoo::table_networks() {
+            let t = compare_taxonomy(&net, &cfg, opts);
+            let gain = t.hybrid4_gain();
+            let bound = match net.name() {
+                "SqueezeNet v1.0" => 1.001,
+                "AlexNet" | "1.00-MobileNet-224" => 1.30,
+                _ => 1.06,
+            };
+            assert!(
+                (1.0..bound).contains(&gain),
+                "{}: hybrid4 gain {gain:.3}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nlr_starves_the_paper_array() {
+        let (cfg, opts) = setup();
+        let t = compare_taxonomy(&zoo::squeezenet_v1_0(), &cfg, opts);
+        // NLR's port-bound supply makes it the worst fixed choice here.
+        for d in [TaxonomyDataflow::Ws, TaxonomyDataflow::Os] {
+            assert!(t.fixed_cycles(TaxonomyDataflow::Nlr) > t.fixed_cycles(d), "{d}");
+        }
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(
+            TaxonomyDataflow::ALL.map(|d| d.tag()),
+            ["WS", "OS", "RS", "NLR"]
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Analytic weight-stationary (WS) dataflow model.
+//!
+//! Mapping (§3.2/§4.1.2 of the paper, TPU-style): PE rows hold input
+//! channels, PE columns hold output channels. An `rt × ct` weight tile is
+//! preloaded one row per cycle, then the stream buffer broadcasts one
+//! pixel from each of the `rt` input channels per cycle while per-column
+//! adder chains reduce the products; this repeats for every output pixel,
+//! every filter tap, and every `(row-tile, column-tile)` pair.
+//!
+//! Consequences the paper leans on, all reproduced by this model:
+//!
+//! * `1×1` layers stream at full array utilization — WS's best case;
+//! * the first conv layer has only 3 input channels, so only 3 of N rows
+//!   are ever active;
+//! * depthwise convolutions present a diagonal weight matrix, which the
+//!   ("naive WS") array executes as a dense `C × C` matrix of mostly
+//!   zeros;
+//! * weight zeros cannot be skipped — the weights are resident, and the
+//!   streaming schedule is oblivious to their values.
+
+use codesign_arch::{AcceleratorConfig, AccessCounts};
+
+use crate::perf::{ComputePerf, PhaseCycles};
+use crate::workload::{split, ConvWork, WorkKind};
+
+/// Simulates one layer's MAC work under the WS dataflow.
+///
+/// Weight sparsity is intentionally ignored (WS cannot exploit it).
+pub fn simulate_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> ComputePerf {
+    let n = cfg.array_size();
+    let out_plane = work.out_plane() as u64;
+    let taps = work.taps() as u64;
+
+    // The WS array maps (input channel x output channel); depthwise
+    // weight matrices are diagonal but the naive reference architecture
+    // executes them densely.
+    let rows_total = work.in_channels;
+    let cols_total = work.out_channels;
+
+    let row_tiles = split(rows_total, n);
+    let col_tiles = split(cols_total, n);
+
+    let mut load = 0u64;
+    let mut stream = 0u64;
+    let mut useful_macs = 0u64;
+    let mut acc = AccessCounts::zero();
+
+    for _group in 0..work.groups {
+        for &ct in &col_tiles {
+            // Partial sums for this column tile's output channels
+            // accumulate in the global buffer across row tiles and taps;
+            // the very first contribution is a pure write.
+            let mut first_accumulation = true;
+            for &rt in &row_tiles {
+                for _tap in 0..taps {
+                    let (rt, ct) = (rt as u64, ct as u64);
+                    // Preload the weight tile, one row per cycle.
+                    load += rt;
+                    acc.global_buffer += rt * ct; // weight reads
+                    // Stream every output pixel position.
+                    stream += out_plane;
+                    acc.global_buffer += out_plane * rt; // input reads
+                    // Each streamed cycle drives rt*ct PEs.
+                    acc.register_file += out_plane * rt * ct; // weight read per MAC
+                    acc.inter_pe += out_plane * rt // input injection
+                        + out_plane * rt * ct; // adder-chain hops
+                    // Partial sums accumulate in the global buffer across
+                    // row tiles and taps.
+                    acc.global_buffer += out_plane * ct; // psum write
+                    if !first_accumulation {
+                        acc.global_buffer += out_plane * ct; // psum read-modify
+                    }
+                    first_accumulation = false;
+                }
+            }
+        }
+    }
+
+    // Useful MACs: dense layers use the whole tile; depthwise only the
+    // diagonal (one input channel per output channel).
+    useful_macs += match work.kind {
+        WorkKind::Depthwise => out_plane * taps * work.in_channels as u64,
+        _ => out_plane * taps * (work.in_channels * work.out_channels * work.groups) as u64,
+    };
+    acc.macs = useful_macs;
+
+    // A depthwise weight matrix is diagonal: the dense schedule still
+    // burns the cycles, but PEs holding zero weights neither switch their
+    // multipliers nor move data, so the energy-relevant access counts are
+    // those of the useful diagonal (inputs must still stream fully).
+    if work.kind == WorkKind::Depthwise {
+        let c = work.in_channels as u64;
+        acc.register_file = useful_macs;
+        acc.inter_pe = 2 * useful_macs;
+        acc.global_buffer = c * taps // diagonal weights
+            + out_plane * c * taps // streamed inputs
+            + 2 * out_plane * c * taps; // partial-sum traffic
+    }
+
+    ComputePerf {
+        phases: PhaseCycles { load, compute: stream, drain: 0 },
+        executed_macs: useful_macs,
+        accesses: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper_default()
+    }
+
+    fn dense(c: usize, k: usize, f: usize, oh: usize, ow: usize) -> ConvWork {
+        ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: c,
+            out_channels: k,
+            kernel_h: f,
+            kernel_w: f,
+            stride: 1,
+            in_h: oh + f - 1,
+            in_w: ow + f - 1,
+            out_h: oh,
+            out_w: ow,
+        }
+    }
+
+    #[test]
+    fn pointwise_single_tile_cycle_count() {
+        // C=32, K=32 fits one tile: preload 32 + stream OHW.
+        let w = dense(32, 32, 1, 55, 55);
+        let p = simulate_ws(&w, &cfg());
+        assert_eq!(p.phases.load, 32);
+        assert_eq!(p.phases.compute, 55 * 55);
+        assert_eq!(p.executed_macs, w.macs());
+        // Full array active while streaming: utilization just under 1.
+        let util = p.utilization(1024);
+        assert!(util > 0.95, "util = {util}");
+    }
+
+    #[test]
+    fn multi_tile_scales_linearly() {
+        let small = simulate_ws(&dense(32, 32, 1, 13, 13), &cfg());
+        let big = simulate_ws(&dense(64, 64, 1, 13, 13), &cfg());
+        // 2x2 tiles: 4x the passes.
+        assert_eq!(big.phases.compute, 4 * small.phases.compute);
+        assert_eq!(big.executed_macs, 4 * small.executed_macs);
+    }
+
+    #[test]
+    fn first_conv_rows_limited() {
+        // SqueezeNet conv1 shape: C=3 limits active rows to 3/32.
+        let w = ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: 3,
+            out_channels: 96,
+            kernel_h: 7,
+            kernel_w: 7,
+            stride: 2,
+            in_h: 227,
+            in_w: 227,
+            out_h: 111,
+            out_w: 111,
+        };
+        let p = simulate_ws(&w, &cfg());
+        let util = p.utilization(1024);
+        assert!(util < 0.12, "conv1 WS utilization should be poor, got {util}");
+        assert_eq!(p.executed_macs, w.macs());
+    }
+
+    #[test]
+    fn depthwise_is_dense_cycles_sparse_utility() {
+        let w = ConvWork {
+            kind: WorkKind::Depthwise,
+            groups: 1,
+            in_channels: 64,
+            out_channels: 64,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 58,
+            in_w: 58,
+            out_h: 56,
+            out_w: 56,
+        };
+        let p = simulate_ws(&w, &cfg());
+        // Cycles are those of a dense 64x64 map (2x2 tiles)...
+        let dense_equiv = simulate_ws(&dense(64, 64, 3, 56, 56), &cfg());
+        assert_eq!(p.cycles(), dense_equiv.cycles());
+        // ...but only the diagonal MACs are useful.
+        assert_eq!(p.executed_macs, (56 * 56 * 9 * 64) as u64);
+        assert!(p.utilization(1024) < 0.04);
+    }
+
+    #[test]
+    fn fc_is_one_pixel_stream() {
+        let w = ConvWork {
+            kind: WorkKind::FullyConnected,
+            groups: 1,
+            in_channels: 256,
+            out_channels: 128,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        let p = simulate_ws(&w, &cfg());
+        // 8 row tiles x 4 col tiles, each: preload 32 + stream 1.
+        assert_eq!(p.phases.load, 8 * 4 * 32);
+        assert_eq!(p.phases.compute, 8 * 4);
+        assert_eq!(p.executed_macs, 256 * 128);
+    }
+
+    #[test]
+    fn grouped_conv_repeats_groups() {
+        let mut w = dense(8, 8, 3, 13, 13);
+        w.groups = 2;
+        let single = simulate_ws(&dense(8, 8, 3, 13, 13), &cfg());
+        let grouped = simulate_ws(&w, &cfg());
+        assert_eq!(grouped.cycles(), 2 * single.cycles());
+        assert_eq!(grouped.executed_macs, 2 * single.executed_macs);
+    }
+
+    #[test]
+    fn access_counts_are_consistent() {
+        let w = dense(32, 32, 3, 14, 14);
+        let p = simulate_ws(&w, &cfg());
+        assert_eq!(p.accesses.macs, p.executed_macs);
+        // One RF (weight) access per MAC in a dense layer.
+        assert_eq!(p.accesses.register_file, p.executed_macs);
+        assert!(p.accesses.global_buffer > 0);
+        assert_eq!(p.phases.drain, 0);
+    }
+}

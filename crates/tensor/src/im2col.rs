@@ -1,0 +1,167 @@
+//! im2col + GEMM convolution — an independent second implementation used
+//! to cross-check the reference loop nest (and by property tests).
+
+use codesign_dnn::{ConvSpec, Shape};
+
+use crate::ops::{clamp_acc, ShapeMismatchError};
+use crate::tensor::{Filters, Tensor};
+
+/// Lowers the (per-group) input patches of a convolution into a
+/// column-major matrix: one row per `(channel, dy, dx)` tap, one column
+/// per output pixel.
+///
+/// Returned matrix is `rows × cols` in row-major order with
+/// `rows = cg * kh * kw`, `cols = oh * ow`.
+pub fn im2col(
+    input: &Tensor,
+    spec: &ConvSpec,
+    group: usize,
+    out_shape: Shape,
+) -> Vec<i32> {
+    let cg = input.shape().channels / spec.groups;
+    let (kh, kw) = (spec.kernel.height, spec.kernel.width);
+    let cols = out_shape.plane();
+    let mut m = vec![0i32; cg * kh * kw * cols];
+    let mut row = 0;
+    for c in 0..cg {
+        let ic = group * cg + c;
+        for dy in 0..kh {
+            for dx in 0..kw {
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        let iy = (oy * spec.stride + dy) as isize - spec.pad_h as isize;
+                        let ix = (ox * spec.stride + dx) as isize - spec.pad_w as isize;
+                        m[row * cols + oy * out_shape.width + ox] = input.at_padded(ic, iy, ix);
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    m
+}
+
+/// Grouped convolution implemented as im2col followed by a weight × patch
+/// matrix product. Produces exactly the same result as
+/// [`crate::ops::conv2d`].
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`crate::ops::conv2d`].
+pub fn conv2d_im2col(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+) -> Result<Tensor, ShapeMismatchError> {
+    let in_shape = input.shape();
+    if spec.groups == 0
+        || !in_shape.channels.is_multiple_of(spec.groups)
+        || !spec.out_channels.is_multiple_of(spec.groups)
+    {
+        return Err(ShapeMismatchError::new("conv2d_im2col", "invalid group count"));
+    }
+    let cg = in_shape.channels / spec.groups;
+    let kg = spec.out_channels / spec.groups;
+    if filters.in_channels() != cg
+        || filters.out_channels() != spec.out_channels
+        || filters.kernel_height() != spec.kernel.height
+        || filters.kernel_width() != spec.kernel.width
+    {
+        return Err(ShapeMismatchError::new("conv2d_im2col", "filter bank does not match spec"));
+    }
+    let out_shape =
+        codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
+            .ok_or_else(|| ShapeMismatchError::new("conv2d_im2col", "spec does not fit input"))?;
+
+    let (kh, kw) = (spec.kernel.height, spec.kernel.width);
+    let rows = cg * kh * kw;
+    let cols = out_shape.plane();
+    let mut out = Tensor::zeros(out_shape);
+    for group in 0..spec.groups {
+        let patches = im2col(input, spec, group, out_shape);
+        for kk in 0..kg {
+            let k = group * kg + kk;
+            // Flatten the filter in the same (c, dy, dx) row order.
+            let mut wrow = Vec::with_capacity(rows);
+            for c in 0..cg {
+                for dy in 0..kh {
+                    for dx in 0..kw {
+                        wrow.push(filters.tap(k, c, dy, dx));
+                    }
+                }
+            }
+            for col in 0..cols {
+                let mut acc: i64 = 0;
+                for (r, &w) in wrow.iter().enumerate() {
+                    acc += w as i64 * patches[r * cols + col] as i64;
+                }
+                let oy = col / out_shape.width;
+                let ox = col % out_shape.width;
+                *out.at_mut(k, oy, ox) = clamp_acc(acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d;
+    use codesign_dnn::Kernel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_case(rng: &mut StdRng) -> (Tensor, Filters, ConvSpec) {
+        let groups = *[1usize, 1, 2].iter().collect::<Vec<_>>()[rng.gen_range(0..3)];
+        let cg = rng.gen_range(1..=4);
+        let cin = cg * groups;
+        let kg = rng.gen_range(1..=4);
+        let cout = kg * groups;
+        let k = [1, 3, 5][rng.gen_range(0..3)];
+        let stride = rng.gen_range(1..=2);
+        let pad = rng.gen_range(0..=k / 2);
+        let h = rng.gen_range(k..k + 6);
+        let w = rng.gen_range(k..k + 6);
+        let input = Tensor::random(Shape::new(cin, h, w), 64, rng);
+        let filters = Filters::random(cout, cg, k, k, 16, 0.3, rng);
+        let spec = ConvSpec {
+            out_channels: cout,
+            kernel: Kernel::square(k),
+            stride,
+            pad_h: pad,
+            pad_w: pad,
+            groups,
+        };
+        (input, filters, spec)
+    }
+
+    #[test]
+    fn matches_reference_on_random_cases() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let a = conv2d(&input, &filters, &spec).unwrap();
+            let b = conv2d_im2col(&input, &filters, &spec).unwrap();
+            assert_eq!(a, b, "mismatch for spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn im2col_patch_layout() {
+        // 1 channel 3x3 input, 2x2 kernel, stride 1, no pad -> 2x2 output.
+        let input = Tensor::from_fn(Shape::new(1, 3, 3), |_, y, x| (y * 3 + x) as i32);
+        let spec = ConvSpec {
+            out_channels: 1,
+            kernel: Kernel::square(2),
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+        };
+        let m = im2col(&input, &spec, 0, Shape::new(1, 2, 2));
+        // Rows: taps (0,0),(0,1),(1,0),(1,1); cols: outputs (0,0),(0,1),(1,0),(1,1).
+        assert_eq!(m, vec![0, 1, 3, 4, 1, 2, 4, 5, 3, 4, 6, 7, 4, 5, 7, 8]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests on the functional substrate: the reference
+//! convolution must satisfy the algebraic laws of a convolution, and the
+//! two independent implementations must always agree.
+
+use codesign_dnn::{ConvSpec, Kernel, Shape};
+use codesign_tensor::{conv2d_im2col, Filters, Tensor};
+use proptest::prelude::*;
+
+/// A random well-formed (input, filters, spec) triple.
+fn conv_case() -> impl Strategy<Value = (Tensor, Filters, ConvSpec)> {
+    (
+        1usize..=3,       // groups
+        1usize..=3,       // channels per group
+        1usize..=4,       // filters per group
+        prop_oneof![Just((1usize, 1usize)), Just((3, 3)), Just((1, 3)), Just((3, 1)), Just((5, 5))],
+        1usize..=2,       // stride
+        0usize..=2,       // pad
+        0usize..=5,       // extra spatial size
+        any::<u64>(),     // data seed
+    )
+        .prop_map(|(groups, cg, kg, (kh, kw), stride, pad, extra, seed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cin = groups * cg;
+            let cout = groups * kg;
+            let h = kh.max(kw) + extra;
+            let w = kh.max(kw) + extra;
+            let input = Tensor::random(Shape::new(cin, h, w), 64, &mut rng);
+            let filters = Filters::random(cout, cg, kh, kw, 16, 0.4, &mut rng);
+            let spec = ConvSpec {
+                out_channels: cout,
+                kernel: Kernel::new(kh, kw),
+                stride,
+                pad_h: pad.min(kh / 2 + 1),
+                pad_w: pad.min(kw / 2 + 1),
+                groups,
+            };
+            (input, filters, spec)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The loop-nest and im2col implementations agree exactly.
+    #[test]
+    fn conv_implementations_agree((input, filters, spec) in conv_case()) {
+        let a = codesign_tensor::ops::conv2d(&input, &filters, &spec).unwrap();
+        let b = conv2d_im2col(&input, &filters, &spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Convolution is linear in the input: conv(x + y) == conv(x) + conv(y).
+    #[test]
+    fn conv_is_linear_in_input((input, filters, spec) in conv_case(), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let other = Tensor::random(input.shape(), 64, &mut rng);
+        let sum = codesign_tensor::ops::eltwise_add(&input, &other).unwrap();
+
+        let conv = |t: &Tensor| codesign_tensor::ops::conv2d(t, &filters, &spec).unwrap();
+        let lhs = conv(&sum);
+        let rhs = codesign_tensor::ops::eltwise_add(&conv(&input), &conv(&other)).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Zero input produces zero output; zero filters produce zero output.
+    #[test]
+    fn conv_annihilates_zero((input, filters, spec) in conv_case()) {
+        let zero_in = Tensor::zeros(input.shape());
+        let out = codesign_tensor::ops::conv2d(&zero_in, &filters, &spec).unwrap();
+        prop_assert!(out.as_slice().iter().all(|&v| v == 0));
+
+        let zero_f = Filters::zeros(
+            filters.out_channels(),
+            filters.in_channels(),
+            filters.kernel_height(),
+            filters.kernel_width(),
+        );
+        let out = codesign_tensor::ops::conv2d(&input, &zero_f, &spec).unwrap();
+        prop_assert!(out.as_slice().iter().all(|&v| v == 0));
+    }
+
+    /// Scaling every filter tap by -1 negates the output.
+    #[test]
+    fn conv_negation((input, filters, spec) in conv_case()) {
+        let neg = Filters::from_fn(
+            filters.out_channels(),
+            filters.in_channels(),
+            filters.kernel_height(),
+            filters.kernel_width(),
+            |k, c, dy, dx| -filters.tap(k, c, dy, dx),
+        );
+        let pos = codesign_tensor::ops::conv2d(&input, &filters, &spec).unwrap();
+        let negated = codesign_tensor::ops::conv2d(&input, &neg, &spec).unwrap();
+        for (a, b) in pos.as_slice().iter().zip(negated.as_slice()) {
+            prop_assert_eq!(*a, -*b);
+        }
+    }
+
+    /// Output shape always matches the IR's shape inference.
+    #[test]
+    fn conv_shape_matches_ir((input, filters, spec) in conv_case()) {
+        let out = codesign_tensor::ops::conv2d(&input, &filters, &spec).unwrap();
+        let expected = codesign_dnn::layer::infer_output(
+            &codesign_dnn::LayerOp::Conv(spec),
+            input.shape(),
+        ).unwrap();
+        prop_assert_eq!(out.shape(), expected);
+    }
+
+    /// A 1x1 convolution with identity channel matrix is the identity.
+    #[test]
+    fn pointwise_identity(c in 1usize..=8, h in 1usize..=8, w in 1usize..=8, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::random(Shape::new(c, h, w), 1000, &mut rng);
+        let eye = Filters::from_fn(c, c, 1, 1, |k, cc, _, _| i32::from(k == cc));
+        let spec = ConvSpec {
+            out_channels: c,
+            kernel: Kernel::square(1),
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+        };
+        let out = codesign_tensor::ops::conv2d(&input, &eye, &spec).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    /// Max pooling dominates average pooling pointwise for same window.
+    #[test]
+    fn max_pool_dominates_avg(c in 1usize..=4, n in 2usize..=9, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::random(Shape::new(c, n, n), 100, &mut rng);
+        let k = 2usize;
+        let max = codesign_tensor::ops::max_pool(&input, k, k).unwrap();
+        let avg = codesign_tensor::ops::avg_pool(&input, k, k).unwrap();
+        // Compare on the overlapping (floor-mode) extent.
+        let s = avg.shape();
+        for cc in 0..s.channels {
+            for y in 0..s.height {
+                for x in 0..s.width {
+                    prop_assert!(max.at(cc, y, x) >= avg.at(cc, y, x));
+                }
+            }
+        }
+    }
+}

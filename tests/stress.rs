@@ -1,0 +1,146 @@
+//! Stress and failure-injection tests: extreme configurations, degenerate
+//! networks, and hostile inputs must degrade gracefully, never panic or
+//! produce nonsense.
+
+use codesign::arch::{AcceleratorConfig, Dataflow, DataflowPolicy, DramModel, EnergyModel};
+use codesign::dnn::{parse_network, zoo, NetworkBuilder, Shape};
+use codesign::sim::{simulate_network, simulate_network_event, SimOptions};
+
+fn opts() -> SimOptions {
+    SimOptions::paper_default()
+}
+
+#[test]
+fn tiny_array_tiny_buffer_still_simulates() {
+    let cfg = AcceleratorConfig::builder()
+        .array_size(2)
+        .rf_depth(1)
+        .global_buffer_bytes(64)
+        .build()
+        .unwrap();
+    let net = zoo::squeezenet_v1_1();
+    for policy in [
+        DataflowPolicy::PerLayer,
+        DataflowPolicy::Fixed(Dataflow::WeightStationary),
+        DataflowPolicy::Fixed(Dataflow::OutputStationary),
+    ] {
+        let perf = simulate_network(&net, &cfg, policy, opts());
+        assert!(perf.total_cycles() > 0);
+        for l in &perf.layers {
+            assert!((0.0..=1.0).contains(&l.utilization), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn huge_array_on_tiny_network() {
+    let cfg = AcceleratorConfig::builder()
+        .array_size(256)
+        .global_buffer_bytes(8 * 1024 * 1024)
+        .build()
+        .unwrap();
+    let net = NetworkBuilder::new("tiny", Shape::new(1, 4, 4))
+        .conv("c", 1, 1, 1, 0)
+        .finish()
+        .unwrap();
+    let perf = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts());
+    assert!(perf.total_cycles() > 0);
+    // 16 MACs on 65536 PEs: utilization is minuscule but well-formed.
+    assert!(perf.layers[0].utilization < 1e-3);
+}
+
+#[test]
+fn pathological_dram_models() {
+    let net = zoo::tiny_darknet();
+    // Glacial DRAM: everything is memory bound, nothing panics.
+    let slow = AcceleratorConfig::builder()
+        .dram(DramModel { latency_cycles: 100_000, bytes_per_cycle: 0.01 })
+        .build()
+        .unwrap();
+    let p_slow = simulate_network(&net, &slow, DataflowPolicy::PerLayer, opts());
+    // Instant DRAM: everything is compute bound.
+    let fast = AcceleratorConfig::builder()
+        .dram(DramModel { latency_cycles: 0, bytes_per_cycle: 1e12 })
+        .build()
+        .unwrap();
+    let p_fast = simulate_network(&net, &fast, DataflowPolicy::PerLayer, opts());
+    assert!(p_slow.total_cycles() > 100 * p_fast.total_cycles());
+    for l in &p_fast.layers {
+        assert_eq!(l.dram_cycles, if l.dram_bytes == 0 { 0 } else { 1 }.min(l.dram_cycles));
+    }
+}
+
+#[test]
+fn detection_scale_input_simulates_everywhere() {
+    // The SqueezeDet trunk's 18 MB activations exercise every tiling path.
+    let cfg = AcceleratorConfig::paper_default();
+    let net = zoo::squeezedet_trunk();
+    let analytic = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts());
+    let event = simulate_network_event(&net, &cfg, DataflowPolicy::PerLayer, opts());
+    assert!(analytic.total_cycles() > 0);
+    let ratio = event.total_cycles() as f64 / analytic.total_cycles() as f64;
+    assert!((0.8..1.5).contains(&ratio), "event/analytic = {ratio:.3}");
+}
+
+#[test]
+fn degenerate_networks_are_handled() {
+    // 1x1 input image.
+    let dot = NetworkBuilder::new("dot", Shape::new(8, 1, 1))
+        .pointwise_conv("pw", 4)
+        .fully_connected("fc", 2)
+        .finish()
+        .unwrap();
+    let cfg = AcceleratorConfig::paper_default();
+    let perf = simulate_network(&dot, &cfg, DataflowPolicy::PerLayer, opts());
+    assert_eq!(perf.layers.len(), 2);
+
+    // Single-channel depthwise.
+    let mono = NetworkBuilder::new("mono", Shape::new(1, 16, 16))
+        .depthwise_conv("dw", 3, 1, 1)
+        .finish()
+        .unwrap();
+    assert!(simulate_network(&mono, &cfg, DataflowPolicy::PerLayer, opts()).total_cycles() > 0);
+}
+
+#[test]
+fn hostile_model_files_error_cleanly() {
+    for text in [
+        "",
+        "network",
+        "network x 3x3",         // 2-dim shape
+        "network x 0x3x3\nconv c 1 1 s1\n", // zero channel... builder output 0? conv on 0 channels
+        &"conv c 8 3 s1\n".repeat(10_000),  // no network header, large input
+        "network x 3x8x8\nfire f 0 0 0\n",
+        "network x 3x8x8\nconv c 99999999999999999999 3 s1\n", // overflow
+    ] {
+        let result = parse_network(text);
+        assert!(result.is_err(), "should reject: {:.40}...", text);
+    }
+}
+
+#[test]
+fn energy_is_finite_under_extreme_unit_costs() {
+    let net = zoo::mobilenet_v1();
+    let cfg = AcceleratorConfig::paper_default();
+    let perf = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts());
+    let extreme = EnergyModel {
+        mac: 1e-9,
+        register_file: 1e9,
+        inter_pe: 0.0,
+        global_buffer: 1e9,
+        dram: 1e12,
+    };
+    let e = perf.total_energy(&extreme);
+    assert!(e.is_finite() && e > 0.0);
+}
+
+#[test]
+fn sixty_four_cores_saturate_not_crash() {
+    use codesign::sim::{simulate_network_multicore, MultiCoreConfig};
+    let mc = MultiCoreConfig { core: AcceleratorConfig::paper_default(), cores: 64 };
+    let net = zoo::squeezenet_v1_1();
+    let perf = simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, opts());
+    let single = simulate_network(&net, &mc.core, DataflowPolicy::PerLayer, opts());
+    assert!(perf.total_cycles() > 0);
+    assert!(perf.total_cycles() <= single.total_cycles());
+}
