@@ -31,7 +31,13 @@ pub struct AreaModel {
 impl AreaModel {
     /// The default normalized table.
     pub fn normalized_default() -> Self {
-        Self { mac: 1.0, rf_entry: 0.02, sram_byte: 0.002, dual_dataflow_per_pe: 0.08, fixed: 200.0 }
+        Self {
+            mac: 1.0,
+            rf_entry: 0.02,
+            sram_byte: 0.002,
+            dual_dataflow_per_pe: 0.08,
+            fixed: 200.0,
+        }
     }
 }
 

@@ -127,7 +127,8 @@ mod tests {
     #[test]
     fn energy_is_weighted_sum() {
         let m = EnergyModel::eyeriss_normalized();
-        let c = AccessCounts { macs: 10, register_file: 20, inter_pe: 5, global_buffer: 2, dram: 1 };
+        let c =
+            AccessCounts { macs: 10, register_file: 20, inter_pe: 5, global_buffer: 2, dram: 1 };
         assert!((c.energy(&m) - (10.0 + 20.0 + 10.0 + 12.0 + 200.0)).abs() < 1e-12);
     }
 

@@ -1,29 +1,31 @@
-//! One Criterion bench per paper artifact: measures how long each
-//! table/figure takes to regenerate (the whole workload generator +
-//! simulator + baselines pipeline behind it).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! One bench per paper artifact: measures how long each table/figure
+//! takes to regenerate (the whole workload generator + simulator +
+//! baselines pipeline behind it).
 
 use codesign_bench::experiments::{
     ablations, codesign, dse_sweep, fig1, fig3, fig4, headlines, ranges, table1, table2, Context,
 };
+use codesign_bench::stopwatch::Stopwatch;
 
-fn bench_artifacts(c: &mut Criterion) {
+fn main() {
     let ctx = Context::paper_default();
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("table1", |b| b.iter(|| table1(&ctx)));
-    g.bench_function("table2", |b| b.iter(|| table2(&ctx)));
-    g.bench_function("fig1", |b| b.iter(|| fig1(&ctx)));
-    g.bench_function("fig3", |b| b.iter(|| fig3(&ctx)));
-    g.bench_function("fig4", |b| b.iter(|| fig4(&ctx)));
-    g.bench_function("ranges_s1", |b| b.iter(|| ranges(&ctx)));
-    g.bench_function("codesign_s3", |b| b.iter(|| codesign(&ctx)));
-    g.bench_function("headlines_s3", |b| b.iter(|| headlines(&ctx)));
-    g.bench_function("dse_sweep_a1a", |b| b.iter(|| dse_sweep(&ctx)));
-    g.bench_function("ablations_a1b", |b| b.iter(|| ablations(&ctx)));
-    g.finish();
+    let g = Stopwatch::group("artifacts", 10);
+    g.bench("table1", || table1(&ctx));
+    g.bench("table2", || table2(&ctx));
+    g.bench("fig1", || fig1(&ctx));
+    g.bench("fig3", || fig3(&ctx));
+    g.bench("fig4", || fig4(&ctx));
+    g.bench("ranges_s1", || ranges(&ctx));
+    g.bench("codesign_s3", || codesign(&ctx));
+    g.bench("headlines_s3", || headlines(&ctx));
+    g.bench("dse_sweep_a1a", || dse_sweep(&ctx));
+    g.bench("ablations_a1b", || ablations(&ctx));
+    let stats = ctx.sim.stats();
+    println!(
+        "sim cache: {} hits / {} lookups ({:.1}% hit rate, {} entries)",
+        stats.hits,
+        stats.lookups(),
+        100.0 * stats.hit_rate(),
+        stats.entries
+    );
 }
-
-criterion_group!(benches, bench_artifacts);
-criterion_main!(benches);

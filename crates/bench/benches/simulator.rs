@@ -1,43 +1,43 @@
 //! Microbenchmarks of the simulator itself: per-network analytic
-//! simulation, per-layer dataflow comparison, the cycle-stepped machine,
-//! and the functional dataflow executors.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! simulation (cached and uncached), per-layer dataflow comparison, the
+//! cycle-stepped machine, and the functional dataflow executors.
 
 use codesign_arch::{AcceleratorConfig, DataflowPolicy};
+use codesign_bench::stopwatch::Stopwatch;
 use codesign_dnn::{zoo, ConvSpec, Kernel, Shape};
 use codesign_sim::{
     compare_dataflows, conv2d_os, conv2d_ws, cycle, optimize_tiling, simulate_network,
-    simulate_network_event, ConvWork, OsModelOptions, Program, SimOptions, WorkKind,
+    simulate_network_event, ConvWork, OsModelOptions, Program, SimOptions, Simulator, WorkKind,
 };
 use codesign_tensor::{Filters, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_network_simulation(c: &mut Criterion) {
+fn bench_network_simulation() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
-    let mut g = c.benchmark_group("simulate_network");
-    g.sample_size(20);
+    let g = Stopwatch::group("simulate_network", 20);
     for net in zoo::table_networks() {
-        g.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, net| {
-            b.iter(|| simulate_network(net, &cfg, DataflowPolicy::PerLayer, opts));
-        });
+        g.bench(net.name(), || simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts));
     }
-    g.finish();
+    let g = Stopwatch::group("simulate_network_warm_cache", 20);
+    for net in zoo::table_networks() {
+        let sim = Simulator::new();
+        sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts); // warm
+        g.bench(net.name(), || sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts));
+    }
 }
 
-fn bench_layer_comparison(c: &mut Criterion) {
+fn bench_layer_comparison() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
     let net = zoo::squeezenet_v1_0();
     let layer = net.layer("fire5/expand3x3").expect("layer exists");
-    c.bench_function("compare_dataflows/fire5_expand3x3", |b| {
-        b.iter(|| compare_dataflows(layer, &cfg, opts));
-    });
+    let g = Stopwatch::group("compare_dataflows", 20);
+    g.bench("fire5_expand3x3", || compare_dataflows(layer, &cfg, opts));
 }
 
-fn bench_cycle_machine(c: &mut Criterion) {
+fn bench_cycle_machine() {
     let cfg = AcceleratorConfig::paper_default();
     let work = ConvWork {
         kind: WorkKind::Dense,
@@ -52,15 +52,12 @@ fn bench_cycle_machine(c: &mut Criterion) {
         out_h: 13,
         out_w: 13,
     };
-    let mut g = c.benchmark_group("cycle_machine");
-    g.bench_function("trace_ws", |b| b.iter(|| cycle::trace_ws(&work, &cfg)));
-    g.bench_function("trace_os", |b| {
-        b.iter(|| cycle::trace_os(&work, &cfg, OsModelOptions::paper_default()))
-    });
-    g.finish();
+    let g = Stopwatch::group("cycle_machine", 10);
+    g.bench("trace_ws", || cycle::trace_ws(&work, &cfg));
+    g.bench("trace_os", || cycle::trace_os(&work, &cfg, OsModelOptions::paper_default()));
 }
 
-fn bench_functional_executors(c: &mut Criterion) {
+fn bench_functional_executors() {
     let cfg = AcceleratorConfig::paper_default();
     let mut rng = StdRng::seed_from_u64(1);
     let input = Tensor::random(Shape::new(16, 32, 32), 64, &mut rng);
@@ -73,21 +70,15 @@ fn bench_functional_executors(c: &mut Criterion) {
         pad_w: 1,
         groups: 1,
     };
-    let mut g = c.benchmark_group("functional_conv_16x32x32_k32");
-    g.sample_size(20);
-    g.bench_function("reference", |b| {
-        b.iter(|| codesign_tensor::ops::conv2d(&input, &filters, &spec).expect("valid conv"));
+    let g = Stopwatch::group("functional_conv_16x32x32_k32", 20);
+    g.bench("reference", || {
+        codesign_tensor::ops::conv2d(&input, &filters, &spec).expect("valid conv")
     });
-    g.bench_function("ws_schedule", |b| {
-        b.iter(|| conv2d_ws(&input, &filters, &spec, &cfg).expect("valid conv"));
-    });
-    g.bench_function("os_schedule", |b| {
-        b.iter(|| conv2d_os(&input, &filters, &spec, &cfg).expect("valid conv"));
-    });
-    g.finish();
+    g.bench("ws_schedule", || conv2d_ws(&input, &filters, &spec, &cfg).expect("valid conv"));
+    g.bench("os_schedule", || conv2d_os(&input, &filters, &spec, &cfg).expect("valid conv"));
 }
 
-fn bench_tiling_search(c: &mut Criterion) {
+fn bench_tiling_search() {
     let cfg = AcceleratorConfig::paper_default();
     let work = ConvWork {
         kind: WorkKind::Dense,
@@ -102,45 +93,38 @@ fn bench_tiling_search(c: &mut Criterion) {
         out_h: 56,
         out_w: 56,
     };
-    c.bench_function("optimize_tiling/128x56x56_k128", |b| {
-        b.iter(|| optimize_tiling(&work, &cfg));
-    });
+    let g = Stopwatch::group("optimize_tiling", 10);
+    g.bench("128x56x56_k128", || optimize_tiling(&work, &cfg));
 }
 
-fn bench_program_compile(c: &mut Criterion) {
+fn bench_program_compile() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
     let net = zoo::squeezenet_v1_1();
-    let mut g = c.benchmark_group("program");
-    g.sample_size(20);
-    g.bench_function("compile/squeezenet_v1_1", |b| {
-        b.iter(|| Program::compile(&net, &cfg, DataflowPolicy::PerLayer, opts));
+    let g = Stopwatch::group("program", 20);
+    g.bench("compile/squeezenet_v1_1", || {
+        Program::compile(&net, &cfg, DataflowPolicy::PerLayer, opts)
     });
     let program = Program::compile(&net, &cfg, DataflowPolicy::PerLayer, opts);
-    g.bench_function("replay/squeezenet_v1_1", |b| b.iter(|| program.estimate(&cfg)));
-    g.finish();
+    g.bench("replay/squeezenet_v1_1", || program.estimate(&cfg));
 }
 
-fn bench_event_pipeline(c: &mut Criterion) {
+fn bench_event_pipeline() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
     let net = zoo::squeezenet_v1_1();
-    let mut g = c.benchmark_group("event_pipeline");
-    g.sample_size(20);
-    g.bench_function("squeezenet_v1_1", |b| {
-        b.iter(|| simulate_network_event(&net, &cfg, DataflowPolicy::PerLayer, opts));
+    let g = Stopwatch::group("event_pipeline", 20);
+    g.bench("squeezenet_v1_1", || {
+        simulate_network_event(&net, &cfg, DataflowPolicy::PerLayer, opts)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_network_simulation,
-    bench_layer_comparison,
-    bench_cycle_machine,
-    bench_functional_executors,
-    bench_tiling_search,
-    bench_program_compile,
-    bench_event_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    bench_network_simulation();
+    bench_layer_comparison();
+    bench_cycle_machine();
+    bench_functional_executors();
+    bench_tiling_search();
+    bench_program_compile();
+    bench_event_pipeline();
+}

@@ -1,23 +1,28 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [all|table1|table2|fig1|fig3|fig4|ranges|codesign|sweep|ablations] [--out DIR]
+//! report [all|table1|table2|fig1|fig3|fig4|ranges|codesign|sweep|ablations]
+//!        [--out DIR] [--jobs N]
 //! ```
 //!
 //! Markdown goes to stdout; CSV series are written to `--out` (default
-//! `results/`).
+//! `results/`). `--jobs` bounds the worker threads used to generate
+//! experiments (`0`, the default, means one per core); results are
+//! independent of the thread count.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use codesign_bench::experiments::{
     ablations, batch_sweep, codesign, compression, constraints, dse_sweep, energy_breakdown,
-    event_crosscheck, fusion_study, fig1, fig3, fig4, headlines, multicore_scaling, per_layer_all, ranges,
-    roofline_table, schedule_robustness, table1, table2, taxonomy, Context,
+    event_crosscheck, fig1, fig3, fig4, fusion_study, headlines, multicore_scaling, per_layer_all,
+    ranges, roofline_table, schedule_robustness, table1, table2, taxonomy, Context,
 };
 use codesign_bench::{bar_chart, bars_svg, scatter_svg, Bar, ScatterPoint, Table};
+use codesign_sim::par_map;
 
 /// An experiment generator entry: name plus the table function.
 type Experiment = (&'static str, fn(&Context) -> Table);
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which = "all".to_owned();
     let mut out_dir = PathBuf::from("results");
+    let mut jobs = 0usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,11 +42,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs requires a thread count (0 = one per core)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => which = other.to_owned(),
         }
     }
 
-    let ctx = Context::paper_default();
+    let ctx = Context::with_jobs(jobs);
     let all: Vec<Experiment> = vec![
         ("table1", table1),
         ("table2", table2),
@@ -67,9 +80,7 @@ fn main() -> ExitCode {
     let selected: Vec<_> = all
         .iter()
         .filter(|(name, _)| {
-            which == "all"
-                || which == *name
-                || (which == "codesign" && *name == "headlines")
+            which == "all" || which == *name || (which == "codesign" && *name == "headlines")
         })
         .collect();
     if selected.is_empty() {
@@ -84,17 +95,25 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
-    for (name, gen) in selected {
+
+    // Generate in parallel (each generator shares `ctx.sim`'s cache),
+    // then print and write in the deterministic selection order.
+    let started = Instant::now();
+    let generated: Vec<(Table, std::time::Duration)> = par_map(jobs, &selected, |_, (_, gen)| {
+        let t0 = Instant::now();
         let table = gen(&ctx);
+        (table, t0.elapsed())
+    });
+    let total_wall = started.elapsed();
+
+    for ((name, _), (table, elapsed)) in selected.iter().zip(&generated) {
+        eprintln!("[{name}] generated in {:.1} ms", elapsed.as_secs_f64() * 1e3);
         println!("{}", table.to_markdown());
         if *name == "fig1" {
             let bars: Vec<Bar> = (0..table.len())
                 .map(|i| Bar {
                     label: table.cell(i, 0).expect("fig1 rows have labels").to_owned(),
-                    value: table
-                        .cell(i, 5)
-                        .and_then(|c| c.parse().ok())
-                        .unwrap_or_default(),
+                    value: table.cell(i, 5).and_then(|c| c.parse().ok()).unwrap_or_default(),
                     secondary: table.cell(i, 6).and_then(|c| c.parse().ok()),
                 })
                 .collect();
@@ -153,5 +172,12 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {}", path.display());
     }
+
+    let stats = ctx.sim.stats();
+    eprintln!(
+        "generated {} artifact(s) in {:.1} ms; sim cache: {stats}",
+        generated.len(),
+        total_wall.as_secs_f64() * 1e3,
+    );
     ExitCode::SUCCESS
 }

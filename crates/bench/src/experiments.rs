@@ -6,14 +6,14 @@
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_core::{
-    advantage_range, machine_balance, pareto_front, roofline, spectrum, ArchitectureComparison,
-    CodesignStudy, CostAxis, NetworkSchedule, SweepSpace,
+    advantage_range, compare_all, machine_balance, pareto_front, roofline, spectrum, CodesignStudy,
+    CostAxis, NetworkSchedule, SweepSpace,
 };
 use codesign_dnn::{zoo, LayerClass, MacBreakdown, Network};
 use codesign_sim::{
-    compare_taxonomy, simulate_network, simulate_network_batched, simulate_network_event,
-    simulate_network_multicore, MultiCoreConfig, OsModelOptions, SimOptions, SparsityModel,
-    TaxonomyDataflow, TrafficModel, WeightCompression,
+    compare_taxonomy, simulate_network_batched, simulate_network_event, simulate_network_multicore,
+    MultiCoreConfig, OsModelOptions, SimOptions, Simulator, SparsityModel, TaxonomyDataflow,
+    TrafficModel, WeightCompression,
 };
 
 use crate::table::Table;
@@ -28,16 +28,30 @@ pub struct Context {
     pub opts: SimOptions,
     /// Energy table.
     pub energy: EnergyModel,
+    /// Shared simulation handle. Every artifact routes per-layer
+    /// simulation through this, so repeated shapes across tables are
+    /// memoized once; cloning a `Context` shares the cache.
+    pub sim: Simulator,
+    /// Worker threads for the fan-out experiments (`0` = one per core).
+    pub jobs: usize,
 }
 
 impl Context {
-    /// The paper's evaluation context.
+    /// The paper's evaluation context, with a fresh memoizing simulator
+    /// and one worker per core.
     pub fn paper_default() -> Self {
         Self {
             cfg: AcceleratorConfig::paper_default(),
             opts: SimOptions::paper_default(),
             energy: EnergyModel::default(),
+            sim: Simulator::new(),
+            jobs: 0,
         }
+    }
+
+    /// The paper's evaluation context pinned to `jobs` worker threads.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self { jobs, ..Self::paper_default() }
     }
 }
 
@@ -79,10 +93,10 @@ pub fn table2(ctx: &Context) -> Table {
         "Table 2: Squeezelerator vs fixed-dataflow references",
         &["Network", "Speedup vs OS", "Speedup vs WS", "Energy vs OS", "Energy vs WS"],
     );
-    for net in zoo::table_networks() {
-        let c = ArchitectureComparison::evaluate(&net, &ctx.cfg, ctx.opts, ctx.energy);
+    let nets = zoo::table_networks();
+    for c in compare_all(&ctx.sim, &nets, &ctx.cfg, ctx.opts, ctx.energy, ctx.jobs) {
         t.push_row(vec![
-            net.name().to_owned(),
+            c.network.clone(),
             format!("{:.2}x", c.speedup_vs_os()),
             format!("{:.2}x", c.speedup_vs_ws()),
             pct(c.energy_reduction_vs_os()),
@@ -211,10 +225,17 @@ pub fn ranges(ctx: &Context) -> Table {
 /// tune-up, plus the headline comparisons against SqueezeNet v1.0 and
 /// AlexNet.
 pub fn codesign(ctx: &Context) -> Table {
-    let study = CodesignStudy::run(ctx.opts, &ctx.energy);
+    let study = CodesignStudy::run_with(&ctx.sim, ctx.opts, &ctx.energy, ctx.jobs);
     let mut t = Table::new(
         "S3: co-design ladder (v1..v5, RF 8 vs RF 16)",
-        &["Variant", "Cycles (RF 8)", "Cycles (RF 16)", "Energy (RF 16)", "Utilization", "MACs (M)"],
+        &[
+            "Variant",
+            "Cycles (RF 8)",
+            "Cycles (RF 16)",
+            "Energy (RF 16)",
+            "Utilization",
+            "MACs (M)",
+        ],
     );
     for (b, a) in study.before_tuneup.iter().zip(&study.after_tuneup) {
         t.push_row(vec![
@@ -239,7 +260,14 @@ pub fn headlines(ctx: &Context) -> Table {
     for (base, paper) in
         [(zoo::squeezenet_v1_0(), "2.59x / 2.25x"), (zoo::alexnet(), "8.26x / 7.5x")]
     {
-        let r = codesign_core::compare_networks(&sqnxt, &base, &ctx.cfg, ctx.opts, &ctx.energy);
+        let r = codesign_core::compare_networks_with(
+            &ctx.sim,
+            &sqnxt,
+            &base,
+            &ctx.cfg,
+            ctx.opts,
+            &ctx.energy,
+        );
         t.push_row(vec![
             format!("{} vs {}", sqnxt.name(), base.name()),
             format!("{:.2}x", r.speedup),
@@ -252,12 +280,15 @@ pub fn headlines(ctx: &Context) -> Table {
 
 /// **A1a** — design-space sweep over array size / RF depth / buffer.
 pub fn dse_sweep(ctx: &Context) -> Table {
-    let pts = codesign_core::sweep(
+    let pts = codesign_core::sweep_with(
+        &ctx.sim,
         &zoo::squeezenet_v1_0(),
         &SweepSpace::paper_default(),
         ctx.opts,
         &ctx.energy,
-    );
+        ctx.jobs,
+    )
+    .expect("the paper-default sweep space is non-empty");
     let front = codesign_core::pareto_designs(&pts);
     let mut t = Table::new(
         "A1a: design-space sweep (SqueezeNet v1.0)",
@@ -286,10 +317,10 @@ pub fn ablations(ctx: &Context) -> Table {
         "A1b: ablation study (SqueezeNet v1.0, hybrid architecture)",
         &["Configuration", "Cycles", "Slowdown", "Energy (MMAC-eq)"],
     );
-    let base = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
+    let base = ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
     let base_cycles = base.total_cycles();
     let mut push = |name: &str, cfg: &AcceleratorConfig, opts: SimOptions| {
-        let perf = simulate_network(&net, cfg, DataflowPolicy::PerLayer, opts);
+        let perf = ctx.sim.simulate_network(&net, cfg, DataflowPolicy::PerLayer, opts);
         t.push_row(vec![
             name.to_owned(),
             perf.total_cycles().to_string(),
@@ -362,8 +393,7 @@ pub fn multicore_scaling(ctx: &Context) -> Table {
     for net in [zoo::alexnet(), zoo::squeezenet_v1_0(), zoo::tiny_darknet()] {
         let run = |cores: usize| {
             let mc = MultiCoreConfig { core: ctx.cfg.clone(), cores };
-            simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, ctx.opts)
-                .total_cycles()
+            simulate_network_multicore(&net, &mc, DataflowPolicy::PerLayer, ctx.opts).total_cycles()
         };
         let (c1, c2, c4) = (run(1), run(2), run(4));
         t.push_row(vec![
@@ -412,7 +442,16 @@ pub fn roofline_table(ctx: &Context) -> Table {
 pub fn per_layer_all(ctx: &Context) -> Table {
     let mut t = Table::new(
         "L1: per-layer evaluation for every network",
-        &["Network", "Layer", "Class", "WS cycles", "OS cycles", "Chosen", "Hybrid cycles", "Utilization"],
+        &[
+            "Network",
+            "Layer",
+            "Class",
+            "WS cycles",
+            "OS cycles",
+            "Chosen",
+            "Hybrid cycles",
+            "Utilization",
+        ],
     );
     for net in zoo::table_networks() {
         let schedule = NetworkSchedule::build(&net, &ctx.cfg, ctx.opts);
@@ -442,7 +481,7 @@ pub fn energy_breakdown(ctx: &Context) -> Table {
     );
     let m = ctx.energy;
     for net in zoo::table_networks() {
-        let perf = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
+        let perf = ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
         let a = perf.total_accesses();
         let total = perf.total_energy(&m);
         let share = |x: f64| pct(x / total);
@@ -541,7 +580,7 @@ pub fn event_crosscheck(ctx: &Context) -> Table {
         &["Network", "Analytic cycles", "Event cycles", "Event/Analytic", "Array stalls"],
     );
     for net in zoo::table_networks() {
-        let analytic = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
+        let analytic = ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
         let event = simulate_network_event(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
         t.push_row(vec![
             net.name().to_owned(),
@@ -560,13 +599,21 @@ pub fn event_crosscheck(ctx: &Context) -> Table {
 pub fn compression(ctx: &Context) -> Table {
     let mut t = Table::new(
         "A4: EIE-style weight compression (40% zeros, 16+4-bit encoding)",
-        &["Network", "DRAM MB dense", "DRAM MB compressed", "Speedup", "Energy dense", "Energy compressed"],
+        &[
+            "Network",
+            "DRAM MB dense",
+            "DRAM MB compressed",
+            "Speedup",
+            "Energy dense",
+            "Energy compressed",
+        ],
     );
     let compressed_opts =
         SimOptions { weight_compression: Some(WeightCompression::eie_default()), ..ctx.opts };
     for net in zoo::table_networks() {
-        let dense = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
-        let comp = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, compressed_opts);
+        let dense = ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
+        let comp =
+            ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, compressed_opts);
         let mb = |p: &codesign_sim::NetworkPerf| {
             p.layers.iter().map(|l| l.dram_bytes).sum::<u64>() as f64 / 1e6
         };
@@ -594,7 +641,7 @@ pub fn constraints(ctx: &Context) -> Table {
     let mut nets = zoo::table_networks();
     nets.push(zoo::squeezedet_trunk());
     for net in nets {
-        let perf = simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
+        let perf = ctx.sim.simulate_network(&net, &ctx.cfg, DataflowPolicy::PerLayer, ctx.opts);
         let ms = ctx.cfg.cycles_to_ms(perf.total_cycles());
         t.push_row(vec![
             net.name().to_owned(),
@@ -809,5 +856,19 @@ mod tests {
     fn dse_sweep_is_full_grid() {
         let t = dse_sweep(&ctx());
         assert_eq!(t.len(), 27);
+    }
+
+    #[test]
+    fn shared_context_cache_accrues_hits_across_artifacts() {
+        let c = ctx();
+        table2(&c);
+        let after_table2 = c.sim.stats();
+        assert!(after_table2.hit_rate() > 0.5, "table2 replays hybrid runs: {after_table2}");
+        dse_sweep(&c);
+        let after_sweep = c.sim.stats();
+        assert!(
+            after_sweep.hits > after_table2.hits,
+            "fire-module repeats inside each sweep point must hit: {after_sweep}"
+        );
     }
 }

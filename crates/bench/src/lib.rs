@@ -1,8 +1,9 @@
 //! # codesign-bench — experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation as
-//! markdown/CSV (see the `report` binary), and hosts the Criterion
-//! benches measuring the simulator itself.
+//! markdown/CSV (see the `report` binary), and hosts the benches
+//! measuring the simulator itself (built on the in-tree [`stopwatch`]
+//! harness, since the offline environment cannot fetch Criterion).
 //!
 //! # Examples
 //!
@@ -18,10 +19,11 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod stopwatch;
 pub mod svg;
 pub mod table;
 
 pub use chart::{bar_chart, Bar};
-pub use svg::{bars_svg, scatter_svg, ScatterPoint};
 pub use experiments::Context;
+pub use svg::{bars_svg, scatter_svg, ScatterPoint};
 pub use table::Table;

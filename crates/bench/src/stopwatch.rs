@@ -1,0 +1,104 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Criterion is unavailable in the offline build environment, so the
+//! `harness = false` benches use this instead: each benchmark runs a
+//! warm-up pass, then a fixed number of timed samples, and reports the
+//! median, minimum, and mean per-iteration time on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Formats a duration as an adaptive human-readable string.
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// One timed result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+}
+
+/// A named group of benchmarks (mirrors Criterion's `benchmark_group`).
+pub struct Stopwatch {
+    group: String,
+    samples: usize,
+}
+
+impl Stopwatch {
+    /// Starts a group; `samples` timed samples are taken per benchmark.
+    pub fn group(name: impl Into<String>, samples: usize) -> Self {
+        Self { group: name.into(), samples: samples.max(3) }
+    }
+
+    /// Times `f`, printing one line `group/name  median  (min .. mean)`.
+    /// The closure's return value is consumed via `std::hint::black_box`
+    /// so the work is not optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Warm up and pick an iteration count targeting ~10 ms per sample.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed() / iters
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let m = Measurement { median, min, mean };
+        println!(
+            "{:<52} {:>12}  (min {:>10}, mean {:>10}, {} x {} iters)",
+            format!("{}/{}", self.group, name),
+            human(median),
+            human(min),
+            human(mean),
+            self.samples,
+            iters
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let sw = Stopwatch::group("test", 3);
+        let m = sw.bench("spin", || (0..1000u64).sum::<u64>());
+        assert!(m.median > Duration::ZERO);
+        assert!(m.min <= m.median);
+    }
+
+    #[test]
+    fn human_formats_scale() {
+        assert!(human(Duration::from_nanos(500)).contains("ns"));
+        assert!(human(Duration::from_micros(500)).contains("µs"));
+        assert!(human(Duration::from_millis(500)).contains("ms"));
+        assert!(human(Duration::from_secs(500)).contains('s'));
+    }
+}

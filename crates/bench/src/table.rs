@@ -62,9 +62,7 @@ impl Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0))
             .collect();
         let line = |cells: &[String], out: &mut String| {
             let joined: Vec<String> =
@@ -91,7 +89,11 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }

@@ -42,6 +42,8 @@ pub struct Invocation {
     pub batch: u64,
     /// Core count (default 1).
     pub cores: usize,
+    /// Worker threads for the sweep fan-out (`0` = one per core).
+    pub jobs: usize,
     /// Layer name (for `wave`).
     pub layer: Option<String>,
 }
@@ -101,6 +103,8 @@ options:
   --buffer KB            global buffer KiB          (default 128)
   --batch B              batch size                 (default 1)
   --cores C              core count                 (default 1)
+  --jobs N               sweep worker threads, 0 = one per core
+                                                    (default 0)
 ";
 
 fn parse_value<T: std::str::FromStr>(
@@ -141,6 +145,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         buffer_kib: None,
         batch: 1,
         cores: 1,
+        jobs: 0,
         layer: None,
     };
     while let Some(a) = it.next() {
@@ -163,6 +168,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             "--buffer" => inv.buffer_kib = Some(parse_value("--buffer", it.next())?),
             "--batch" => inv.batch = parse_value("--batch", it.next())?,
             "--cores" => inv.cores = parse_value("--cores", it.next())?,
+            "--jobs" => inv.jobs = parse_value("--jobs", it.next())?,
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError(format!("unknown option `{flag}`")));
             }
@@ -198,14 +204,17 @@ mod tests {
 
     #[test]
     fn parses_a_full_invocation() {
-        let inv = parse("simulate mobilenet --arch ws --array 16 --rf 8 --buffer 64 --batch 4 --cores 2")
-            .unwrap();
+        let inv = parse(
+            "simulate mobilenet --arch ws --array 16 --rf 8 --buffer 64 --batch 4 --cores 2 --jobs 3",
+        )
+        .unwrap();
         assert_eq!(inv.action, Action::Simulate);
         assert_eq!(inv.network.as_deref(), Some("mobilenet"));
         assert_eq!(inv.policy, DataflowPolicy::Fixed(Dataflow::WeightStationary));
         assert_eq!(inv.array_size, Some(16));
         assert_eq!(inv.batch, 4);
         assert_eq!(inv.cores, 2);
+        assert_eq!(inv.jobs, 3);
         let cfg = inv.config().unwrap();
         assert_eq!(cfg.array_size(), 16);
         assert_eq!(cfg.global_buffer_bytes(), 64 * 1024);
@@ -215,6 +224,7 @@ mod tests {
     fn defaults_are_paper_defaults() {
         let inv = parse("compare squeezenet").unwrap();
         assert_eq!(inv.policy, DataflowPolicy::PerLayer);
+        assert_eq!(inv.jobs, 0, "jobs defaults to one worker per core");
         let cfg = inv.config().unwrap();
         assert_eq!(cfg.array_size(), 32);
         assert_eq!(cfg.rf_depth(), 16);

@@ -19,7 +19,7 @@ use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedul
 use codesign_dnn::{parse_network, zoo, Network};
 use codesign_sim::{
     compare_dataflows, cycle, simulate_network_batched, simulate_network_multicore, ConvWork,
-    MultiCoreConfig, Program, SimOptions,
+    MultiCoreConfig, Program, SimOptions, Simulator,
 };
 
 use args::{parse_args, Action, Invocation, USAGE};
@@ -124,7 +124,18 @@ fn run(inv: &Invocation) -> Result<(), String> {
             println!("{c}");
         }
         Action::Sweep => {
-            let points = codesign_core::sweep(&net, &SweepSpace::paper_default(), opts, &energy);
+            let sim = Simulator::new();
+            let started = std::time::Instant::now();
+            let points = codesign_core::sweep_with(
+                &sim,
+                &net,
+                &SweepSpace::paper_default(),
+                opts,
+                &energy,
+                inv.jobs,
+            )
+            .map_err(|e| e.to_string())?;
+            let wall = started.elapsed();
             println!("{:<18} {:>12} {:>14} {:>8}", "design", "cycles", "energy (MMAC)", "util");
             for p in &points {
                 println!(
@@ -138,6 +149,13 @@ fn run(inv: &Invocation) -> Result<(), String> {
             if let Some(best) = best_by_energy_delay(&points) {
                 println!("best energy-delay: {}", best.params);
             }
+            eprintln!(
+                "; swept {} point(s) in {:.1} ms on {} thread(s); sim cache: {}",
+                points.len(),
+                wall.as_secs_f64() * 1e3,
+                codesign_sim::resolve_jobs(inv.jobs),
+                sim.stats()
+            );
         }
         Action::Wave => {
             let layer_name = inv.layer.as_deref().expect("wave requires a layer");
@@ -149,9 +167,7 @@ fn run(inv: &Invocation) -> Result<(), String> {
             let (_, _, best) = compare_dataflows(layer, &cfg, opts);
             let trace = match best {
                 codesign_arch::Dataflow::WeightStationary => cycle::trace_ws(&work, &cfg),
-                codesign_arch::Dataflow::OutputStationary => {
-                    cycle::trace_os(&work, &cfg, opts.os)
-                }
+                codesign_arch::Dataflow::OutputStationary => cycle::trace_os(&work, &cfg, opts.os),
             };
             print!("{}", cycle::trace_to_vcd(&trace, layer_name));
             eprintln!(

@@ -4,10 +4,7 @@
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_codesign"))
-        .args(args)
-        .output()
-        .expect("binary spawns")
+    Command::new(env!("CARGO_BIN_EXE_codesign")).args(args).output().expect("binary spawns")
 }
 
 fn stdout(o: &Output) -> String {

@@ -7,7 +7,7 @@ use std::fmt;
 use codesign_arch::{AcceleratorConfig, DataflowPolicy, EnergyModel};
 use codesign_dnn::zoo::SqueezeNextConfig;
 use codesign_dnn::Network;
-use codesign_sim::{simulate_network, SimOptions};
+use codesign_sim::{par_map, SimOptions, Simulator};
 
 /// A hardware-aware model transformation, as applied between the Figure-3
 /// variants.
@@ -70,14 +70,26 @@ pub struct VariantResult {
     pub accuracy: Option<f64>,
 }
 
-/// Evaluates a network variant on the hybrid architecture.
+/// Evaluates a network variant on the hybrid architecture with a fresh
+/// memoizing [`Simulator`].
 pub fn evaluate_variant(
     network: &Network,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     energy_model: &EnergyModel,
 ) -> VariantResult {
-    let perf = simulate_network(network, cfg, DataflowPolicy::PerLayer, opts);
+    evaluate_variant_with(&Simulator::new(), network, cfg, opts, energy_model)
+}
+
+/// Evaluates a network variant on the hybrid architecture through `sim`.
+pub fn evaluate_variant_with(
+    sim: &Simulator,
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> VariantResult {
+    let perf = sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts);
     VariantResult {
         name: network.name().to_owned(),
         cycles: perf.total_cycles(),
@@ -99,10 +111,23 @@ pub struct CodesignStudy {
 }
 
 impl CodesignStudy {
+    /// Runs the study with a fresh memoizing [`Simulator`] and one worker
+    /// per core. See [`Self::run_with`].
+    pub fn run(opts: SimOptions, energy_model: &EnergyModel) -> Self {
+        Self::run_with(&Simulator::new(), opts, energy_model, 0)
+    }
+
     /// Runs the study: builds the five variants by applying the paper's
     /// transformations to the baseline configuration and simulates each
-    /// on both hardware points.
-    pub fn run(opts: SimOptions, energy_model: &EnergyModel) -> Self {
+    /// on both hardware points — the ten (variant × RF depth)
+    /// evaluations fan out across `jobs` worker threads (`0` = one per
+    /// core) through the shared `sim` handle, in deterministic order.
+    pub fn run_with(
+        sim: &Simulator,
+        opts: SimOptions,
+        energy_model: &EnergyModel,
+        jobs: usize,
+    ) -> Self {
         let baseline = SqueezeNextConfig::baseline();
         let transforms: [&[ModelTransform]; 5] = [
             &[],
@@ -135,16 +160,17 @@ impl CodesignStudy {
 
         let rf8 = AcceleratorConfig::builder().rf_depth(8).build().expect("rf8 config");
         let rf16 = AcceleratorConfig::builder().rf_depth(16).build().expect("rf16 config");
-        Self {
-            before_tuneup: variants
-                .iter()
-                .map(|v| evaluate_variant(v, &rf8, opts, energy_model))
-                .collect(),
-            after_tuneup: variants
-                .iter()
-                .map(|v| evaluate_variant(v, &rf16, opts, energy_model))
-                .collect(),
-        }
+        // Flatten the (hardware point × variant) grid into one work list
+        // so a single fan-out covers all ten evaluations.
+        let work: Vec<(&AcceleratorConfig, &Network)> = [&rf8, &rf16]
+            .into_iter()
+            .flat_map(|cfg| variants.iter().map(move |v| (cfg, v)))
+            .collect();
+        let mut results = par_map(jobs, &work, |_, &(cfg, net)| {
+            evaluate_variant_with(sim, net, cfg, opts, energy_model)
+        });
+        let after_tuneup = results.split_off(variants.len());
+        Self { before_tuneup: results, after_tuneup }
     }
 
     /// End-to-end gain of the co-design loop: v1 on untuned hardware vs
@@ -170,8 +196,7 @@ mod tests {
         let shrunk = ModelTransform::ShrinkFirstFilter { kernel: 5 }.apply(&base);
         assert_eq!(shrunk.conv1_kernel, 5);
         assert_eq!(shrunk.stage_blocks, base.stage_blocks);
-        let moved =
-            ModelTransform::ReallocateStages { stage_blocks: [2, 4, 14, 1] }.apply(&base);
+        let moved = ModelTransform::ReallocateStages { stage_blocks: [2, 4, 14, 1] }.apply(&base);
         assert_eq!(moved.stage_blocks, [2, 4, 14, 1]);
         assert_eq!(moved.conv1_kernel, base.conv1_kernel);
     }
@@ -215,6 +240,15 @@ mod tests {
         let (speed, energy) = study().end_to_end_gain();
         assert!(speed > 1.15, "speedup = {speed:.2}");
         assert!(energy > 1.0, "energy gain = {energy:.2}");
+    }
+
+    #[test]
+    fn parallel_cached_run_matches_serial_uncached() {
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let serial = CodesignStudy::run_with(&Simulator::uncached(), opts, &em, 1);
+        let parallel = CodesignStudy::run_with(&Simulator::new(), opts, &em, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 
 use codesign_arch::{area, AcceleratorConfig, AreaModel, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{simulate_network, SimOptions};
+use codesign_sim::{par_map, SimOptions, Simulator};
 
 /// The swept hardware parameters of one design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +48,24 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
+    /// Builds a design point, rejecting degenerate evaluations: zero
+    /// cycles, non-finite energy/utilization/area, or non-positive
+    /// utilization. Such points would otherwise poison every downstream
+    /// comparison (`best_by_energy_delay`, the Pareto front).
+    pub fn checked(
+        params: DesignParams,
+        cycles: u64,
+        energy: f64,
+        utilization: f64,
+        area: f64,
+    ) -> Option<Self> {
+        let finite = energy.is_finite() && utilization.is_finite() && area.is_finite();
+        if !finite || cycles == 0 || utilization <= 0.0 {
+            return None;
+        }
+        Some(Self { params, cycles, energy, utilization, area })
+    }
+
     /// Energy-delay product — the single-number figure of merit used to
     /// rank design points.
     pub fn energy_delay(&self) -> f64 {
@@ -82,9 +100,29 @@ impl SweepSpace {
         self.array_sizes.len() * self.rf_depths.len() * self.buffer_bytes.len()
     }
 
-    /// Whether the space is empty.
+    /// Whether the space has no grid points, i.e. *any* axis is empty
+    /// (checked per axis rather than via [`Self::len`], whose product
+    /// could in principle wrap for absurdly large axes).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.array_sizes.is_empty() || self.rf_depths.is_empty() || self.buffer_bytes.is_empty()
+    }
+
+    /// The grid in deterministic row-major order
+    /// (array size → RF depth → buffer bytes).
+    fn grid(&self) -> Vec<DesignParams> {
+        let mut grid = Vec::with_capacity(self.len());
+        for &n in &self.array_sizes {
+            for &rf in &self.rf_depths {
+                for &buf in &self.buffer_bytes {
+                    grid.push(DesignParams {
+                        array_size: n,
+                        rf_depth: rf,
+                        global_buffer_bytes: buf,
+                    });
+                }
+            }
+        }
+        grid
     }
 }
 
@@ -94,46 +132,115 @@ impl Default for SweepSpace {
     }
 }
 
+/// Why a sweep could not run at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepError {
+    /// The sweep space has an empty axis, so there are no grid points to
+    /// evaluate. The payload names the empty axis.
+    EmptySpace(&'static str),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySpace(axis) => {
+                write!(f, "sweep space is empty: the {axis} axis has no values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl SweepSpace {
+    /// `Err` naming the first empty axis, `Ok` otherwise.
+    fn check_non_empty(&self) -> Result<(), SweepError> {
+        if self.array_sizes.is_empty() {
+            Err(SweepError::EmptySpace("array-size"))
+        } else if self.rf_depths.is_empty() {
+            Err(SweepError::EmptySpace("rf-depth"))
+        } else if self.buffer_bytes.is_empty() {
+            Err(SweepError::EmptySpace("buffer-bytes"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Evaluates one grid point; `None` when the configuration is invalid
+/// (e.g. a buffer too small for the array) or the evaluation degenerates.
+fn evaluate_point(
+    sim: &Simulator,
+    network: &Network,
+    params: DesignParams,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> Option<DesignPoint> {
+    let cfg = AcceleratorConfig::builder()
+        .array_size(params.array_size)
+        .rf_depth(params.rf_depth)
+        .global_buffer_bytes(params.global_buffer_bytes)
+        .build()
+        .ok()?;
+    let perf = sim.simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts);
+    DesignPoint::checked(
+        params,
+        perf.total_cycles(),
+        perf.total_energy(energy_model),
+        perf.average_utilization(cfg.pe_count()),
+        area(&cfg, &AreaModel::default(), true).total(),
+    )
+}
+
 /// Evaluates every design point in `space` for `network` on the hybrid
-/// architecture. Invalid configurations (e.g. a buffer too small for the
-/// array) are skipped.
+/// architecture, fanning out across `jobs` worker threads (`0` = one per
+/// core) through the shared `sim` handle. Invalid or degenerate
+/// configurations are skipped; the result order is the deterministic
+/// grid order regardless of `jobs`.
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpace`] when any sweep axis is empty — an empty
+/// space is a caller bug (a misconfigured sweep silently producing zero
+/// points is indistinguishable from "every config was invalid").
+pub fn sweep_with(
+    sim: &Simulator,
+    network: &Network,
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+    jobs: usize,
+) -> Result<Vec<DesignPoint>, SweepError> {
+    space.check_non_empty()?;
+    let grid = space.grid();
+    let points =
+        par_map(jobs, &grid, |_, &params| evaluate_point(sim, network, params, opts, energy_model));
+    Ok(points.into_iter().flatten().collect())
+}
+
+/// Evaluates every design point in `space` for `network` on the hybrid
+/// architecture with a fresh memoizing [`Simulator`] and one worker per
+/// core. See [`sweep_with`].
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpace`] when any sweep axis is empty.
 pub fn sweep(
     network: &Network,
     space: &SweepSpace,
     opts: SimOptions,
     energy_model: &EnergyModel,
-) -> Vec<DesignPoint> {
-    let mut points = Vec::with_capacity(space.len());
-    for &n in &space.array_sizes {
-        for &rf in &space.rf_depths {
-            for &buf in &space.buffer_bytes {
-                let Ok(cfg) = AcceleratorConfig::builder()
-                    .array_size(n)
-                    .rf_depth(rf)
-                    .global_buffer_bytes(buf)
-                    .build()
-                else {
-                    continue;
-                };
-                let perf = simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts);
-                points.push(DesignPoint {
-                    params: DesignParams { array_size: n, rf_depth: rf, global_buffer_bytes: buf },
-                    cycles: perf.total_cycles(),
-                    energy: perf.total_energy(energy_model),
-                    utilization: perf.average_utilization(cfg.pe_count()),
-                    area: area(&cfg, &AreaModel::default(), true).total(),
-                });
-            }
-        }
-    }
-    points
+) -> Result<Vec<DesignPoint>, SweepError> {
+    sweep_with(&Simulator::new(), network, space, opts, energy_model, 0)
 }
 
 /// The design point with the lowest energy-delay product.
+///
+/// Uses [`f64::total_cmp`], so the result is well-defined for every
+/// input (NaN cannot panic the comparison; [`DesignPoint::checked`]
+/// keeps such points out of sweep results in the first place).
 pub fn best_by_energy_delay(points: &[DesignPoint]) -> Option<&DesignPoint> {
-    points.iter().min_by(|a, b| {
-        a.energy_delay().partial_cmp(&b.energy_delay()).expect("energy-delay is finite")
-    })
+    points.iter().min_by(|a, b| a.energy_delay().total_cmp(&b.energy_delay()))
 }
 
 /// The Pareto-optimal hardware designs over (cycles, energy, area): a
@@ -149,8 +256,7 @@ pub fn pareto_designs(points: &[DesignPoint]) -> Vec<DesignPoint> {
                 && (q.cycles < p.cycles || q.energy < p.energy || q.area < p.area)
         })
     };
-    let mut front: Vec<DesignPoint> =
-        points.iter().filter(|p| !dominated(p)).cloned().collect();
+    let mut front: Vec<DesignPoint> = points.iter().filter(|p| !dominated(p)).cloned().collect();
     front.sort_by_key(|p| p.cycles);
     front
 }
@@ -158,9 +264,10 @@ pub fn pareto_designs(points: &[DesignPoint]) -> Vec<DesignPoint> {
 /// Isolated effect of the paper's register-file tune-up (8 -> 16) on a
 /// network: returns `(cycles at rf 8, cycles at rf 16)`.
 pub fn rf_tuneup_effect(network: &Network, opts: SimOptions) -> (u64, u64) {
+    let sim = Simulator::new();
     let mk = |rf: usize| {
         let cfg = AcceleratorConfig::builder().rf_depth(rf).build().expect("valid rf sweep point");
-        simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts).total_cycles()
+        sim.simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts).total_cycles()
     };
     (mk(8), mk(16))
 }
@@ -177,12 +284,9 @@ mod tests {
             rf_depths: vec![8],
             buffer_bytes: vec![64 * 1024],
         };
-        let pts = sweep(
-            &zoo::squeezenet_v1_1(),
-            &space,
-            SimOptions::default(),
-            &EnergyModel::default(),
-        );
+        let pts =
+            sweep(&zoo::squeezenet_v1_1(), &space, SimOptions::default(), &EnergyModel::default())
+                .unwrap();
         assert_eq!(pts.len(), 2);
         assert!(pts.iter().all(|p| p.cycles > 0 && p.energy > 0.0));
     }
@@ -194,7 +298,9 @@ mod tests {
             rf_depths: vec![16],
             buffer_bytes: vec![128 * 1024],
         };
-        let pts = sweep(&zoo::squeezenet_v1_0(), &space, SimOptions::default(), &EnergyModel::default());
+        let pts =
+            sweep(&zoo::squeezenet_v1_0(), &space, SimOptions::default(), &EnergyModel::default())
+                .unwrap();
         let n8 = pts.iter().find(|p| p.params.array_size == 8).unwrap();
         let n32 = pts.iter().find(|p| p.params.array_size == 32).unwrap();
         assert!(n32.cycles < n8.cycles);
@@ -217,7 +323,9 @@ mod tests {
             rf_depths: vec![8, 16],
             buffer_bytes: vec![128 * 1024],
         };
-        let pts = sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default());
+        let pts =
+            sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default())
+                .unwrap();
         let best = best_by_energy_delay(&pts).unwrap();
         for p in &pts {
             assert!(best.energy_delay() <= p.energy_delay());
@@ -231,7 +339,9 @@ mod tests {
             rf_depths: vec![8, 16],
             buffer_bytes: vec![128 * 1024],
         };
-        let pts = sweep(&zoo::squeezenet_v1_1(), &space, SimOptions::default(), &EnergyModel::default());
+        let pts =
+            sweep(&zoo::squeezenet_v1_1(), &space, SimOptions::default(), &EnergyModel::default())
+                .unwrap();
         let front = pareto_designs(&pts);
         assert!(!front.is_empty() && front.len() <= pts.len());
         // No front point dominates another front point.
@@ -257,14 +367,76 @@ mod tests {
             rf_depths: vec![8],
             buffer_bytes: vec![1024], // too small for a 64x64 array
         };
-        let pts = sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default());
+        let pts =
+            sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default())
+                .unwrap();
         assert!(pts.is_empty());
         assert!(best_by_energy_delay(&pts).is_none());
+    }
+
+    #[test]
+    fn empty_axis_is_an_error_not_an_empty_vec() {
+        for (i, axis) in ["array-size", "rf-depth", "buffer-bytes"].iter().enumerate() {
+            let mut space = SweepSpace::paper_default();
+            match i {
+                0 => space.array_sizes.clear(),
+                1 => space.rf_depths.clear(),
+                _ => space.buffer_bytes.clear(),
+            }
+            assert!(space.is_empty());
+            let err =
+                sweep(&zoo::tiny_darknet(), &space, SimOptions::default(), &EnergyModel::default())
+                    .unwrap_err();
+            assert_eq!(err, SweepError::EmptySpace(axis));
+            assert!(err.to_string().contains(axis));
+        }
+    }
+
+    #[test]
+    fn checked_rejects_degenerate_points() {
+        let params = DesignParams { array_size: 16, rf_depth: 16, global_buffer_bytes: 128 * 1024 };
+        assert!(DesignPoint::checked(params, 100, 1.0, 0.5, 2.0).is_some());
+        assert!(DesignPoint::checked(params, 0, 1.0, 0.5, 2.0).is_none(), "zero cycles");
+        assert!(DesignPoint::checked(params, 100, f64::NAN, 0.5, 2.0).is_none(), "NaN energy");
+        assert!(DesignPoint::checked(params, 100, 1.0, 0.0, 2.0).is_none(), "zero utilization");
+        assert!(
+            DesignPoint::checked(params, 100, 1.0, 0.5, f64::INFINITY).is_none(),
+            "infinite area"
+        );
+    }
+
+    #[test]
+    fn best_by_energy_delay_tolerates_nan() {
+        let params = DesignParams { array_size: 16, rf_depth: 16, global_buffer_bytes: 128 * 1024 };
+        // A hand-built NaN point (impossible via `checked`) must not panic
+        // the comparison; total_cmp orders NaN after every real number.
+        let good = DesignPoint { params, cycles: 10, energy: 1.0, utilization: 0.5, area: 1.0 };
+        let nan = DesignPoint { params, cycles: 10, energy: f64::NAN, utilization: 0.5, area: 1.0 };
+        let pts = vec![nan, good.clone()];
+        assert_eq!(best_by_energy_delay(&pts), Some(&good));
     }
 
     #[test]
     fn space_len() {
         assert_eq!(SweepSpace::paper_default().len(), 27);
         assert!(!SweepSpace::paper_default().is_empty());
+        assert_eq!(SweepSpace::paper_default().grid().len(), 27);
+    }
+
+    #[test]
+    fn parallel_cached_sweep_matches_serial_uncached() {
+        // The tentpole contract: `jobs` and the cache change wall-time,
+        // never results or order.
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![64 * 1024, 128 * 1024],
+        };
+        let net = zoo::squeezenet_v1_1();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let serial = sweep_with(&Simulator::uncached(), &net, &space, opts, &em, 1).unwrap();
+        let parallel = sweep_with(&Simulator::new(), &net, &space, opts, &em, 4).unwrap();
+        assert_eq!(serial, parallel);
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{simulate_network, NetworkPerf, SimOptions};
+use codesign_sim::{par_map, NetworkPerf, SimOptions, Simulator};
 
 /// Simulation of one network on the hybrid (Squeezelerator) architecture
 /// and on the two fixed-dataflow references.
@@ -22,8 +22,25 @@ pub struct ArchitectureComparison {
 }
 
 impl ArchitectureComparison {
-    /// Simulates `network` on all three architectures.
+    /// Simulates `network` on all three architectures with a fresh
+    /// memoizing [`Simulator`]. See [`Self::evaluate_with`].
     pub fn evaluate(
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        energy_model: EnergyModel,
+    ) -> Self {
+        Self::evaluate_with(&Simulator::new(), network, cfg, opts, energy_model)
+    }
+
+    /// Simulates `network` on all three architectures through `sim`.
+    ///
+    /// The three runs share the handle's cache: the fixed WS and OS
+    /// reference runs replay exactly the per-layer simulations the hybrid
+    /// run already performed, so with a caching `sim` they are answered
+    /// almost entirely from memo entries.
+    pub fn evaluate_with(
+        sim: &Simulator,
         network: &Network,
         cfg: &AcceleratorConfig,
         opts: SimOptions,
@@ -31,14 +48,14 @@ impl ArchitectureComparison {
     ) -> Self {
         Self {
             network: network.name().to_owned(),
-            hybrid: simulate_network(network, cfg, DataflowPolicy::PerLayer, opts),
-            ws: simulate_network(
+            hybrid: sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts),
+            ws: sim.simulate_network(
                 network,
                 cfg,
                 DataflowPolicy::Fixed(Dataflow::WeightStationary),
                 opts,
             ),
-            os: simulate_network(
+            os: sim.simulate_network(
                 network,
                 cfg,
                 DataflowPolicy::Fixed(Dataflow::OutputStationary),
@@ -64,12 +81,14 @@ impl ArchitectureComparison {
     /// (Table 2 prints percentages; negative means the hybrid spends
     /// more).
     pub fn energy_reduction_vs_os(&self) -> f64 {
-        1.0 - self.hybrid.total_energy(&self.energy_model) / self.os.total_energy(&self.energy_model)
+        1.0 - self.hybrid.total_energy(&self.energy_model)
+            / self.os.total_energy(&self.energy_model)
     }
 
     /// Hybrid energy reduction vs the fixed-WS reference, as a fraction.
     pub fn energy_reduction_vs_ws(&self) -> f64 {
-        1.0 - self.hybrid.total_energy(&self.energy_model) / self.ws.total_energy(&self.energy_model)
+        1.0 - self.hybrid.total_energy(&self.energy_model)
+            / self.ws.total_energy(&self.energy_model)
     }
 
     /// The energy model used.
@@ -105,7 +124,7 @@ pub struct RelativeResult {
 }
 
 /// Compares a subject network against a baseline, both on the hybrid
-/// architecture.
+/// architecture, with a fresh memoizing [`Simulator`].
 pub fn compare_networks(
     subject: &Network,
     baseline: &Network,
@@ -113,12 +132,42 @@ pub fn compare_networks(
     opts: SimOptions,
     energy_model: &EnergyModel,
 ) -> RelativeResult {
-    let s = simulate_network(subject, cfg, DataflowPolicy::PerLayer, opts);
-    let b = simulate_network(baseline, cfg, DataflowPolicy::PerLayer, opts);
+    compare_networks_with(&Simulator::new(), subject, baseline, cfg, opts, energy_model)
+}
+
+/// Compares a subject network against a baseline, both on the hybrid
+/// architecture, through `sim`.
+pub fn compare_networks_with(
+    sim: &Simulator,
+    subject: &Network,
+    baseline: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> RelativeResult {
+    let s = sim.simulate_network(subject, cfg, DataflowPolicy::PerLayer, opts);
+    let b = sim.simulate_network(baseline, cfg, DataflowPolicy::PerLayer, opts);
     RelativeResult {
         speedup: b.total_cycles() as f64 / s.total_cycles() as f64,
         energy_gain: b.total_energy(energy_model) / s.total_energy(energy_model),
     }
+}
+
+/// Evaluates every network in `networks` on all three architectures,
+/// fanning the networks out across `jobs` worker threads (`0` = one per
+/// core) through the shared `sim` handle. Results come back in input
+/// order — this is the Table 2 generator.
+pub fn compare_all(
+    sim: &Simulator,
+    networks: &[Network],
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: EnergyModel,
+    jobs: usize,
+) -> Vec<ArchitectureComparison> {
+    par_map(jobs, networks, |_, net| {
+        ArchitectureComparison::evaluate_with(sim, net, cfg, opts, energy_model)
+    })
 }
 
 #[cfg(test)]
@@ -165,13 +214,7 @@ mod tests {
         // §4.2: "2.59x faster and 2.25x more energy efficient than
         // SqueezeNet 1.0" — our reproduction lands in the same region.
         let (cfg, opts, em) = setup();
-        let r = compare_networks(
-            &zoo::squeezenext(),
-            &zoo::squeezenet_v1_0(),
-            &cfg,
-            opts,
-            &em,
-        );
+        let r = compare_networks(&zoo::squeezenext(), &zoo::squeezenet_v1_0(), &cfg, opts, &em);
         assert!((2.0..3.5).contains(&r.speedup), "speedup = {:.2}", r.speedup);
         assert!((1.8..3.5).contains(&r.energy_gain), "energy = {:.2}", r.energy_gain);
     }
@@ -183,6 +226,25 @@ mod tests {
         let r = compare_networks(&zoo::squeezenext(), &zoo::alexnet(), &cfg, opts, &em);
         assert!(r.speedup > 4.5, "speedup = {:.2}", r.speedup);
         assert!(r.energy_gain > 4.5, "energy = {:.2}", r.energy_gain);
+    }
+
+    #[test]
+    fn compare_all_matches_individual_evaluations_in_order() {
+        let (cfg, opts, em) = setup();
+        let nets = vec![zoo::squeezenet_v1_1(), zoo::tiny_darknet()];
+        let sim = Simulator::new();
+        let rows = compare_all(&sim, &nets, &cfg, opts, em, 2);
+        assert_eq!(rows.len(), nets.len());
+        for (row, net) in rows.iter().zip(&nets) {
+            assert_eq!(row.network, net.name());
+            let solo = ArchitectureComparison::evaluate(net, &cfg, opts, em);
+            assert_eq!(row.hybrid, solo.hybrid);
+            assert_eq!(row.ws, solo.ws);
+            assert_eq!(row.os, solo.os);
+        }
+        // All three runs per network share the cache, so the fixed-dataflow
+        // replays hit heavily.
+        assert!(sim.stats().hit_rate() > 0.5, "{}", sim.stats());
     }
 
     #[test]

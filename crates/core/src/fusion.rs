@@ -53,8 +53,7 @@ pub fn plan_fusion(network: &Network, cfg: &AcceleratorConfig) -> Vec<FusionGrou
             *consumers.entry(p).or_insert(0) += 1;
         }
     }
-    let multi_consumer =
-        |name: &str| consumers.get(name).copied().unwrap_or(0) > 1;
+    let multi_consumer = |name: &str| consumers.get(name).copied().unwrap_or(0) > 1;
 
     let mut groups: Vec<FusionGroup> = Vec::new();
     let mut current: Vec<String> = Vec::new();

@@ -40,9 +40,16 @@ pub mod roofline;
 pub mod schedule;
 pub mod select;
 
-pub use codesign::{evaluate_variant, CodesignStudy, ModelTransform, VariantResult};
-pub use dse::{best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, DesignParams, DesignPoint, SweepSpace};
-pub use evaluate::{compare_networks, ArchitectureComparison, RelativeResult};
+pub use codesign::{
+    evaluate_variant, evaluate_variant_with, CodesignStudy, ModelTransform, VariantResult,
+};
+pub use dse::{
+    best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, sweep_with, DesignParams,
+    DesignPoint, SweepError, SweepSpace,
+};
+pub use evaluate::{
+    compare_all, compare_networks, compare_networks_with, ArchitectureComparison, RelativeResult,
+};
 pub use fusion::{fusion_savings, plan_fusion, FusionGroup, FusionSavings};
 pub use pareto::{pareto_front, spectrum, CostAxis, ModelPoint};
 pub use ranges::{advantage_range, AdvantageRange};

@@ -148,10 +148,11 @@ mod tests {
     #[test]
     fn spectrum_skips_models_without_accuracy() {
         let cfg = AcceleratorConfig::paper_default();
-        let unnamed = codesign_dnn::NetworkBuilder::new("anon", codesign_dnn::Shape::new(3, 32, 32))
-            .conv("c", 8, 3, 1, 1)
-            .finish()
-            .unwrap();
+        let unnamed =
+            codesign_dnn::NetworkBuilder::new("anon", codesign_dnn::Shape::new(3, 32, 32))
+                .conv("c", 8, 3, 1, 1)
+                .finish()
+                .unwrap();
         let pts = spectrum(&[unnamed], &cfg, SimOptions::default(), &EnergyModel::default());
         assert!(pts.is_empty());
     }

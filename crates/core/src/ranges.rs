@@ -73,8 +73,9 @@ mod tests {
         // WS advantage at the top end; the low end may dip below 1 for a
         // few early layers (documented deviation).
         let (nets, cfg, opts) = setup();
-        let r = advantage_range(&nets, LayerClass::Pointwise, Dataflow::WeightStationary, &cfg, opts)
-            .unwrap();
+        let r =
+            advantage_range(&nets, LayerClass::Pointwise, Dataflow::WeightStationary, &cfg, opts)
+                .unwrap();
         assert!(r.samples > 20);
         assert!(r.max > 2.0, "max = {:.2}", r.max);
         assert!(r.min > 0.5, "min = {:.2}", r.min);
@@ -84,8 +85,9 @@ mod tests {
     fn first_conv_favors_os() {
         // Paper: 1.6x to 6.3x faster on OS.
         let (nets, cfg, opts) = setup();
-        let r = advantage_range(&nets, LayerClass::FirstConv, Dataflow::OutputStationary, &cfg, opts)
-            .unwrap();
+        let r =
+            advantage_range(&nets, LayerClass::FirstConv, Dataflow::OutputStationary, &cfg, opts)
+                .unwrap();
         assert_eq!(r.samples, nets.len());
         assert!(r.min > 1.0, "min = {:.2}", r.min);
         assert!(r.max > 3.0, "max = {:.2}", r.max);
@@ -95,8 +97,9 @@ mod tests {
     fn depthwise_overwhelmingly_favors_os() {
         // Paper: 19x to 96x faster on OS.
         let (nets, cfg, opts) = setup();
-        let r = advantage_range(&nets, LayerClass::Depthwise, Dataflow::OutputStationary, &cfg, opts)
-            .unwrap();
+        let r =
+            advantage_range(&nets, LayerClass::Depthwise, Dataflow::OutputStationary, &cfg, opts)
+                .unwrap();
         assert!(r.samples >= 13, "MobileNet has 13 depthwise layers");
         assert!(r.max > 10.0, "max = {:.1}", r.max);
         assert!(r.min > 1.0, "min = {:.2}", r.min);
@@ -106,7 +109,13 @@ mod tests {
     fn missing_class_returns_none() {
         let (_, cfg, opts) = setup();
         let nets = vec![zoo::alexnet()];
-        assert!(advantage_range(&nets, LayerClass::Depthwise, Dataflow::OutputStationary, &cfg, opts)
-            .is_none());
+        assert!(advantage_range(
+            &nets,
+            LayerClass::Depthwise,
+            Dataflow::OutputStationary,
+            &cfg,
+            opts
+        )
+        .is_none());
     }
 }

@@ -67,12 +67,8 @@ impl NetworkRoofline {
         if total == 0 {
             return 0.0;
         }
-        let mem: u64 = self
-            .layers
-            .iter()
-            .filter(|l| l.bound == Bound::MemoryBound)
-            .map(|l| l.macs)
-            .sum();
+        let mem: u64 =
+            self.layers.iter().filter(|l| l.bound == Bound::MemoryBound).map(|l| l.macs).sum();
         mem as f64 / total as f64
     }
 

@@ -128,9 +128,8 @@ pub fn schedule_sparsity_robustness(
         .iter()
         .map(|&z| {
             let opts = SimOptions {
-                os: codesign_sim::OsModelOptions::paper_default().with_sparsity(
-                    codesign_sim::SparsityModel { zero_fraction: z, exploit: true },
-                ),
+                os: codesign_sim::OsModelOptions::paper_default()
+                    .with_sparsity(codesign_sim::SparsityModel { zero_fraction: z, exploit: true }),
                 ..SimOptions::paper_default()
             };
             let probe = NetworkSchedule::build(network, cfg, opts);
@@ -162,10 +161,7 @@ mod tests {
         // conv1 picks OS.
         assert_eq!(s.entry("conv1").unwrap().chosen, Some(Dataflow::OutputStationary));
         // Squeeze/expand 1x1 layers pick WS.
-        assert_eq!(
-            s.entry("fire2/squeeze1x1").unwrap().chosen,
-            Some(Dataflow::WeightStationary)
-        );
+        assert_eq!(s.entry("fire2/squeeze1x1").unwrap().chosen, Some(Dataflow::WeightStationary));
         // Late 3x3 expands see OS degraded by the feature-map mismatch:
         // fire9 runs 13x13 on a 32x32 array.
         let fire9 = s.entry("fire9/expand3x3").unwrap();
@@ -183,10 +179,7 @@ mod tests {
         let s = schedule(&net);
         let early = s.entry("s1b1/reduce1").unwrap().utilization;
         let late = s.entry("s3b1/expand").unwrap().utilization;
-        assert!(
-            early < late,
-            "early {early:.3} should be below late {late:.3}"
-        );
+        assert!(early < late, "early {early:.3} should be below late {late:.3}");
     }
 
     #[test]

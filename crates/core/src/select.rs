@@ -63,16 +63,18 @@ impl fmt::Display for Constraints {
 /// Picks the most accurate model admitted by the constraints; among
 /// equally accurate candidates, the fastest wins. Returns `None` when no
 /// model qualifies (the constraints are infeasible for this family).
-pub fn select_model<'a>(points: &'a [ModelPoint], constraints: &Constraints) -> Option<&'a ModelPoint> {
+///
+/// Comparisons use [`f64::total_cmp`], so a NaN accuracy or latency in
+/// the input can never panic the selection (NaN simply sorts after every
+/// real number on each axis).
+pub fn select_model<'a>(
+    points: &'a [ModelPoint],
+    constraints: &Constraints,
+) -> Option<&'a ModelPoint> {
     points
         .iter()
         .filter(|p| constraints.admits(p))
-        .max_by(|a, b| {
-            a.accuracy
-                .partial_cmp(&b.accuracy)
-                .expect("accuracies are finite")
-                .then(b.time_ms.partial_cmp(&a.time_ms).expect("times are finite"))
-        })
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy).then(b.time_ms.total_cmp(&a.time_ms)))
 }
 
 #[cfg(test)]

@@ -190,9 +190,7 @@ impl Layer {
                 let per_output = spec.kernel.taps() * self.input.channels / spec.groups;
                 (self.output.elements() * per_output) as u64
             }
-            LayerOp::FullyConnected { .. } => {
-                (self.input.elements() * self.output.channels) as u64
-            }
+            LayerOp::FullyConnected { .. } => (self.input.elements() * self.output.channels) as u64,
             _ => 0,
         }
     }
@@ -324,7 +322,15 @@ mod tests {
 
     fn layer(op: LayerOp, input: Shape, first: bool) -> Layer {
         let output = infer_output(&op, input).expect("valid layer");
-        Layer { name: "t".into(), op, input, output, is_first_conv: first, primary_input: None, extra_input: None }
+        Layer {
+            name: "t".into(),
+            op,
+            input,
+            output,
+            is_first_conv: first,
+            primary_input: None,
+            extra_input: None,
+        }
     }
 
     #[test]
@@ -408,8 +414,11 @@ mod tests {
 
     #[test]
     fn pool_and_concat_have_no_macs() {
-        let pool =
-            layer(LayerOp::Pool { kind: PoolKind::Max, kernel: 3, stride: 2, pad: 0 }, Shape::new(96, 55, 55), false);
+        let pool = layer(
+            LayerOp::Pool { kind: PoolKind::Max, kernel: 3, stride: 2, pad: 0 },
+            Shape::new(96, 55, 55),
+            false,
+        );
         assert_eq!(pool.macs(), 0);
         assert_eq!(pool.class(), LayerClass::Other);
         assert_eq!(pool.output, Shape::new(96, 27, 27));

@@ -23,11 +23,7 @@ impl BuildNetworkError {
 
 impl fmt::Display for BuildNetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "layer `{}` does not fit input {}: {}",
-            self.layer_name, self.input, self.detail
-        )
+        write!(f, "layer `{}` does not fit input {}: {}", self.layer_name, self.input, self.detail)
     }
 }
 
@@ -183,8 +179,7 @@ impl NetworkBuilder {
             return self;
         }
         if self.layers.iter().any(|l| l.name == name) {
-            self.error =
-                Some(BuildNetworkError::new(name, self.current, "duplicate layer name"));
+            self.error = Some(BuildNetworkError::new(name, self.current, "duplicate layer name"));
             return self;
         }
         if self.current.elements() == 0 {

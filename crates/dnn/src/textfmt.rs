@@ -71,13 +71,16 @@ fn parse_dims(token: &str, line: usize) -> Result<Vec<usize>, ParseNetworkError>
 }
 
 fn parse_prefixed(token: &str, prefix: char, line: usize) -> Result<usize, ParseNetworkError> {
-    token
-        .strip_prefix(prefix)
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| ParseNetworkError::new(line, format!("expected `{prefix}<n>`, got `{token}`")))
+    token.strip_prefix(prefix).and_then(|v| v.parse().ok()).ok_or_else(|| {
+        ParseNetworkError::new(line, format!("expected `{prefix}<n>`, got `{token}`"))
+    })
 }
 
-fn parse_num<T: std::str::FromStr>(token: &str, what: &str, line: usize) -> Result<T, ParseNetworkError> {
+fn parse_num<T: std::str::FromStr>(
+    token: &str,
+    what: &str,
+    line: usize,
+) -> Result<T, ParseNetworkError> {
     token.parse().map_err(|_| ParseNetworkError::new(line, format!("bad {what} `{token}`")))
 }
 
@@ -217,7 +220,14 @@ pub fn write_network(network: &Network) -> Option<String> {
 
     let mut out = String::new();
     let input = network.input();
-    let _ = writeln!(out, "network {} {}x{}x{}", network.name(), input.channels, input.height, input.width);
+    let _ = writeln!(
+        out,
+        "network {} {}x{}x{}",
+        network.name(),
+        input.channels,
+        input.height,
+        input.width
+    );
     let mut skip_until_concat: Option<String> = None;
     for layer in network.layers() {
         // Fire modules serialize as one directive; recognize the builder's
@@ -262,7 +272,8 @@ pub fn write_network(network: &Network) -> Option<String> {
                     } else {
                         format!("{}x{}", spec.kernel.height, spec.kernel.width)
                     };
-                    let groups = if spec.groups > 1 { format!(" g{}", spec.groups) } else { String::new() };
+                    let groups =
+                        if spec.groups > 1 { format!(" g{}", spec.groups) } else { String::new() };
                     let _ = writeln!(
                         out,
                         "conv {} {} {} s{} p{}{}",
@@ -330,11 +341,16 @@ accuracy  61.5
 
     #[test]
     fn round_trips_zoo_classifiers() {
-        for net in [zoo::squeezenet_v1_0(), zoo::squeezenet_v1_1(), zoo::mobilenet_v1(), zoo::tiny_darknet(), zoo::alexnet()] {
-            let text = write_network(&net)
-                .unwrap_or_else(|| panic!("{} should serialize", net.name()));
-            let again = parse_network(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        for net in [
+            zoo::squeezenet_v1_0(),
+            zoo::squeezenet_v1_1(),
+            zoo::mobilenet_v1(),
+            zoo::tiny_darknet(),
+            zoo::alexnet(),
+        ] {
+            let text =
+                write_network(&net).unwrap_or_else(|| panic!("{} should serialize", net.name()));
+            let again = parse_network(&text).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
             assert_eq!(net.total_macs(), again.total_macs(), "{}", net.name());
             assert_eq!(net.layers().len(), again.layers().len(), "{}", net.name());
         }

@@ -10,8 +10,7 @@ use crate::shape::Shape;
 
 /// Width-multiplier variants published with the MobileNet paper, with their
 /// ImageNet top-1 accuracies.
-const WIDTH_VARIANTS: [(f64, f64); 4] =
-    [(1.0, 70.6), (0.75, 68.4), (0.5, 63.7), (0.25, 50.6)];
+const WIDTH_VARIANTS: [(f64, f64); 4] = [(1.0, 70.6), (0.75, 68.4), (0.5, 63.7), (0.25, 50.6)];
 
 fn scaled(width: f64, channels: usize) -> usize {
     ((channels as f64 * width).round() as usize).max(1)
@@ -54,9 +53,7 @@ pub fn mobilenet(width: f64) -> Network {
     }
     b.global_avg_pool("pool");
     b.fully_connected("fc", 1000);
-    if let Some((_, acc)) =
-        WIDTH_VARIANTS.iter().find(|(w, _)| (w - width).abs() < 1e-9)
-    {
+    if let Some((_, acc)) = WIDTH_VARIANTS.iter().find(|(w, _)| (w - width).abs() < 1e-9) {
         b.top1_accuracy(*acc);
     }
     b.finish().expect("MobileNet definition is shape-consistent")
@@ -75,8 +72,7 @@ pub fn mobilenet_family() -> Vec<Network> {
 /// Published resolution variants of 1.0-MobileNet with their ImageNet
 /// top-1 accuracies — the second scaling axis of the MobileNet paper,
 /// relevant to §2's discussion of input-resolution sensitivity.
-const RESOLUTION_VARIANTS: [(usize, f64); 4] =
-    [(224, 70.6), (192, 69.1), (160, 67.2), (128, 64.4)];
+const RESOLUTION_VARIANTS: [(usize, f64); 4] = [(224, 70.6), (192, 69.1), (160, 67.2), (128, 64.4)];
 
 /// Builds 1.0-MobileNet at one of the published input resolutions
 /// (224, 192, 160, 128). Other resolutions build without accuracy

@@ -16,8 +16,7 @@ pub use mobilenet::{
 pub use squeezedet::squeezedet_trunk;
 pub use squeezenet::{squeezenet_v1_0, squeezenet_v1_1};
 pub use squeezenext::{
-    squeezenext, squeezenext_family, squeezenext_variant, squeezenext_variants,
-    SqueezeNextConfig,
+    squeezenext, squeezenext_family, squeezenext_variant, squeezenext_variants, SqueezeNextConfig,
 };
 
 use crate::network::Network;

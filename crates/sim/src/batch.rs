@@ -94,11 +94,7 @@ pub fn simulate_layer_batched(
         None => {
             let single = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
             let mut compute = crate::perf::ComputePerf {
-                phases: PhaseCycles {
-                    load: 0,
-                    compute: single.phases.compute * batch,
-                    drain: 0,
-                },
+                phases: PhaseCycles { load: 0, compute: single.phases.compute * batch, drain: 0 },
                 executed_macs: 0,
                 accesses: scale_counts(single.accesses, batch),
             };

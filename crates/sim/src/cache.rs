@@ -1,0 +1,314 @@
+//! Memoization of per-layer simulation results.
+//!
+//! The co-design loop re-simulates the same layer shapes over and over:
+//! SqueezeNet/SqueezeNext fire modules repeat identical [`ConvWork`]
+//! shapes dozens of times within one network, the hybrid scheduler
+//! simulates every layer under both dataflows, and the fixed WS/OS
+//! reference runs repeat exactly the work the hybrid run already did.
+//! [`SimCache`] memoizes the expensive, input-independent part of a
+//! layer simulation — the [`ComputePerf`] and the DRAM traffic byte
+//! count — keyed by `(ConvWork, AcceleratorConfig, Dataflow, SimOptions)`.
+//!
+//! The cache is thread-safe (shared by the parallel sweep workers in
+//! `codesign-core::dse`) and purely an accelerator: cached and uncached
+//! runs produce bit-identical results, because the memoized functions
+//! are deterministic in the key.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use codesign_arch::{AcceleratorConfig, Dataflow};
+
+use crate::engine::{SimOptions, TrafficModel};
+use crate::perf::ComputePerf;
+use crate::workload::ConvWork;
+
+/// An `f64` treated as its bit pattern so it can participate in a hash
+/// key (the simulator never produces NaN configuration fields, and bitwise
+/// equality is exactly the determinism contract the cache needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Bits(u64);
+
+impl From<f64> for Bits {
+    fn from(v: f64) -> Self {
+        Self(v.to_bits())
+    }
+}
+
+/// The configuration fields that influence per-layer simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    array_size: usize,
+    rf_depth: usize,
+    global_buffer_bytes: usize,
+    bytes_per_element: usize,
+    clock_mhz: Bits,
+    dram_latency: u64,
+    dram_bytes_per_cycle: Bits,
+    double_buffering: bool,
+}
+
+impl ConfigKey {
+    fn of(cfg: &AcceleratorConfig) -> Self {
+        Self {
+            array_size: cfg.array_size(),
+            rf_depth: cfg.rf_depth(),
+            global_buffer_bytes: cfg.global_buffer_bytes(),
+            bytes_per_element: cfg.bytes_per_element(),
+            clock_mhz: cfg.clock_mhz().into(),
+            dram_latency: cfg.dram().latency_cycles,
+            dram_bytes_per_cycle: cfg.dram().bytes_per_cycle.into(),
+            double_buffering: cfg.double_buffering(),
+        }
+    }
+}
+
+/// The simulation-option fields that influence per-layer simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OptsKey {
+    zero_fraction: Bits,
+    exploit_sparsity: bool,
+    preload_overlap: bool,
+    channel_packing: bool,
+    traffic: TrafficModel,
+    compression: Option<(u32, u32)>,
+}
+
+impl OptsKey {
+    fn of(opts: &SimOptions) -> Self {
+        Self {
+            zero_fraction: opts.os.sparsity.zero_fraction.into(),
+            exploit_sparsity: opts.os.sparsity.exploit,
+            preload_overlap: opts.os.preload_overlap,
+            channel_packing: opts.os.channel_packing,
+            traffic: opts.traffic,
+            compression: opts.weight_compression.map(|c| (c.data_bits, c.index_bits)),
+        }
+    }
+}
+
+/// Full cache key for one conv-shaped layer simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct LayerKey {
+    work: ConvWork,
+    dataflow: Dataflow,
+    cfg: ConfigKey,
+    opts: OptsKey,
+}
+
+impl LayerKey {
+    pub(crate) fn new(
+        work: &ConvWork,
+        cfg: &AcceleratorConfig,
+        opts: &SimOptions,
+        dataflow: Dataflow,
+    ) -> Self {
+        Self { work: *work, dataflow, cfg: ConfigKey::of(cfg), opts: OptsKey::of(opts) }
+    }
+}
+
+/// The memoized result: PE-array work plus total DRAM traffic bytes
+/// (everything in a [`crate::perf::LayerPerf`] except the layer name,
+/// which is re-attached per layer).
+pub(crate) type CachedLayer = (ComputePerf, u64);
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Resident entries.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.lookups(),
+            100.0 * self.hit_rate(),
+            self.entries
+        )
+    }
+}
+
+/// Thread-safe memo table for per-layer simulation results.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<LayerKey, CachedLayer>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached result for `key`, computing and inserting it
+    /// with `compute` on a miss.
+    ///
+    /// The lock is *not* held while computing, so parallel workers never
+    /// serialize on a miss; two threads racing on the same key both
+    /// compute it (deterministically identical values) and one insert
+    /// wins.
+    pub(crate) fn get_or_compute(
+        &self,
+        key: LayerKey,
+        compute: impl FnOnce() -> CachedLayer,
+    ) -> CachedLayer {
+        if let Some(hit) = self.map.lock().expect("sim cache lock").get(&key).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.map.lock().expect("sim cache lock").insert(key, value);
+        value
+    }
+
+    /// Counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("sim cache lock").len(),
+        }
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("sim cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_arch::DataflowPolicy;
+    use codesign_dnn::{zoo, NetworkBuilder, Shape};
+
+    use crate::engine::Simulator;
+
+    fn key(rf: usize) -> LayerKey {
+        let cfg = AcceleratorConfig::builder().rf_depth(rf).build().unwrap();
+        let work = ConvWork {
+            kind: crate::workload::WorkKind::Dense,
+            groups: 1,
+            in_channels: 8,
+            out_channels: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 18,
+            in_w: 18,
+            out_h: 16,
+            out_w: 16,
+        };
+        LayerKey::new(&work, &cfg, &SimOptions::paper_default(), Dataflow::WeightStationary)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = SimCache::new();
+        let fresh = (ComputePerf::default(), 42u64);
+        let first = cache.get_or_compute(key(8), || fresh);
+        let second = cache.get_or_compute(key(8), || panic!("must not recompute"));
+        assert_eq!(first, second);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let cache = SimCache::new();
+        cache.get_or_compute(key(8), || (ComputePerf::default(), 1));
+        let (_, d) = cache.get_or_compute(key(16), || (ComputePerf::default(), 2));
+        assert_eq!(d, 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = SimCache::new();
+        cache.get_or_compute(key(8), || (ComputePerf::default(), 1));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn repeated_layer_shapes_hit() {
+        // Two identically-shaped conv layers: the second layer's WS and OS
+        // simulations must both be answered from the cache.
+        let net = NetworkBuilder::new("twins", Shape::new(16, 16, 16))
+            .conv("a", 16, 3, 1, 1)
+            .conv("b", 16, 3, 1, 1)
+            .finish()
+            .unwrap();
+        let sim = Simulator::new();
+        let cfg = AcceleratorConfig::paper_default();
+        sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, SimOptions::paper_default());
+        let s = sim.stats();
+        assert_eq!(s.hits, 2, "layer b should hit for both dataflows: {s}");
+        assert_eq!(s.misses, 2, "layer a misses once per dataflow: {s}");
+    }
+
+    #[test]
+    fn fire_modules_give_high_hit_rates() {
+        // The paper's own workloads: repeated fire-module shapes make the
+        // intra-network hit rate substantial (> 50 % across hybrid + the
+        // two fixed-reference runs, which replay the hybrid's layers).
+        let sim = Simulator::new();
+        let cfg = AcceleratorConfig::paper_default();
+        let opts = SimOptions::paper_default();
+        let net = zoo::squeezenet_v1_1();
+        sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        sim.simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
+        sim.simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
+        let s = sim.stats();
+        assert!(s.hit_rate() > 0.5, "expected > 50% hit rate, got {s}");
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cfg = AcceleratorConfig::paper_default();
+        let opts = SimOptions::paper_default();
+        let net = zoo::squeezenet_v1_1();
+        let cached = Simulator::new();
+        let uncached = Simulator::uncached();
+        let a = cached.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        let b = uncached.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        // Run the cached simulator twice so the second pass is all hits.
+        let c = cached.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(uncached.stats(), CacheStats::default());
+    }
+}

@@ -95,16 +95,14 @@ impl MachineTrace {
 
     /// Expands the trace to one [`CycleState`] per machine cycle.
     pub fn iter_cycles(&self) -> impl Iterator<Item = CycleState> + '_ {
-        self.segments
-            .iter()
-            .flat_map(|s| (0..s.cycles).map(move |_| s))
-            .enumerate()
-            .map(|(i, s)| CycleState {
+        self.segments.iter().flat_map(|s| (0..s.cycles).map(move |_| s)).enumerate().map(
+            |(i, s)| CycleState {
                 cycle: i as u64,
                 phase: s.phase,
                 macs: s.macs_per_cycle,
                 active_pes: s.active_pes,
-            })
+            },
+        )
     }
 }
 

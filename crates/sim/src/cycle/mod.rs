@@ -111,12 +111,10 @@ mod validation {
                     // Broadcast quantization differs by at most one
                     // pixel-tile worth of MACs per compute segment.
                     let diff = trace.macs().abs_diff(analytic.executed_macs);
-                    let bound = trace
-                        .segments()
-                        .iter()
-                        .filter(|s| s.phase == Phase::Compute)
-                        .count() as u64
-                        * cfg.pe_count() as u64;
+                    let bound =
+                        trace.segments().iter().filter(|s| s.phase == Phase::Compute).count()
+                            as u64
+                            * cfg.pe_count() as u64;
                     assert!(
                         diff <= bound,
                         "OS MACs diverge beyond rounding for {work:?}: {diff} > {bound}"

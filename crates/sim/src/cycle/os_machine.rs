@@ -57,21 +57,15 @@ fn trace_os_conv(
                 let kg_list: Vec<usize> = if depthwise {
                     vec![0] // sentinel: one pass over all channels
                 } else {
-                    let packing = if opts.channel_packing {
-                        ((n * n) / (th * tw).max(1)).max(1)
-                    } else {
-                        1
-                    };
+                    let packing =
+                        if opts.channel_packing { ((n * n) / (th * tw).max(1)).max(1) } else { 1 };
                     let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
                     split(work.out_channels, resident)
                 };
 
                 for kg in kg_list {
-                    let per_channel = if depthwise {
-                        taps as f64 * eff
-                    } else {
-                        (kg as u64 * taps) as f64 * eff
-                    };
+                    let per_channel =
+                        if depthwise { taps as f64 * eff } else { (kg as u64 * taps) as f64 * eff };
                     // Per-pass integer budgets, matching the analytic
                     // model's rounding.
                     let broadcasts = (per_channel * c as f64).ceil() as u64;

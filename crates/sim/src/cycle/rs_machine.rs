@@ -24,11 +24,8 @@ pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     // Useful MACs, distributed uniformly over the streamed cycles so the
     // trace total matches the analytic model's dense count exactly.
     let total_macs = work.macs();
-    let stream_cycles_total = work.groups as u64
-        * split(work.out_h, n).len() as u64
-        * pair_waves
-        * ow
-        * fw;
+    let stream_cycles_total =
+        work.groups as u64 * split(work.out_h, n).len() as u64 * pair_waves * ow * fw;
 
     let mut trace = MachineTrace::new();
     let mut emitted_macs = 0u64;
@@ -39,11 +36,9 @@ pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
                 trace.push(Phase::Load, fh as u64, 0, 0);
                 let stream = ow * fw;
                 // Two-rate split keeps the integer MAC total exact.
-                let target = if stream_cycles_total == 0 {
-                    0
-                } else {
-                    total_macs * (emitted_stream + stream) / stream_cycles_total
-                };
+                let target = (total_macs * (emitted_stream + stream))
+                    .checked_div(stream_cycles_total)
+                    .unwrap_or(0);
                 let macs_this = target - emitted_macs;
                 let lo = macs_this / stream.max(1);
                 let hi_cycles = macs_this - lo * stream;
@@ -52,12 +47,7 @@ pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
                 trace.push(Phase::Compute, stream - hi_cycles, lo, active);
                 emitted_macs = target;
                 emitted_stream += stream;
-                trace.push(
-                    Phase::Drain,
-                    (strip as u64 * ow).div_ceil(n as u64),
-                    0,
-                    0,
-                );
+                trace.push(Phase::Drain, (strip as u64 * ow).div_ceil(n as u64), 0, 0);
             }
         }
     }

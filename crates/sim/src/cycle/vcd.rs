@@ -114,7 +114,8 @@ mod tests {
     fn consecutive_identical_states_are_merged() {
         let vcd = trace_to_vcd(&trace(), "m");
         // WS alternates load/compute; state changes = timestamps - final.
-        let changes = vcd.lines().filter(|l| l.starts_with("b00 p") || l.starts_with("b01 p")).count();
+        let changes =
+            vcd.lines().filter(|l| l.starts_with("b00 p") || l.starts_with("b01 p")).count();
         let segments = trace().segments().len();
         assert!(changes <= segments);
         assert!(changes >= 2);

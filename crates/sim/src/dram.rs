@@ -60,7 +60,11 @@ pub fn conv_traffic(work: &ConvWork, cfg: &AcceleratorConfig) -> DramTraffic {
 
 /// Traffic of a non-PE (SIMD-path) layer: input read once, output written
 /// once, no weights.
-pub fn simd_traffic(input_elements: u64, output_elements: u64, cfg: &AcceleratorConfig) -> DramTraffic {
+pub fn simd_traffic(
+    input_elements: u64,
+    output_elements: u64,
+    cfg: &AcceleratorConfig,
+) -> DramTraffic {
     let e = cfg.bytes_per_element() as u64;
     DramTraffic { input: input_elements * e, weights: 0, output: output_elements * e }
 }

@@ -2,15 +2,18 @@
 //! a dataflow policy, folds in DRAM timing, and assembles whole-network
 //! results.
 
+use std::sync::Arc;
+
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 
+use crate::cache::{CacheStats, LayerKey, SimCache};
 use crate::compression::WeightCompression;
 use crate::dram::{combine_cycles, conv_traffic, simd_traffic};
 use crate::os::{simulate_os, OsModelOptions};
-use crate::tiling::optimize_tiling;
 use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
 use crate::simd::simulate_simd;
+use crate::tiling::optimize_tiling;
 use crate::workload::ConvWork;
 use crate::ws::simulate_ws;
 
@@ -117,75 +120,199 @@ fn finish_layer(
     }
 }
 
+/// The memoizable part of one conv-shaped layer simulation: PE-array
+/// work plus the DRAM traffic byte count (the layer name is re-attached
+/// by the caller).
+fn conv_layer_parts(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> (ComputePerf, u64) {
+    let compute = simulate_conv(work, cfg, opts, dataflow);
+    let traffic = opts.layer_traffic(work, cfg);
+    (compute, traffic.total())
+}
+
+/// A simulation engine handle: the entry point every higher layer
+/// (`codesign-core`'s DSE/co-design loops, the bench report, the CLI)
+/// routes per-layer simulation through.
+///
+/// A `Simulator` optionally carries a shared, thread-safe [`SimCache`]
+/// memoizing per-layer results keyed by
+/// `(ConvWork, AcceleratorConfig, Dataflow, SimOptions)`. Cloning is
+/// cheap and shares the cache, so one handle can fan out across the
+/// parallel sweep workers in `codesign-core::dse`. Cached and uncached
+/// runs are bit-identical — the cache only skips recomputation of a
+/// deterministic function.
+///
+/// # Examples
+///
+/// ```
+/// use codesign_arch::{AcceleratorConfig, DataflowPolicy};
+/// use codesign_dnn::zoo;
+/// use codesign_sim::{SimOptions, Simulator};
+///
+/// let sim = Simulator::new();
+/// let cfg = AcceleratorConfig::paper_default();
+/// let opts = SimOptions::paper_default();
+/// let net = zoo::squeezenet_v1_1();
+/// let perf = sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+/// assert!(perf.total_cycles() > 0);
+/// // Fire modules repeat layer shapes, so the cache saw hits already.
+/// assert!(sim.stats().hits > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    cache: Option<Arc<SimCache>>,
+}
+
+impl Simulator {
+    /// A simulator with memoization enabled (an empty cache).
+    pub fn new() -> Self {
+        Self { cache: Some(Arc::new(SimCache::new())) }
+    }
+
+    /// A simulator that always recomputes — the baseline the determinism
+    /// tests compare cached runs against.
+    pub fn uncached() -> Self {
+        Self { cache: None }
+    }
+
+    /// Whether this handle memoizes.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cache counters (all zero for an uncached simulator).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.as_deref().map(SimCache::stats).unwrap_or_default()
+    }
+
+    /// Drops all cached entries and resets the counters.
+    pub fn clear_cache(&self) {
+        if let Some(cache) = self.cache.as_deref() {
+            cache.clear();
+        }
+    }
+
+    /// Simulates one layer under a forced dataflow (non-PE layers always
+    /// take the SIMD path, regardless of `dataflow`).
+    pub fn simulate_layer(
+        &self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        dataflow: Dataflow,
+    ) -> LayerPerf {
+        match ConvWork::from_layer(layer) {
+            Some(work) => {
+                let (compute, dram_bytes) = match self.cache.as_deref() {
+                    Some(cache) => cache
+                        .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
+                            conv_layer_parts(&work, cfg, opts, dataflow)
+                        }),
+                    None => conv_layer_parts(&work, cfg, opts, dataflow),
+                };
+                finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg)
+            }
+            None => {
+                let compute =
+                    simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+                let traffic = simd_traffic(
+                    layer.input.elements() as u64,
+                    layer.output.elements() as u64,
+                    cfg,
+                );
+                finish_layer(layer, None, compute, traffic.total(), cfg)
+            }
+        }
+    }
+
+    /// Simulates one layer under both dataflows and returns
+    /// `(ws, os, best)` where `best` is the faster of the two — the
+    /// choice the Squeezelerator's static scheduler makes ("each layer
+    /// configuration must be simulated to determine which architecture is
+    /// best").
+    pub fn compare_dataflows(
+        &self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+    ) -> (LayerPerf, LayerPerf, Dataflow) {
+        let ws = self.simulate_layer(layer, cfg, opts, Dataflow::WeightStationary);
+        let os = self.simulate_layer(layer, cfg, opts, Dataflow::OutputStationary);
+        let best = if os.total_cycles < ws.total_cycles {
+            Dataflow::OutputStationary
+        } else {
+            Dataflow::WeightStationary
+        };
+        (ws, os, best)
+    }
+
+    /// Simulates a whole network under the given dataflow policy.
+    ///
+    /// With [`DataflowPolicy::PerLayer`] each layer takes whichever
+    /// dataflow simulates faster (no switching overhead, per the paper);
+    /// with [`DataflowPolicy::Fixed`] every layer is forced onto one
+    /// dataflow — the paper's reference WS and OS architectures.
+    pub fn simulate_network(
+        &self,
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        policy: DataflowPolicy,
+        opts: SimOptions,
+    ) -> NetworkPerf {
+        let layers = network
+            .layers()
+            .iter()
+            .map(|layer| match policy {
+                DataflowPolicy::Fixed(d) => self.simulate_layer(layer, cfg, opts, d),
+                DataflowPolicy::PerLayer => {
+                    let (ws, os, best) = self.compare_dataflows(layer, cfg, opts);
+                    match best {
+                        Dataflow::WeightStationary => ws,
+                        Dataflow::OutputStationary => os,
+                    }
+                }
+            })
+            .collect();
+        NetworkPerf { name: network.name().to_owned(), layers }
+    }
+}
+
 /// Simulates one layer under a forced dataflow (non-PE layers always take
-/// the SIMD path, regardless of `dataflow`).
+/// the SIMD path, regardless of `dataflow`). Uncached convenience wrapper
+/// over [`Simulator::simulate_layer`].
 pub fn simulate_layer(
     layer: &Layer,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
 ) -> LayerPerf {
-    match ConvWork::from_layer(layer) {
-        Some(work) => {
-            let compute = simulate_conv(&work, cfg, opts, dataflow);
-            let traffic = opts.layer_traffic(&work, cfg);
-            finish_layer(layer, Some(dataflow), compute, traffic.total(), cfg)
-        }
-        None => {
-            let compute = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
-            let traffic =
-                simd_traffic(layer.input.elements() as u64, layer.output.elements() as u64, cfg);
-            finish_layer(layer, None, compute, traffic.total(), cfg)
-        }
-    }
+    Simulator::uncached().simulate_layer(layer, cfg, opts, dataflow)
 }
 
-/// Simulates one layer under both dataflows and returns
-/// `(ws, os, best)` where `best` is the faster of the two — the choice
-/// the Squeezelerator's static scheduler makes ("each layer configuration
-/// must be simulated to determine which architecture is best").
+/// Simulates one layer under both dataflows and returns `(ws, os, best)`.
+/// Uncached convenience wrapper over [`Simulator::compare_dataflows`].
 pub fn compare_dataflows(
     layer: &Layer,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
 ) -> (LayerPerf, LayerPerf, Dataflow) {
-    let ws = simulate_layer(layer, cfg, opts, Dataflow::WeightStationary);
-    let os = simulate_layer(layer, cfg, opts, Dataflow::OutputStationary);
-    let best = if os.total_cycles < ws.total_cycles {
-        Dataflow::OutputStationary
-    } else {
-        Dataflow::WeightStationary
-    };
-    (ws, os, best)
+    Simulator::uncached().compare_dataflows(layer, cfg, opts)
 }
 
-/// Simulates a whole network under the given dataflow policy.
-///
-/// With [`DataflowPolicy::PerLayer`] each layer takes whichever dataflow
-/// simulates faster (no switching overhead, per the paper); with
-/// [`DataflowPolicy::Fixed`] every layer is forced onto one dataflow —
-/// the paper's reference WS and OS architectures.
+/// Simulates a whole network under the given dataflow policy, routing
+/// through a transient memoizing [`Simulator`] so repeated layer shapes
+/// (e.g. SqueezeNet's fire modules) simulate once per dataflow.
 pub fn simulate_network(
     network: &Network,
     cfg: &AcceleratorConfig,
     policy: DataflowPolicy,
     opts: SimOptions,
 ) -> NetworkPerf {
-    let layers = network
-        .layers()
-        .iter()
-        .map(|layer| match policy {
-            DataflowPolicy::Fixed(d) => simulate_layer(layer, cfg, opts, d),
-            DataflowPolicy::PerLayer => {
-                let (ws, os, best) = compare_dataflows(layer, cfg, opts);
-                match best {
-                    Dataflow::WeightStationary => ws,
-                    Dataflow::OutputStationary => os,
-                }
-            }
-        })
-        .collect();
-    NetworkPerf { name: network.name().to_owned(), layers }
+    Simulator::new().simulate_network(network, cfg, policy, opts)
 }
 
 #[cfg(test)]
@@ -202,8 +329,10 @@ mod tests {
         let net = zoo::squeezenet_v1_1();
         let opts = SimOptions::paper_default();
         let hybrid = simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
-        let ws = simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
-        let os = simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
+        let ws =
+            simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
+        let os =
+            simulate_network(&net, &cfg(), DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
         for ((h, w), o) in hybrid.layers.iter().zip(&ws.layers).zip(&os.layers) {
             assert!(h.total_cycles <= w.total_cycles, "{}", h.name);
             assert!(h.total_cycles <= o.total_cycles, "{}", h.name);
@@ -254,10 +383,8 @@ mod tests {
 
     #[test]
     fn dram_accounted_in_totals() {
-        let net = NetworkBuilder::new("t", Shape::new(4, 16, 16))
-            .conv("c", 4, 3, 1, 1)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(4, 16, 16)).conv("c", 4, 3, 1, 1).finish().unwrap();
         let perf = simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, SimOptions::default());
         let l = &perf.layers[0];
         assert!(l.dram_bytes > 0);

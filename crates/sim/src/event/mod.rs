@@ -287,15 +287,10 @@ mod tests {
         for net in [zoo::squeezenet_v1_1(), zoo::tiny_darknet(), zoo::mobilenet_v1()] {
             let analytic =
                 simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts).total_cycles() as f64;
-            let event =
-                simulate_network_event(&net, &cfg, DataflowPolicy::PerLayer, opts).total_cycles()
-                    as f64;
+            let event = simulate_network_event(&net, &cfg, DataflowPolicy::PerLayer, opts)
+                .total_cycles() as f64;
             let ratio = event / analytic;
-            assert!(
-                (0.8..1.4).contains(&ratio),
-                "{}: event/analytic = {ratio:.3}",
-                net.name()
-            );
+            assert!((0.8..1.4).contains(&ratio), "{}: event/analytic = {ratio:.3}", net.name());
         }
     }
 

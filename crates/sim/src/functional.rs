@@ -340,15 +340,11 @@ pub fn run_network_on_accelerator(
             }
             _ => {
                 let merge = match &layer.extra_input {
-                    Some(name) => Some(
-                        outputs
-                            .iter()
-                            .find(|(n, _)| n == name)
-                            .map(|(_, t)| t)
-                            .ok_or_else(|| {
-                                RunNetworkError::MissingMergeInput(layer.name.clone())
-                            })?,
-                    ),
+                    Some(name) => {
+                        Some(outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t).ok_or_else(
+                            || RunNetworkError::MissingMergeInput(layer.name.clone()),
+                        )?)
+                    }
                     None => match layer.op {
                         LayerOp::EltwiseAdd => Some(image),
                         _ => None,
@@ -382,15 +378,16 @@ mod tests {
     fn random_case(rng: &mut StdRng) -> (Tensor, Filters, ConvSpec) {
         let depthwise = rng.gen_bool(0.25);
         let (groups, cg, cout) = if depthwise {
-            let c = rng.gen_range(2..=9);
+            let c = rng.gen_range(2..=9usize);
             (c, 1, c)
         } else {
-            let groups = [1, 1, 1, 2][rng.gen_range(0..4)];
-            let cg = rng.gen_range(1..=6);
-            (groups, cg, groups * rng.gen_range(1..=7))
+            let groups = [1, 1, 1, 2][rng.gen_range(0..4usize)];
+            let cg = rng.gen_range(1..=6usize);
+            (groups, cg, groups * rng.gen_range(1..=7usize))
         };
-        let (kh, kw) = [(1, 1), (3, 3), (1, 3), (3, 1), (5, 5), (7, 7)][rng.gen_range(0..6)];
-        let stride = rng.gen_range(1..=3);
+        let (kh, kw): (usize, usize) =
+            [(1, 1), (3, 3), (1, 3), (3, 1), (5, 5), (7, 7)][rng.gen_range(0..6usize)];
+        let stride = rng.gen_range(1..=3usize);
         let h = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
         let w = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
         let input = Tensor::random(Shape::new(groups * cg, h, w), 64, rng);

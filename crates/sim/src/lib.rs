@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod cache;
 pub mod compression;
 pub mod cycle;
 pub mod dram;
@@ -42,6 +43,7 @@ pub mod functional;
 pub mod multicore;
 pub mod nlr;
 pub mod os;
+pub mod parallel;
 pub mod perf;
 pub mod program;
 pub mod rs;
@@ -52,21 +54,26 @@ pub mod tiling;
 pub mod workload;
 pub mod ws;
 
-pub use compression::WeightCompression;
 pub use batch::{simulate_layer_batched, simulate_network_batched};
+pub use cache::{CacheStats, SimCache};
+pub use compression::WeightCompression;
+pub use engine::{
+    compare_dataflows, simulate_conv, simulate_layer, simulate_network, SimOptions, Simulator,
+    TrafficModel,
+};
 pub use event::{simulate_layer_event, simulate_network_event, EventLayerResult, EventResult};
 pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};
 pub use multicore::{
     schedule_branch_parallel, simulate_network_multicore, BranchParallelResult, MultiCoreConfig,
 };
-pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
-pub use engine::{compare_dataflows, simulate_conv, simulate_layer, simulate_network, SimOptions, TrafficModel};
-pub use tiling::{optimize_tiling, LoopOrder, Tiling, TilingPlan};
 pub use nlr::simulate_nlr;
 pub use os::{simulate_os, OsModelOptions, SparsityModel};
-pub use rs::simulate_rs;
-pub use taxonomy::{compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
+pub use parallel::{max_jobs, par_map, resolve_jobs};
 pub use perf::{ComputePerf, LayerPerf, NetworkPerf, PhaseCycles};
 pub use program::{Command, LayerProgram, Program};
+pub use rs::simulate_rs;
+pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
+pub use taxonomy::{compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
+pub use tiling::{optimize_tiling, LoopOrder, Tiling, TilingPlan};
 pub use workload::{ConvWork, WorkKind};
 pub use ws::simulate_ws;

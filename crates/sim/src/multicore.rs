@@ -192,18 +192,8 @@ pub fn schedule_branch_parallel(
         .layers()
         .iter()
         .map(|layer| {
-            let ws = crate::engine::simulate_layer(
-                layer,
-                cfg,
-                opts,
-                Dataflow::WeightStationary,
-            );
-            let os = crate::engine::simulate_layer(
-                layer,
-                cfg,
-                opts,
-                Dataflow::OutputStationary,
-            );
+            let ws = crate::engine::simulate_layer(layer, cfg, opts, Dataflow::WeightStationary);
+            let os = crate::engine::simulate_layer(layer, cfg, opts, Dataflow::OutputStationary);
             ws.total_cycles.min(os.total_cycles)
         })
         .collect();

@@ -37,11 +37,7 @@ pub fn simulate_nlr(work: &ConvWork, cfg: &AcceleratorConfig) -> ComputePerf {
         global_buffer: 2 * macs + work.output_elements(),
         dram: 0,
     };
-    ComputePerf {
-        phases: PhaseCycles { load: 0, compute, drain },
-        executed_macs: macs,
-        accesses,
-    }
+    ComputePerf { phases: PhaseCycles { load: 0, compute, drain }, executed_macs: macs, accesses }
 }
 
 #[cfg(test)]
@@ -90,11 +86,8 @@ mod tests {
     #[test]
     fn small_arrays_hit_the_compute_floor() {
         // On a 2x2 array the port (8/cycle) feeds all 4 PEs: compute bound.
-        let tiny = AcceleratorConfig::builder()
-            .array_size(2)
-            .global_buffer_bytes(1024)
-            .build()
-            .unwrap();
+        let tiny =
+            AcceleratorConfig::builder().array_size(2).global_buffer_bytes(1024).build().unwrap();
         let w = dense(8, 8, 3, 10);
         let p = simulate_nlr(&w, &tiny);
         assert_eq!(p.phases.compute, w.macs().div_ceil(4));

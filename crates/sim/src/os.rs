@@ -84,7 +84,11 @@ impl OsModelOptions {
     /// The paper's configuration: 40 % sparsity skipped, preload
     /// overlapped, channel packing on.
     pub fn paper_default() -> Self {
-        Self { sparsity: SparsityModel::paper_default(), preload_overlap: true, channel_packing: true }
+        Self {
+            sparsity: SparsityModel::paper_default(),
+            preload_overlap: true,
+            channel_packing: true,
+        }
     }
 
     /// Replaces the sparsity model.
@@ -163,7 +167,7 @@ fn simulate_os_conv(
                     compute_f += (per_channel * c as f64).ceil();
                     macs_f += pixels as f64 * per_channel * c as f64;
                     gb_reads_f += per_channel * c as f64; // weight broadcasts
-                    // All channels' results drain.
+                                                          // All channels' results drain.
                     drain += (pixels * c).div_ceil(n as u64);
                     acc.global_buffer += pixels * c;
                     acc.inter_pe += pixels * c;
@@ -171,11 +175,8 @@ fn simulate_os_conv(
                     // Channel packing: replicate an underfilling tile for
                     // several output-channel groups, so one input load
                     // feeds packing × rf_depth resident filters.
-                    let packing = if opts.channel_packing {
-                        ((n * n) / (th * tw).max(1)).max(1)
-                    } else {
-                        1
-                    };
+                    let packing =
+                        if opts.channel_packing { ((n * n) / (th * tw).max(1)).max(1) } else { 1 };
                     let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
                     for kg in split(work.out_channels, resident) {
                         // Input tiles reload once per filter pass — this
@@ -208,11 +209,7 @@ fn simulate_os_conv(
     // subsumed in the load counts; broadcasts reach all active PEs.
     acc.inter_pe += macs;
 
-    ComputePerf {
-        phases: PhaseCycles { load, compute, drain },
-        executed_macs: macs,
-        accesses: acc,
-    }
+    ComputePerf { phases: PhaseCycles { load, compute, drain }, executed_macs: macs, accesses: acc }
 }
 
 /// OS execution of a fully-connected layer: output neurons tile the whole
@@ -419,7 +416,11 @@ mod tests {
         let packed = simulate_os(
             &w,
             &cfg(),
-            OsModelOptions { channel_packing: true, preload_overlap: false, ..OsModelOptions::paper_default() },
+            OsModelOptions {
+                channel_packing: true,
+                preload_overlap: false,
+                ..OsModelOptions::paper_default()
+            },
         );
         let unpacked = simulate_os(&w, &cfg(), raw(SparsityModel::paper_default()));
         assert!(packed.phases.load * 4 < unpacked.phases.load);

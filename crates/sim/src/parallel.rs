@@ -1,0 +1,117 @@
+//! Deterministic scoped-thread fan-out.
+//!
+//! The design-space sweep, the Table-2 evaluation, and the bench report
+//! all map an independent, pure function over a work list. Rayon is
+//! unavailable in the offline build environment, so this module provides
+//! the one primitive those call sites need: [`par_map`], a scoped-thread
+//! work-stealing map whose output order is always the input order —
+//! parallel runs are bit-identical to serial runs, just faster.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the host supports (`1` when undetectable).
+pub fn max_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means "one per core".
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        max_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` threads (`0` = one per core),
+/// returning results in input order.
+///
+/// Work is claimed from a shared atomic counter, so uneven item costs
+/// balance across workers. `f` receives the item index alongside the
+/// item. Panics in `f` propagate after all workers stop.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+
+    // Reassemble in input order regardless of which worker ran what.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for bucket in buckets {
+        for (i, r) in bucket {
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index was claimed exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(4, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(13);
+        assert_eq!(par_map(1, &items, f), par_map(8, &items, f));
+    }
+
+    #[test]
+    fn empty_and_single_items() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        let items: Vec<u32> = (0..16).collect();
+        assert_eq!(par_map(0, &items, |_, &x| x), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(2, &items, |_, &x| {
+            assert!(x < 8, "boom");
+            x
+        });
+    }
+}

@@ -187,13 +187,11 @@ impl Program {
                         let e = cfg.bytes_per_element() as u64;
                         let perf =
                             simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
-                        commands.push(Command::DmaLoad {
-                            bytes: layer.input.elements() as u64 * e,
-                        });
+                        commands
+                            .push(Command::DmaLoad { bytes: layer.input.elements() as u64 * e });
                         commands.push(Command::Simd { cycles: perf.cycles() });
-                        commands.push(Command::DmaStore {
-                            bytes: layer.output.elements() as u64 * e,
-                        });
+                        commands
+                            .push(Command::DmaStore { bytes: layer.output.elements() as u64 * e });
                     }
                 }
                 LayerProgram { layer: layer.name.clone(), commands }
@@ -276,7 +274,8 @@ mod tests {
     fn per_layer_macs_match_the_model() {
         let (cfg, opts) = setup();
         let net = zoo::squeezenet_v1_1();
-        let program = Program::compile(&net, &cfg, DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
+        let program =
+            Program::compile(&net, &cfg, DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
         for (lp, layer) in program.layers.iter().zip(net.layers()) {
             if layer.is_compute() {
                 assert_eq!(lp.macs(), layer.macs(), "{}", layer.name);

@@ -61,7 +61,7 @@ pub fn simulate_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> ComputePerf {
             let active = fh as u64 * strip * fold as u64;
             acc.register_file += pair_waves * stream * active * 2; // weight + input regs
             acc.inter_pe += pair_waves * stream * active; // vertical psum hops
-            // Input rows stream in diagonally from the buffer.
+                                                          // Input rows stream in diagonally from the buffer.
             acc.global_buffer += pair_waves * (strip + fh as u64 - 1) * work.in_w as u64;
             // Output rows drain per pair wave (each wave's rows leave
             // the array before the next wave's preload).

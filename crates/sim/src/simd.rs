@@ -24,13 +24,8 @@ pub fn simulate_simd(layer: &Layer, cfg: &AcceleratorConfig) -> Option<ComputePe
         LayerOp::Conv(_) | LayerOp::FullyConnected { .. } => return None,
     };
     let cycles = ops.div_ceil(lanes);
-    let accesses = AccessCounts {
-        macs: 0,
-        register_file: 0,
-        inter_pe: 0,
-        global_buffer: ops + out,
-        dram: 0,
-    };
+    let accesses =
+        AccessCounts { macs: 0, register_file: 0, inter_pe: 0, global_buffer: ops + out, dram: 0 };
     Some(ComputePerf {
         phases: PhaseCycles { load: 0, compute: cycles, drain: 0 },
         executed_macs: 0,
@@ -45,10 +40,8 @@ mod tests {
 
     #[test]
     fn pool_cycles_scale_with_window() {
-        let net = NetworkBuilder::new("t", Shape::new(4, 16, 16))
-            .max_pool("p2", 2, 2)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(4, 16, 16)).max_pool("p2", 2, 2).finish().unwrap();
         let cfg = AcceleratorConfig::paper_default();
         let p = simulate_simd(&net.layers()[0], &cfg).unwrap();
         // 4*8*8 outputs * 4 window ops / 32 lanes = 32 cycles.
@@ -58,20 +51,16 @@ mod tests {
 
     #[test]
     fn conv_is_not_simd() {
-        let net = NetworkBuilder::new("t", Shape::new(4, 16, 16))
-            .conv("c", 4, 3, 1, 1)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(4, 16, 16)).conv("c", 4, 3, 1, 1).finish().unwrap();
         let cfg = AcceleratorConfig::paper_default();
         assert!(simulate_simd(&net.layers()[0], &cfg).is_none());
     }
 
     #[test]
     fn concat_is_free_compute() {
-        let net = NetworkBuilder::new("t", Shape::new(4, 8, 8))
-            .fire("f", 2, 4, 4)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(4, 8, 8)).fire("f", 2, 4, 4).finish().unwrap();
         let cfg = AcceleratorConfig::paper_default();
         let cat = net.layer("f/concat").unwrap();
         let p = simulate_simd(cat, &cfg).unwrap();

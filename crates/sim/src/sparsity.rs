@@ -107,12 +107,8 @@ mod tests {
         let map = measure_sparsity(&net, &store);
         let cfg = AcceleratorConfig::paper_default();
         let opts = SimOptions::paper_default();
-        let uniform = simulate_network(
-            &net,
-            &cfg,
-            DataflowPolicy::Fixed(Dataflow::OutputStationary),
-            opts,
-        );
+        let uniform =
+            simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
         let measured = simulate_network_measured(
             &net,
             &cfg,
@@ -132,12 +128,8 @@ mod tests {
         let map = measure_sparsity(&net, &store);
         let cfg = AcceleratorConfig::paper_default();
         let opts = SimOptions::paper_default();
-        let assumed_sparse = simulate_network(
-            &net,
-            &cfg,
-            DataflowPolicy::Fixed(Dataflow::OutputStationary),
-            opts,
-        );
+        let assumed_sparse =
+            simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
         let measured = simulate_network_measured(
             &net,
             &cfg,

@@ -127,10 +127,8 @@ pub fn compare_taxonomy(
     let mut hybrid4 = 0u64;
     let mut extra_choices = 0usize;
     for layer in network.layers() {
-        let per: Vec<u64> = TaxonomyDataflow::ALL
-            .iter()
-            .map(|d| layer_cycles(layer, cfg, opts, *d))
-            .collect();
+        let per: Vec<u64> =
+            TaxonomyDataflow::ALL.iter().map(|d| layer_cycles(layer, cfg, opts, *d)).collect();
         for (f, c) in fixed.iter_mut().zip(&per) {
             *f += c;
         }
@@ -188,11 +186,7 @@ mod tests {
                 "AlexNet" | "1.00-MobileNet-224" => 1.30,
                 _ => 1.06,
             };
-            assert!(
-                (1.0..bound).contains(&gain),
-                "{}: hybrid4 gain {gain:.3}",
-                net.name()
-            );
+            assert!((1.0..bound).contains(&gain), "{}: hybrid4 gain {gain:.3}", net.name());
         }
     }
 
@@ -208,9 +202,6 @@ mod tests {
 
     #[test]
     fn tags_are_stable() {
-        assert_eq!(
-            TaxonomyDataflow::ALL.map(|d| d.tag()),
-            ["WS", "OS", "RS", "NLR"]
-        );
+        assert_eq!(TaxonomyDataflow::ALL.map(|d| d.tag()), ["WS", "OS", "RS", "NLR"]);
     }
 }

@@ -230,7 +230,8 @@ mod tests {
         let plan = optimize_tiling(&w, &cfg());
         assert!(plan.working_set <= cfg().working_buffer_bytes());
         assert!(
-            plan.tiling.out_rows < 56 || plan.tiling.out_channels < 128
+            plan.tiling.out_rows < 56
+                || plan.tiling.out_channels < 128
                 || plan.tiling.in_channels < 128
         );
         // Weights fit easily (288 KB? no: 9*128*128*2 = 288 KB > 64 KB),

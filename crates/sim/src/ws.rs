@@ -57,15 +57,15 @@ pub fn simulate_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> ComputePerf {
                     // Preload the weight tile, one row per cycle.
                     load += rt;
                     acc.global_buffer += rt * ct; // weight reads
-                    // Stream every output pixel position.
+                                                  // Stream every output pixel position.
                     stream += out_plane;
                     acc.global_buffer += out_plane * rt; // input reads
-                    // Each streamed cycle drives rt*ct PEs.
+                                                         // Each streamed cycle drives rt*ct PEs.
                     acc.register_file += out_plane * rt * ct; // weight read per MAC
                     acc.inter_pe += out_plane * rt // input injection
                         + out_plane * rt * ct; // adder-chain hops
-                    // Partial sums accumulate in the global buffer across
-                    // row tiles and taps.
+                                               // Partial sums accumulate in the global buffer across
+                                               // row tiles and taps.
                     acc.global_buffer += out_plane * ct; // psum write
                     if !first_accumulation {
                         acc.global_buffer += out_plane * ct; // psum read-modify

@@ -13,8 +13,7 @@ use codesign_dnn::{Layer, LayerOp, Network, PoolKind};
 use rand::Rng;
 
 use crate::ops::{
-    avg_pool, conv2d, eltwise_add, fully_connected, global_avg_pool, max_pool,
-    ShapeMismatchError,
+    avg_pool, conv2d, eltwise_add, fully_connected, global_avg_pool, max_pool, ShapeMismatchError,
 };
 use crate::tensor::{Filters, Tensor};
 
@@ -285,10 +284,8 @@ mod tests {
 
     #[test]
     fn concat_order_is_primary_then_extra() {
-        let net = NetworkBuilder::new("t", Shape::new(2, 4, 4))
-            .fire("f", 2, 3, 5)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(2, 4, 4)).fire("f", 2, 3, 5).finish().unwrap();
         let mut r = rng();
         let weights = WeightStore::random(&net, 4, 0.0, &mut r);
         let image = Tensor::random(net.input(), 8, &mut r);
@@ -319,10 +316,8 @@ mod tests {
 
     #[test]
     fn missing_weights_is_an_error() {
-        let net = NetworkBuilder::new("t", Shape::new(1, 4, 4))
-            .conv("c", 1, 1, 1, 0)
-            .finish()
-            .unwrap();
+        let net =
+            NetworkBuilder::new("t", Shape::new(1, 4, 4)).conv("c", 1, 1, 1, 0).finish().unwrap();
         let image = Tensor::zeros(net.input());
         let err = run_network(&net, &image, &WeightStore::new()).unwrap_err();
         assert!(matches!(err, RunNetworkError::MissingWeights(_)));

@@ -12,12 +12,7 @@ use crate::tensor::{Filters, Tensor};
 ///
 /// Returned matrix is `rows × cols` in row-major order with
 /// `rows = cg * kh * kw`, `cols = oh * ow`.
-pub fn im2col(
-    input: &Tensor,
-    spec: &ConvSpec,
-    group: usize,
-    out_shape: Shape,
-) -> Vec<i32> {
+pub fn im2col(input: &Tensor, spec: &ConvSpec, group: usize, out_shape: Shape) -> Vec<i32> {
     let cg = input.shape().channels / spec.groups;
     let (kh, kw) = (spec.kernel.height, spec.kernel.width);
     let cols = out_shape.plane();
@@ -114,13 +109,13 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_case(rng: &mut StdRng) -> (Tensor, Filters, ConvSpec) {
-        let groups = *[1usize, 1, 2].iter().collect::<Vec<_>>()[rng.gen_range(0..3)];
-        let cg = rng.gen_range(1..=4);
+        let groups = [1usize, 1, 2][rng.gen_range(0..3usize)];
+        let cg = rng.gen_range(1..=4usize);
         let cin = cg * groups;
-        let kg = rng.gen_range(1..=4);
+        let kg = rng.gen_range(1..=4usize);
         let cout = kg * groups;
-        let k = [1, 3, 5][rng.gen_range(0..3)];
-        let stride = rng.gen_range(1..=2);
+        let k: usize = [1, 3, 5][rng.gen_range(0..3usize)];
+        let stride = rng.gen_range(1..=2usize);
         let pad = rng.gen_range(0..=k / 2);
         let h = rng.gen_range(k..k + 6);
         let w = rng.gen_range(k..k + 6);

@@ -49,7 +49,9 @@ pub fn conv2d(
     spec: &ConvSpec,
 ) -> Result<Tensor, ShapeMismatchError> {
     let in_shape = input.shape();
-    if spec.groups == 0 || !in_shape.channels.is_multiple_of(spec.groups) || !spec.out_channels.is_multiple_of(spec.groups)
+    if spec.groups == 0
+        || !in_shape.channels.is_multiple_of(spec.groups)
+        || !spec.out_channels.is_multiple_of(spec.groups)
     {
         return Err(ShapeMismatchError::new("conv2d", "invalid group count"));
     }
@@ -62,8 +64,9 @@ pub fn conv2d(
     {
         return Err(ShapeMismatchError::new("conv2d", "filter bank does not match spec"));
     }
-    let out_shape = codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
-        .ok_or_else(|| ShapeMismatchError::new("conv2d", "spec does not fit input"))?;
+    let out_shape =
+        codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
+            .ok_or_else(|| ShapeMismatchError::new("conv2d", "spec does not fit input"))?;
 
     let mut out = Tensor::zeros(out_shape);
     for k in 0..spec.out_channels {
@@ -119,7 +122,11 @@ pub fn fully_connected(input: &Tensor, weights: &Filters) -> Result<Tensor, Shap
 /// # Errors
 ///
 /// Returns [`ShapeMismatchError`] when the window does not fit.
-pub fn max_pool(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, ShapeMismatchError> {
+pub fn max_pool(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, ShapeMismatchError> {
     let s = input.shape();
     let oh = codesign_dnn::shape::pool_out_dim_ceil(s.height, kernel, stride, 0)
         .ok_or_else(|| ShapeMismatchError::new("max_pool", "window does not fit"))?;
@@ -151,7 +158,11 @@ pub fn max_pool(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, 
 /// # Errors
 ///
 /// Returns [`ShapeMismatchError`] when the window does not fit.
-pub fn avg_pool(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, ShapeMismatchError> {
+pub fn avg_pool(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, ShapeMismatchError> {
     let s = input.shape();
     let oh = codesign_dnn::shape::conv_out_dim(s.height, kernel, stride, 0)
         .ok_or_else(|| ShapeMismatchError::new("avg_pool", "window does not fit"))?;
@@ -228,7 +239,14 @@ mod tests {
     use codesign_dnn::Kernel;
 
     fn spec(out: usize, k: usize, s: usize, p: usize, groups: usize) -> ConvSpec {
-        ConvSpec { out_channels: out, kernel: Kernel::square(k), stride: s, pad_h: p, pad_w: p, groups }
+        ConvSpec {
+            out_channels: out,
+            kernel: Kernel::square(k),
+            stride: s,
+            pad_h: p,
+            pad_w: p,
+            groups,
+        }
     }
 
     #[test]

@@ -153,7 +153,13 @@ impl Filters {
     /// Creates a zero-filled filter bank. `in_channels` is the per-group
     /// input channel count (i.e. already divided by `groups`).
     pub fn zeros(out_channels: usize, in_channels: usize, kh: usize, kw: usize) -> Self {
-        Self { out_channels, in_channels, kh, kw, data: vec![0; out_channels * in_channels * kh * kw] }
+        Self {
+            out_channels,
+            in_channels,
+            kh,
+            kw,
+            data: vec![0; out_channels * in_channels * kh * kw],
+        }
     }
 
     /// Creates filters with taps drawn uniformly from `-range..=range`,
@@ -229,7 +235,9 @@ impl Filters {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn tap(&self, k: usize, c: usize, dy: usize, dx: usize) -> i32 {
-        debug_assert!(k < self.out_channels && c < self.in_channels && dy < self.kh && dx < self.kw);
+        debug_assert!(
+            k < self.out_channels && c < self.in_channels && dy < self.kh && dx < self.kw
+        );
         self.data[((k * self.in_channels + c) * self.kh + dy) * self.kw + dx]
     }
 
@@ -319,7 +327,8 @@ mod tests {
 
     #[test]
     fn filter_tap_layout() {
-        let f = Filters::from_fn(2, 2, 2, 2, |k, c, dy, dx| (k * 1000 + c * 100 + dy * 10 + dx) as i32);
+        let f =
+            Filters::from_fn(2, 2, 2, 2, |k, c, dy, dx| (k * 1000 + c * 100 + dy * 10 + dx) as i32);
         assert_eq!(f.tap(1, 1, 0, 1), 1101);
         assert_eq!(f.len(), 16);
         assert!(!f.is_empty());

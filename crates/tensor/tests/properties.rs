@@ -9,14 +9,14 @@ use proptest::prelude::*;
 /// A random well-formed (input, filters, spec) triple.
 fn conv_case() -> impl Strategy<Value = (Tensor, Filters, ConvSpec)> {
     (
-        1usize..=3,       // groups
-        1usize..=3,       // channels per group
-        1usize..=4,       // filters per group
+        1usize..=3, // groups
+        1usize..=3, // channels per group
+        1usize..=4, // filters per group
         prop_oneof![Just((1usize, 1usize)), Just((3, 3)), Just((1, 3)), Just((3, 1)), Just((5, 5))],
-        1usize..=2,       // stride
-        0usize..=2,       // pad
-        0usize..=5,       // extra spatial size
-        any::<u64>(),     // data seed
+        1usize..=2,   // stride
+        0usize..=2,   // pad
+        0usize..=5,   // extra spatial size
+        any::<u64>(), // data seed
     )
         .prop_map(|(groups, cg, kg, (kh, kw), stride, pad, extra, seed)| {
             use rand::rngs::StdRng;

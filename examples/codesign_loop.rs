@@ -22,8 +22,9 @@ fn main() {
 
     println!("step 1: hardware design-space sweep on the baseline (1.0-SqNxt-23v1)");
     let baseline = zoo::squeezenext_variant(1);
-    let points = sweep(&baseline, &SweepSpace::paper_default(), opts, &energy);
-    let best = best_by_energy_delay(&points).expect("the paper sweep space is non-empty");
+    let points = sweep(&baseline, &SweepSpace::paper_default(), opts, &energy)
+        .expect("the paper sweep space has no empty axis");
+    let best = best_by_energy_delay(&points).expect("the paper sweep produces valid points");
     println!(
         "  best energy-delay point: {} ({} cycles, util {:.1}%)\n",
         best.params,

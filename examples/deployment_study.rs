@@ -67,11 +67,7 @@ fn main() {
             measured.total_cycles()
         );
     }
-    let assumed = simulate_network(
-        &net,
-        &cfg,
-        DataflowPolicy::Fixed(Dataflow::OutputStationary),
-        opts,
-    );
+    let assumed =
+        simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
     println!("  uniform 40% model  -> OS-only inference {:>9} cycles", assumed.total_cycles());
 }

@@ -33,12 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = Tensor::random(net.input(), 64, &mut rng);
     let activations = run_network(&net, &image, &weights)?;
     let logits = activations.final_output();
-    let (class, score) = logits
-        .as_slice()
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &v)| v)
-        .expect("ten logits");
+    let (class, score) =
+        logits.as_slice().iter().enumerate().max_by_key(|(_, &v)| v).expect("ten logits");
     println!("reference inference: class {class} (score {score})\n");
 
     // Re-execute every convolution with both hardware schedules.

@@ -18,13 +18,7 @@ use rand::{Rng, SeedableRng};
 /// [-0.25, 0.25] with 40% pruned to zero, like a sparsified checkpoint.
 fn float_weights(count: usize, rng: &mut StdRng) -> Vec<f32> {
     (0..count)
-        .map(|_| {
-            if rng.gen::<f64>() < 0.4 {
-                0.0
-            } else {
-                (rng.gen::<f32>() - 0.5) * 0.5
-            }
-        })
+        .map(|_| if rng.gen::<f64>() < 0.4 { 0.0 } else { (rng.gen::<f32>() - 0.5) * 0.5 })
         .collect()
 }
 

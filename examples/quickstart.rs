@@ -21,10 +21,7 @@ fn main() {
     println!("hardware: {cfg}\n");
 
     let cmp = ArchitectureComparison::evaluate(&net, &cfg, opts, energy);
-    println!(
-        "{:<16} {:>12} {:>10} {:>14}",
-        "architecture", "cycles", "ms", "energy (MMAC)"
-    );
+    println!("{:<16} {:>12} {:>10} {:>14}", "architecture", "cycles", "ms", "energy (MMAC)");
     for (name, perf) in
         [("WS only", &cmp.ws), ("OS only", &cmp.os), ("Squeezelerator", &cmp.hybrid)]
     {

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let squeezelerator = AcceleratorConfig::paper_default();
 
     let points = [
-        ("8x8 OS (ShiDianNao-like)", &shidiannao, DataflowPolicy::Fixed(Dataflow::OutputStationary)),
+        (
+            "8x8 OS (ShiDianNao-like)",
+            &shidiannao,
+            DataflowPolicy::Fixed(Dataflow::OutputStationary),
+        ),
         ("256x256 WS (TPU-like)", &tpu, DataflowPolicy::Fixed(Dataflow::WeightStationary)),
         ("32x32 hybrid (paper)", &squeezelerator, DataflowPolicy::PerLayer),
     ];

@@ -1,0 +1,59 @@
+//! The tentpole contract of the parallel + memoized simulation engine:
+//! worker-thread count and cache state change wall-time only, never
+//! results. A parallel sweep through a caching [`Simulator`] must be
+//! bit-identical — same points, same order, same f64 bits — to a serial
+//! sweep that recomputes everything.
+
+use codesign::arch::EnergyModel;
+use codesign::core::{sweep_with, SweepSpace};
+use codesign::dnn::zoo;
+use codesign::sim::{SimOptions, Simulator};
+
+fn assert_bit_identical(
+    serial: &[codesign::core::DesignPoint],
+    parallel: &[codesign::core::DesignPoint],
+) {
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel) {
+        assert_eq!(s.params, p.params, "grid order must be deterministic");
+        assert_eq!(s.cycles, p.cycles, "{}", s.params);
+        // Bit-for-bit float equality, not approximate: the cache memoizes a
+        // deterministic function, so even the f64 payloads must match.
+        assert_eq!(s.energy.to_bits(), p.energy.to_bits(), "{}", s.params);
+        assert_eq!(s.utilization.to_bits(), p.utilization.to_bits(), "{}", s.params);
+        assert_eq!(s.area.to_bits(), p.area.to_bits(), "{}", s.params);
+    }
+}
+
+#[test]
+fn parallel_cached_sweep_is_bit_identical_to_serial_uncached() {
+    let space = SweepSpace::paper_default();
+    let opts = SimOptions::paper_default();
+    let energy = EnergyModel::default();
+    for net in [zoo::squeezenet_v1_1(), zoo::squeezenext()] {
+        let serial = sweep_with(&Simulator::uncached(), &net, &space, opts, &energy, 1).unwrap();
+        let sim = Simulator::new();
+        let parallel = sweep_with(&sim, &net, &space, opts, &energy, 8).unwrap();
+        assert_bit_identical(&serial, &parallel);
+        assert_eq!(serial.len(), space.len(), "paper grid is fully valid");
+        // Each sweep point has its own config (no cross-point key reuse),
+        // but fire-module shape repeats within each network still hit.
+        assert!(sim.stats().hits > 0, "{}", sim.stats());
+    }
+}
+
+#[test]
+fn repeated_cached_sweeps_are_stable() {
+    // A second sweep over a warm cache answers conv layers entirely from
+    // memo entries and must reproduce the cold run exactly.
+    let space = SweepSpace::paper_default();
+    let opts = SimOptions::paper_default();
+    let energy = EnergyModel::default();
+    let net = zoo::squeezenet_v1_1();
+    let sim = Simulator::new();
+    let cold = sweep_with(&sim, &net, &space, opts, &energy, 4).unwrap();
+    let misses_after_cold = sim.stats().misses;
+    let warm = sweep_with(&sim, &net, &space, opts, &energy, 4).unwrap();
+    assert_bit_identical(&cold, &warm);
+    assert_eq!(sim.stats().misses, misses_after_cold, "warm sweep must not re-simulate");
+}

@@ -69,12 +69,8 @@ fn ws_executes_every_algorithmic_mac() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
     for net in all_networks() {
-        let perf = simulate_network(
-            &net,
-            &cfg,
-            DataflowPolicy::Fixed(Dataflow::WeightStationary),
-            opts,
-        );
+        let perf =
+            simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::WeightStationary), opts);
         assert_eq!(perf.total_macs(), net.total_macs(), "{}", net.name());
     }
 }
@@ -170,8 +166,7 @@ fn accelerator_execution_is_bit_exact_end_to_end() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
     for policy in policies() {
-        let accel =
-            run_network_on_accelerator(&net, &image, &weights, &cfg, policy, opts).unwrap();
+        let accel = run_network_on_accelerator(&net, &image, &weights, &cfg, policy, opts).unwrap();
         for (name, want) in reference.iter() {
             assert_eq!(accel.get(name), Some(want), "{name} under {policy}");
         }

@@ -122,10 +122,7 @@ fn f1_early_3x3_picks_os_late_3x3_picks_ws() {
     // performance degradation."
     let (cfg, opts, _) = ctx();
     let s = NetworkSchedule::build(&zoo::squeezenet_v1_0(), &cfg, opts);
-    assert_eq!(
-        s.entry("fire2/expand3x3").unwrap().chosen,
-        Some(Dataflow::OutputStationary)
-    );
+    assert_eq!(s.entry("fire2/expand3x3").unwrap().chosen, Some(Dataflow::OutputStationary));
     let late = s.entry("fire9/expand3x3").unwrap();
     assert!(late.os_cycles > late.ws_cycles, "13x13 map should degrade OS");
 }
@@ -136,19 +133,15 @@ fn f1_early_3x3_picks_os_late_3x3_picks_ws() {
 fn f3_variant_ladder_descends_and_first_layer_shrink_helps() {
     let (cfg, opts, em) = ctx();
     let variants = zoo::squeezenext_variants();
-    let cycles: Vec<u64> = variants
-        .iter()
-        .map(|v| NetworkSchedule::build(v, &cfg, opts).total_cycles())
-        .collect();
+    let cycles: Vec<u64> =
+        variants.iter().map(|v| NetworkSchedule::build(v, &cfg, opts).total_cycles()).collect();
     for w in cycles.windows(2) {
         assert!(w[1] <= w[0], "ladder must descend: {cycles:?}");
     }
     // v1 -> v2 isolates the 7x7 -> 5x5 first-filter reduction.
     let s1 = NetworkSchedule::build(&variants[0], &cfg, opts);
     let s2 = NetworkSchedule::build(&variants[1], &cfg, opts);
-    assert!(
-        s2.entry("conv1").unwrap().hybrid_cycles < s1.entry("conv1").unwrap().hybrid_cycles
-    );
+    assert!(s2.entry("conv1").unwrap().hybrid_cycles < s1.entry("conv1").unwrap().hybrid_cycles);
     let _ = em;
 }
 

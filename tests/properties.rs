@@ -34,11 +34,11 @@ fn config() -> impl Strategy<Value = AcceleratorConfig> {
 fn conv_work() -> impl Strategy<Value = ConvWork> {
     (
         prop_oneof![Just(WorkKind::Dense), Just(WorkKind::Depthwise)],
-        1usize..=128,                       // channels
-        1usize..=128,                       // filters
+        1usize..=128, // channels
+        1usize..=128, // filters
         prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
-        1usize..=2,                         // stride
-        1usize..=64,                        // output extent
+        1usize..=2,  // stride
+        1usize..=64, // output extent
     )
         .prop_map(|(kind, c, k, f, stride, oh)| {
             let (cin, cout) = match kind {
@@ -64,9 +64,9 @@ fn conv_work() -> impl Strategy<Value = ConvWork> {
 /// A random small network with mixed layer types.
 fn network() -> impl Strategy<Value = Network> {
     (
-        2usize..=4,  // input channels
+        2usize..=4,   // input channels
         12usize..=48, // input extent
-        1usize..=4,  // block count
+        1usize..=4,   // block count
         any::<u64>(),
     )
         .prop_map(|(c, hw, blocks, seed)| {

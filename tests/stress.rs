@@ -39,10 +39,8 @@ fn huge_array_on_tiny_network() {
         .global_buffer_bytes(8 * 1024 * 1024)
         .build()
         .unwrap();
-    let net = NetworkBuilder::new("tiny", Shape::new(1, 4, 4))
-        .conv("c", 1, 1, 1, 0)
-        .finish()
-        .unwrap();
+    let net =
+        NetworkBuilder::new("tiny", Shape::new(1, 4, 4)).conv("c", 1, 1, 1, 0).finish().unwrap();
     let perf = simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts());
     assert!(perf.total_cycles() > 0);
     // 16 MACs on 65536 PEs: utilization is minuscule but well-formed.
@@ -107,7 +105,7 @@ fn hostile_model_files_error_cleanly() {
     for text in [
         "",
         "network",
-        "network x 3x3",         // 2-dim shape
+        "network x 3x3",                    // 2-dim shape
         "network x 0x3x3\nconv c 1 1 s1\n", // zero channel... builder output 0? conv on 0 channels
         &"conv c 8 3 s1\n".repeat(10_000),  // no network header, large input
         "network x 3x8x8\nfire f 0 0 0\n",

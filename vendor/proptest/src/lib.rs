@@ -1,0 +1,376 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of proptest it uses: the [`Strategy`] trait with
+//! `prop_map`, strategies for integer ranges / tuples / [`Just`] /
+//! [`any`], the [`prop_oneof!`] combinator, and the [`proptest!`] test
+//! macro with `prop_assert!` / `prop_assert_eq!` and
+//! `#![proptest_config(...)]` support.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name) rather than a global RNG,
+//! and failing inputs are reported but not shrunk. That keeps runs fully
+//! reproducible, which the workspace's determinism tests rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A failed test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one type (see [`prop_oneof!`]).
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u32>()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Drives one `proptest!`-generated test: runs `cases` deterministic
+/// cases, panicking with the case number and message on the first
+/// failure.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // Stable seed per test name so failures reproduce run to run.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ (u64::from(i) << 32));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest case {i}/{} of `{test_name}` failed: {e}", config.cases);
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, AnyStrategy, Just, OneOf,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($strategy),+])
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}` ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // The internal `@config` arms must come before the catch-all entry
+    // arm, which would otherwise re-wrap them in `@config` forever.
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&$strategy, __proptest_rng);)+
+                let __proptest_body = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                __proptest_body()
+            });
+        }
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let config = ProptestConfig::with_cases(100);
+        crate::run_cases("strategies_generate_in_bounds", &config, |rng| {
+            let v = (1usize..=8).generate(rng);
+            prop_assert!((1..=8).contains(&v));
+            let w = prop_oneof![Just(3usize), Just(5)].generate(rng);
+            prop_assert!(w == 3 || w == 5);
+            let (a, b) = (0u32..4, any::<bool>()).generate(rng);
+            prop_assert!(a < 4);
+            let _ = b;
+            let m = (0usize..10).prop_map(|x| x * 2).generate(rng);
+            prop_assert!(m % 2 == 0 && m < 20);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn macro_smoke(x in 1usize..=16, (lo, hi) in (0u32..5, 5u32..10)) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!(lo < hi, "lo {lo} < hi {hi}");
+            prop_assert_eq!(x.wrapping_add(0), x);
+            if x == 100 {
+                return Ok(()); // early exit compiles
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_case_number() {
+        let config = ProptestConfig::with_cases(5);
+        crate::run_cases("failures_panic", &config, |_rng| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn same_name_reproduces_same_cases() {
+        let config = ProptestConfig::with_cases(20);
+        let mut a = Vec::new();
+        crate::run_cases("repro", &config, |rng| {
+            a.push((0u64..1_000_000).generate(rng));
+            Ok(())
+        });
+        let mut b = Vec::new();
+        crate::run_cases("repro", &config, |rng| {
+            b.push((0u64..1_000_000).generate(rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}
