@@ -109,6 +109,29 @@ fn bench_program_compile() {
     g.bench("replay/squeezenet_v1_1", || program.estimate(&cfg));
 }
 
+/// Acceptance gate for the observability layer: a `Simulator` carrying a
+/// disabled tracer must stay within noise (budget: 2%) of one built
+/// without, and the enabled-tracer cost is printed alongside for scale.
+fn bench_tracing_overhead() {
+    let cfg = AcceleratorConfig::paper_default();
+    let opts = SimOptions::paper_default();
+    let net = zoo::squeezenet_v1_1();
+    let g = Stopwatch::group("tracing_overhead", 20);
+    let plain = Simulator::uncached();
+    let base =
+        g.bench("baseline", || plain.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts));
+    let disabled = Simulator::uncached().with_tracer(codesign_trace::Tracer::disabled());
+    let off = g.bench("tracer_disabled", || {
+        disabled.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts)
+    });
+    let enabled = Simulator::uncached().with_tracer(codesign_trace::Tracer::enabled());
+    g.bench("tracer_enabled", || {
+        enabled.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts)
+    });
+    let overhead = off.median.as_secs_f64() / base.median.as_secs_f64() - 1.0;
+    println!("tracing_overhead/disabled_vs_baseline  {:+.2}%  (budget 2%)", overhead * 100.0);
+}
+
 fn bench_event_pipeline() {
     let cfg = AcceleratorConfig::paper_default();
     let opts = SimOptions::paper_default();
@@ -126,5 +149,6 @@ fn main() {
     bench_functional_executors();
     bench_tiling_search();
     bench_program_compile();
+    bench_tracing_overhead();
     bench_event_pipeline();
 }

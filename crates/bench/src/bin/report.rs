@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! report [all|table1|table2|fig1|fig3|fig4|ranges|codesign|sweep|ablations]
-//!        [--out DIR] [--jobs N]
+//!        [--out DIR] [--jobs N] [--json[=PATH]] [--trace=PATH] [--metrics=PATH]
 //! ```
 //!
 //! Markdown goes to stdout; CSV series are written to `--out` (default
 //! `results/`). `--jobs` bounds the worker threads used to generate
 //! experiments (`0`, the default, means one per core); results are
-//! independent of the thread count.
+//! independent of the thread count. `--json` additionally writes the
+//! schema-versioned machine-readable summary (`BENCH_report.json` under
+//! `--out` unless a path is given); `--trace`/`--metrics` capture the
+//! run through the observability layer as a Chrome trace / aggregated
+//! metrics snapshot.
 
 use std::env;
 use std::fs;
@@ -21,8 +25,11 @@ use codesign_bench::experiments::{
     event_crosscheck, fig1, fig3, fig4, fusion_study, headlines, multicore_scaling, per_layer_all,
     ranges, roofline_table, schedule_robustness, table1, table2, taxonomy, Context,
 };
-use codesign_bench::{bar_chart, bars_svg, scatter_svg, Bar, ScatterPoint, Table};
+use codesign_bench::{
+    bar_chart, bars_svg, scatter_svg, Bar, BenchReport, ExperimentTiming, ScatterPoint, Table,
+};
 use codesign_sim::par_map;
+use codesign_trace::{chrome_trace, MetricsSnapshot, Tracer};
 
 /// An experiment generator entry: name plus the table function.
 type Experiment = (&'static str, fn(&Context) -> Table);
@@ -32,6 +39,10 @@ fn main() -> ExitCode {
     let mut which = "all".to_owned();
     let mut out_dir = PathBuf::from("results");
     let mut jobs = 0usize;
+    // `Some(None)` means "--json with the default path under --out".
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,11 +60,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => json = Some(None),
+            a if a.starts_with("--json=") => {
+                json = Some(Some(PathBuf::from(&a["--json=".len()..])));
+            }
+            a if a.starts_with("--trace=") => {
+                trace_path = Some(PathBuf::from(&a["--trace=".len()..]));
+            }
+            a if a.starts_with("--metrics=") => {
+                metrics_path = Some(PathBuf::from(&a["--metrics=".len()..]));
+            }
             other => which = other.to_owned(),
         }
     }
 
-    let ctx = Context::with_jobs(jobs);
+    let tracer = if trace_path.is_some() || metrics_path.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut ctx = Context::with_jobs(jobs);
+    if tracer.is_enabled() {
+        // The clone shares the memo cache, so this only swaps the tracer in.
+        ctx.sim = ctx.sim.clone().with_tracer(tracer.clone());
+    }
     let all: Vec<Experiment> = vec![
         ("table1", table1),
         ("table2", table2),
@@ -171,6 +201,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(dest) = json {
+        let path = dest.unwrap_or_else(|| out_dir.join("BENCH_report.json"));
+        let timings: Vec<ExperimentTiming> = selected
+            .iter()
+            .zip(&generated)
+            .map(|(exp, (_, elapsed))| ExperimentTiming {
+                name: exp.0.to_owned(),
+                wall_ms: elapsed.as_secs_f64() * 1e3,
+            })
+            .collect();
+        let report = BenchReport::collect(&ctx, timings, total_wall.as_secs_f64() * 1e3);
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    if tracer.is_enabled() {
+        let data = tracer.snapshot();
+        if let Some(path) = &trace_path {
+            if let Err(e) = fs::write(path, chrome_trace(&data)) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} ({} spans)", path.display(), data.span_count());
+        }
+        if let Some(path) = &metrics_path {
+            if let Err(e) = fs::write(path, MetricsSnapshot::of(&data).to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
     }
 
     let stats = ctx.sim.stats();

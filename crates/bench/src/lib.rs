@@ -19,11 +19,13 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod report_json;
 pub mod stopwatch;
 pub mod svg;
 pub mod table;
 
 pub use chart::{bar_chart, Bar};
 pub use experiments::Context;
+pub use report_json::{BenchReport, ExperimentTiming, NetworkHeadline, BENCH_REPORT_SCHEMA};
 pub use svg::{bars_svg, scatter_svg, ScatterPoint};
 pub use table::Table;

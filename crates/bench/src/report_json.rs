@@ -1,0 +1,204 @@
+//! The machine-readable bench report (`BENCH_report.json`).
+//!
+//! One schema-versioned JSON document summarizing a `report` run: wall
+//! time (total and per experiment), simulator cache statistics, and the
+//! per-network headline numbers (hybrid/WS/OS cycles, speedups, energy,
+//! utilization). CI uploads this artifact so regressions are diffable
+//! without re-running anything.
+
+use codesign_core::ArchitectureComparison;
+use codesign_dnn::zoo;
+use codesign_sim::CacheStats;
+use codesign_trace::json::{number, quote};
+
+use crate::experiments::Context;
+
+/// Schema identifier written into every report. Bump the suffix when the
+/// document shape changes incompatibly.
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/1";
+
+/// Wall time of one experiment generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment name (`table1`, `fig4`, ...).
+    pub name: String,
+    /// Generation wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Headline numbers for one network on the paper-default hardware point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkHeadline {
+    /// Network name.
+    pub name: String,
+    /// Inference cycles on the hybrid (Squeezelerator) architecture.
+    pub hybrid_cycles: u64,
+    /// Inference cycles on the fixed-WS reference.
+    pub ws_cycles: u64,
+    /// Inference cycles on the fixed-OS reference.
+    pub os_cycles: u64,
+    /// Hybrid speedup over the fixed-OS reference.
+    pub speedup_vs_os: f64,
+    /// Hybrid speedup over the fixed-WS reference.
+    pub speedup_vs_ws: f64,
+    /// Hybrid energy reduction vs the fixed-OS reference (fraction).
+    pub energy_reduction_vs_os: f64,
+    /// Hybrid energy reduction vs the fixed-WS reference (fraction).
+    pub energy_reduction_vs_ws: f64,
+    /// Hybrid energy in MAC-normalized units.
+    pub energy: f64,
+    /// Average PE utilization of the hybrid run.
+    pub utilization: f64,
+    /// Hybrid inference time in milliseconds at the configured clock.
+    pub time_ms: f64,
+}
+
+/// The full report document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Total report wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Per-experiment wall times, in generation order.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Simulator cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Per-network headlines for the paper's table networks.
+    pub networks: Vec<NetworkHeadline>,
+}
+
+impl BenchReport {
+    /// Assembles a report: takes the run's timings and re-derives the
+    /// per-network headlines through `ctx.sim` (with a warm cache these
+    /// evaluations are answered almost entirely from memo entries).
+    pub fn collect(ctx: &Context, experiments: Vec<ExperimentTiming>, wall_ms: f64) -> Self {
+        let networks = zoo::table_networks()
+            .iter()
+            .map(|net| {
+                let c = ArchitectureComparison::evaluate_with(
+                    &ctx.sim, net, &ctx.cfg, ctx.opts, ctx.energy,
+                );
+                let hybrid_cycles = c.hybrid.total_cycles();
+                NetworkHeadline {
+                    name: net.name().to_owned(),
+                    hybrid_cycles,
+                    ws_cycles: c.ws.total_cycles(),
+                    os_cycles: c.os.total_cycles(),
+                    speedup_vs_os: c.speedup_vs_os(),
+                    speedup_vs_ws: c.speedup_vs_ws(),
+                    energy_reduction_vs_os: c.energy_reduction_vs_os(),
+                    energy_reduction_vs_ws: c.energy_reduction_vs_ws(),
+                    energy: c.hybrid.total_energy(c.energy_model()),
+                    utilization: c.hybrid.average_utilization(ctx.cfg.pe_count()),
+                    time_ms: ctx.cfg.cycles_to_ms(hybrid_cycles),
+                }
+            })
+            .collect();
+        Self { wall_ms, experiments, cache: ctx.sim.stats(), networks }
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let experiments: Vec<String> = self
+            .experiments
+            .iter()
+            .map(|e| {
+                format!("    {{\"name\":{},\"wall_ms\":{}}}", quote(&e.name), number(e.wall_ms))
+            })
+            .collect();
+        let networks: Vec<String> = self
+            .networks
+            .iter()
+            .map(|n| {
+                format!(
+                    "    {{\"name\":{},\"hybrid_cycles\":{},\"ws_cycles\":{},\"os_cycles\":{},\
+                     \"speedup_vs_os\":{},\"speedup_vs_ws\":{},\
+                     \"energy_reduction_vs_os\":{},\"energy_reduction_vs_ws\":{},\
+                     \"energy\":{},\"utilization\":{},\"time_ms\":{}}}",
+                    quote(&n.name),
+                    n.hybrid_cycles,
+                    n.ws_cycles,
+                    n.os_cycles,
+                    number(n.speedup_vs_os),
+                    number(n.speedup_vs_ws),
+                    number(n.energy_reduction_vs_os),
+                    number(n.energy_reduction_vs_ws),
+                    number(n.energy),
+                    number(n.utilization),
+                    number(n.time_ms),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": {},\n  \"wall_ms\": {},\n  \"experiments\": [\n{}\n  ],\n  \
+             \"cache\": {{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{}}},\n  \
+             \"networks\": [\n{}\n  ]\n}}\n",
+            quote(BENCH_REPORT_SCHEMA),
+            number(self.wall_ms),
+            experiments.join(",\n"),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            number(self.cache.hit_rate()),
+            networks.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json_is_balanced(json: &str) {
+        let mut depth = 0i64;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => escaped = false,
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_string);
+    }
+
+    #[test]
+    fn collect_produces_sane_headlines() {
+        let ctx = Context::paper_default();
+        let timings = vec![ExperimentTiming { name: "table2".to_owned(), wall_ms: 12.5 }];
+        let report = BenchReport::collect(&ctx, timings, 40.0);
+        assert_eq!(report.networks.len(), zoo::table_networks().len());
+        for n in &report.networks {
+            assert!(n.hybrid_cycles > 0, "{}", n.name);
+            assert!(n.speedup_vs_os >= 1.0 && n.speedup_vs_ws >= 1.0, "{}", n.name);
+            assert!(n.time_ms > 0.0 && n.utilization > 0.0, "{}", n.name);
+        }
+        assert!(report.cache.lookups() > 0, "headlines route through ctx.sim");
+    }
+
+    #[test]
+    fn json_has_schema_and_balances() {
+        let ctx = Context::paper_default();
+        let report = BenchReport::collect(
+            &ctx,
+            vec![ExperimentTiming { name: "t\"1".to_owned(), wall_ms: 1.0 }],
+            2.0,
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"codesign-bench-report/1\""));
+        assert!(json.contains("\"hybrid_cycles\""));
+        assert!(json.contains("\"hit_rate\""));
+        json_is_balanced(&json);
+    }
+}

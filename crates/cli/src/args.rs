@@ -46,6 +46,10 @@ pub struct Invocation {
     pub jobs: usize,
     /// Layer name (for `wave`).
     pub layer: Option<String>,
+    /// Write a Chrome-trace JSON of the run to this path.
+    pub trace: Option<String>,
+    /// Write an aggregated metrics JSON of the run to this path.
+    pub metrics: Option<String>,
 }
 
 impl Invocation {
@@ -105,6 +109,9 @@ options:
   --cores C              core count                 (default 1)
   --jobs N               sweep worker threads, 0 = one per core
                                                     (default 0)
+  --trace PATH           write a Chrome-trace JSON (about:tracing /
+                         ui.perfetto.dev) of the simulated run
+  --metrics PATH         write an aggregated metrics JSON snapshot
 ";
 
 fn parse_value<T: std::str::FromStr>(
@@ -147,6 +154,8 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         cores: 1,
         jobs: 0,
         layer: None,
+        trace: None,
+        metrics: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -169,6 +178,8 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             "--batch" => inv.batch = parse_value("--batch", it.next())?,
             "--cores" => inv.cores = parse_value("--cores", it.next())?,
             "--jobs" => inv.jobs = parse_value("--jobs", it.next())?,
+            "--trace" => inv.trace = Some(parse_value("--trace", it.next())?),
+            "--metrics" => inv.metrics = Some(parse_value("--metrics", it.next())?),
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError(format!("unknown option `{flag}`")));
             }
@@ -242,6 +253,17 @@ mod tests {
         assert_eq!(inv.action, Action::Wave);
         assert_eq!(inv.layer.as_deref(), Some("conv1"));
         assert!(parse("wave squeezenet").is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_take_paths() {
+        let inv = parse("simulate squeezenet --trace t.json --metrics m.json").unwrap();
+        assert_eq!(inv.trace.as_deref(), Some("t.json"));
+        assert_eq!(inv.metrics.as_deref(), Some("m.json"));
+        let inv = parse("compare squeezenet").unwrap();
+        assert_eq!((inv.trace, inv.metrics), (None, None));
+        assert!(parse("simulate squeezenet --trace").is_err());
+        assert!(parse("simulate squeezenet --metrics").is_err());
     }
 
     #[test]

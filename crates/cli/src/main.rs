@@ -18,9 +18,10 @@ use codesign_arch::EnergyModel;
 use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedule, SweepSpace};
 use codesign_dnn::{parse_network, zoo, Network};
 use codesign_sim::{
-    compare_dataflows, cycle, simulate_network_batched, simulate_network_multicore, ConvWork,
-    MultiCoreConfig, Program, SimOptions, Simulator,
+    compare_dataflows, cycle, record_network, simulate_network_batched, simulate_network_multicore,
+    ConvWork, MultiCoreConfig, Program, SimOptions, Simulator,
 };
+use codesign_trace::{chrome_trace, MetricsSnapshot, Tracer};
 
 use args::{parse_args, Action, Invocation, USAGE};
 
@@ -57,9 +58,34 @@ fn load_network(spec: &str) -> Result<Network, String> {
     Err(format!("unknown network `{spec}` (see `codesign list`, or pass a .net file)"))
 }
 
+/// Writes the requested trace/metrics sinks at the end of a run.
+fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), String> {
+    if !tracer.is_enabled() {
+        return Ok(());
+    }
+    let data = tracer.snapshot();
+    if let Some(path) = &inv.trace {
+        fs::write(path, chrome_trace(&data)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("; wrote Chrome trace to {path} ({} spans)", data.span_count());
+    }
+    if let Some(path) = &inv.metrics {
+        fs::write(path, MetricsSnapshot::of(&data).to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("; wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
 fn run(inv: &Invocation) -> Result<(), String> {
     let opts = SimOptions::paper_default();
     let energy = EnergyModel::default();
+    // One tracer for the whole invocation; disabled (zero-cost) unless a
+    // sink was requested.
+    let tracer = if inv.trace.is_some() || inv.metrics.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
 
     if inv.action == Action::List {
         println!("model zoo:");
@@ -84,6 +110,9 @@ fn run(inv: &Invocation) -> Result<(), String> {
             } else {
                 simulate_network_batched(&net, &cfg, inv.policy, opts, inv.batch)
             };
+            // Batched/multi-core runs bypass the Simulator handle, so the
+            // per-layer spans are recorded post hoc.
+            record_network(&tracer, &net, &perf, &cfg, inv.policy);
             let per_image = perf.total_cycles() as f64 / inv.batch as f64;
             println!("{net}");
             println!("hardware: {cfg} x{} core(s), {} policy", inv.cores, inv.policy);
@@ -120,11 +149,12 @@ fn run(inv: &Invocation) -> Result<(), String> {
             println!("; {} commands, {} cycles replayed", program.len(), program.estimate(&cfg));
         }
         Action::Compare => {
-            let c = ArchitectureComparison::evaluate(&net, &cfg, opts, energy);
+            let sim = Simulator::new().with_tracer(tracer.clone());
+            let c = ArchitectureComparison::evaluate_with(&sim, &net, &cfg, opts, energy);
             println!("{c}");
         }
         Action::Sweep => {
-            let sim = Simulator::new();
+            let sim = Simulator::new().with_tracer(tracer.clone());
             let started = std::time::Instant::now();
             let points = codesign_core::sweep_with(
                 &sim,
@@ -166,8 +196,12 @@ fn run(inv: &Invocation) -> Result<(), String> {
                 .ok_or_else(|| format!("`{layer_name}` is not a PE-array layer"))?;
             let (_, _, best) = compare_dataflows(layer, &cfg, opts);
             let trace = match best {
-                codesign_arch::Dataflow::WeightStationary => cycle::trace_ws(&work, &cfg),
-                codesign_arch::Dataflow::OutputStationary => cycle::trace_os(&work, &cfg, opts.os),
+                codesign_arch::Dataflow::WeightStationary => {
+                    cycle::trace_ws_recorded(&work, &cfg, &tracer)
+                }
+                codesign_arch::Dataflow::OutputStationary => {
+                    cycle::trace_os_recorded(&work, &cfg, opts.os, &tracer)
+                }
             };
             print!("{}", cycle::trace_to_vcd(&trace, layer_name));
             eprintln!(
@@ -180,5 +214,5 @@ fn run(inv: &Invocation) -> Result<(), String> {
         }
         Action::List => unreachable!("handled above"),
     }
-    Ok(())
+    write_sinks(inv, &tracer)
 }

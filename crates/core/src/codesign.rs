@@ -90,6 +90,16 @@ pub fn evaluate_variant_with(
     energy_model: &EnergyModel,
 ) -> VariantResult {
     let perf = sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts);
+    if sim.tracer().is_enabled() {
+        let mut track =
+            sim.tracer().track(format!("codesign:{}:rf{}", network.name(), cfg.rf_depth()));
+        track.leaf(
+            network.name(),
+            codesign_trace::Category::Codesign,
+            perf.total_cycles(),
+            &[("cycles", perf.total_cycles()), ("macs", perf.total_macs())],
+        );
+    }
     VariantResult {
         name: network.name().to_owned(),
         cycles: perf.total_cycles(),

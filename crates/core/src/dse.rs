@@ -183,6 +183,15 @@ fn evaluate_point(
         .build()
         .ok()?;
     let perf = sim.simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts);
+    if sim.tracer().is_enabled() {
+        let mut track = sim.tracer().track(format!("sweep:{}:{}", network.name(), params));
+        track.leaf(
+            &params.to_string(),
+            codesign_trace::Category::Sweep,
+            perf.total_cycles(),
+            &[("cycles", perf.total_cycles()), ("macs", perf.total_macs())],
+        );
+    }
     DesignPoint::checked(
         params,
         perf.total_cycles(),
@@ -421,6 +430,33 @@ mod tests {
         assert_eq!(SweepSpace::paper_default().len(), 27);
         assert!(!SweepSpace::paper_default().is_empty());
         assert_eq!(SweepSpace::paper_default().grid().len(), 27);
+    }
+
+    #[test]
+    fn traced_sweep_metrics_are_schedule_independent() {
+        use codesign_trace::{Category, MetricsSnapshot, Tracer};
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![64 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let run = |jobs: usize| {
+            let tracer = Tracer::enabled();
+            let sim = Simulator::new().with_tracer(tracer.clone());
+            sweep_with(&sim, &net, &space, opts, &em, jobs).unwrap();
+            MetricsSnapshot::of(&tracer.snapshot())
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        // Span-derived aggregates are bit-identical however the grid was
+        // scheduled. (Global cache counters are deliberately excluded:
+        // racing misses make them schedule-dependent.)
+        assert_eq!(serial.categories, parallel.categories);
+        assert_eq!(serial.tracks, parallel.tracks);
+        assert_eq!(serial.category(Category::Sweep).expect("sweep spans").spans, 4);
     }
 
     #[test]

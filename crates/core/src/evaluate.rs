@@ -46,7 +46,7 @@ impl ArchitectureComparison {
         opts: SimOptions,
         energy_model: EnergyModel,
     ) -> Self {
-        Self {
+        let cmp = Self {
             network: network.name().to_owned(),
             hybrid: sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts),
             ws: sim.simulate_network(
@@ -62,7 +62,21 @@ impl ArchitectureComparison {
                 opts,
             ),
             energy_model,
+        };
+        if sim.tracer().is_enabled() {
+            let mut track = sim.tracer().track(format!("cmp:{}", network.name()));
+            track.leaf(
+                network.name(),
+                codesign_trace::Category::Compare,
+                cmp.hybrid.total_cycles(),
+                &[
+                    ("hybrid.cycles", cmp.hybrid.total_cycles()),
+                    ("ws.cycles", cmp.ws.total_cycles()),
+                    ("os.cycles", cmp.os.total_cycles()),
+                ],
+            );
         }
+        cmp
     }
 
     /// Hybrid speedup over the fixed-OS reference (Table 2, "Speedup vs
@@ -245,6 +259,21 @@ mod tests {
         // All three runs per network share the cache, so the fixed-dataflow
         // replays hit heavily.
         assert!(sim.stats().hit_rate() > 0.5, "{}", sim.stats());
+    }
+
+    #[test]
+    fn traced_comparison_records_compare_and_sim_tracks() {
+        let (cfg, opts, em) = setup();
+        let tracer = codesign_trace::Tracer::enabled();
+        let sim = Simulator::new().with_tracer(tracer.clone());
+        let c = ArchitectureComparison::evaluate_with(&sim, &zoo::tiny_darknet(), &cfg, opts, em);
+        let data = tracer.snapshot();
+        let cmp = data.tracks.iter().find(|t| t.name.starts_with("cmp:")).expect("compare track");
+        assert_eq!(cmp.spans[0].counter("hybrid.cycles"), Some(c.hybrid.total_cycles()));
+        assert_eq!(cmp.spans[0].counter("ws.cycles"), Some(c.ws.total_cycles()));
+        assert_eq!(cmp.spans[0].counter("os.cycles"), Some(c.os.total_cycles()));
+        // The three underlying network runs each published a sim track.
+        assert_eq!(data.tracks.iter().filter(|t| t.name.starts_with("sim:")).count(), 3);
     }
 
     #[test]

@@ -167,26 +167,28 @@ impl SimCache {
         Self::default()
     }
 
-    /// Returns the cached result for `key`, computing and inserting it
-    /// with `compute` on a miss.
+    /// Returns the cached result for `key` plus a hit flag, computing and
+    /// inserting the value with `compute` on a miss.
     ///
     /// The lock is *not* held while computing, so parallel workers never
     /// serialize on a miss; two threads racing on the same key both
     /// compute it (deterministically identical values) and one insert
-    /// wins.
+    /// wins. The hit flag (and therefore the hit/miss counters) is the one
+    /// piece of cache state that is *not* schedule-independent: a key one
+    /// run answers from cache may race and recompute in another.
     pub(crate) fn get_or_compute(
         &self,
         key: LayerKey,
         compute: impl FnOnce() -> CachedLayer,
-    ) -> CachedLayer {
+    ) -> (CachedLayer, bool) {
         if let Some(hit) = self.map.lock().expect("sim cache lock").get(&key).copied() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return (hit, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         self.map.lock().expect("sim cache lock").insert(key, value);
-        value
+        (value, false)
     }
 
     /// Counters and occupancy.
@@ -236,8 +238,10 @@ mod tests {
     fn hit_after_miss() {
         let cache = SimCache::new();
         let fresh = (ComputePerf::default(), 42u64);
-        let first = cache.get_or_compute(key(8), || fresh);
-        let second = cache.get_or_compute(key(8), || panic!("must not recompute"));
+        let (first, was_hit) = cache.get_or_compute(key(8), || fresh);
+        assert!(!was_hit);
+        let (second, was_hit) = cache.get_or_compute(key(8), || panic!("must not recompute"));
+        assert!(was_hit);
         assert_eq!(first, second);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -248,8 +252,9 @@ mod tests {
     fn distinct_configs_do_not_collide() {
         let cache = SimCache::new();
         cache.get_or_compute(key(8), || (ComputePerf::default(), 1));
-        let (_, d) = cache.get_or_compute(key(16), || (ComputePerf::default(), 2));
+        let ((_, d), was_hit) = cache.get_or_compute(key(16), || (ComputePerf::default(), 2));
         assert_eq!(d, 2);
+        assert!(!was_hit);
         assert_eq!(cache.stats().entries, 2);
     }
 
@@ -294,6 +299,66 @@ mod tests {
         sim.simulate_network(&net, &cfg, DataflowPolicy::Fixed(Dataflow::OutputStationary), opts);
         let s = sim.stats();
         assert!(s.hit_rate() > 0.5, "expected > 50% hit rate, got {s}");
+    }
+
+    #[test]
+    fn simulator_clear_cache_resets_accounting_and_recomputes() {
+        let sim = Simulator::new();
+        let cfg = AcceleratorConfig::paper_default();
+        let opts = SimOptions::paper_default();
+        let net = zoo::squeezenet_v1_1();
+        let cold = sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        let cold_stats = sim.stats();
+        assert!(cold_stats.misses > 0 && cold_stats.entries > 0);
+
+        sim.clear_cache();
+        assert_eq!(sim.stats(), CacheStats::default(), "clear resets counters and entries");
+
+        // A post-clear run must rebuild exactly the cold-run picture:
+        // same misses, same entries, bit-identical results.
+        let rebuilt = sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        assert_eq!(rebuilt, cold);
+        let s = sim.stats();
+        assert_eq!(s.misses, cold_stats.misses, "{s}");
+        assert_eq!(s.entries, cold_stats.entries, "{s}");
+        assert_eq!(s.hits, cold_stats.hits, "{s}");
+    }
+
+    #[test]
+    fn cross_thread_accounting_is_conserved() {
+        let cfg = AcceleratorConfig::paper_default();
+        let opts = SimOptions::paper_default();
+        let net = zoo::squeezenet_v1_1();
+
+        // Reference: one serial run tells us lookups-per-run and the final
+        // entry count for this workload.
+        let serial = Simulator::new();
+        let baseline = serial.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
+        let per_run = serial.stats().lookups();
+        let entries = serial.stats().entries;
+
+        // Four threads share one cache through cloned handles. Which
+        // thread hits vs misses is a race, but the conservation laws are
+        // not: every lookup is counted exactly once, every entry was
+        // missed at least once, and results stay bit-identical.
+        let sim = Simulator::new();
+        let threads = 4u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let worker = sim.clone();
+                let (net, cfg, baseline) = (&net, &cfg, &baseline);
+                scope.spawn(move || {
+                    let perf = worker.simulate_network(net, cfg, DataflowPolicy::PerLayer, opts);
+                    assert_eq!(&perf, baseline);
+                });
+            }
+        });
+        let s = sim.stats();
+        assert_eq!(s.lookups(), threads * per_run, "no lookup lost or double-counted: {s}");
+        assert_eq!(s.entries, entries, "same key set regardless of schedule: {s}");
+        assert!(s.misses >= entries as u64, "every entry was missed at least once: {s}");
+        assert!(s.hits >= per_run, "later runs mostly hit: {s}");
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0, "{s}");
     }
 
     #[test]

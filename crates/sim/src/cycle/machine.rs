@@ -13,6 +13,17 @@ pub enum Phase {
     Drain,
 }
 
+impl Phase {
+    /// Short stable tag used in traces and waveforms.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Phase::Load => "load",
+            Phase::Compute => "compute",
+            Phase::Drain => "drain",
+        }
+    }
+}
+
 /// A run of consecutive cycles in the same machine state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseSegment {
@@ -93,6 +104,23 @@ impl MachineTrace {
         t
     }
 
+    /// Records the trace onto a `codesign-trace` track: one
+    /// [`codesign_trace::Category::Phase`] leaf span per segment, tiling
+    /// the track's cycle timeline exactly as the machine tiled its own.
+    pub fn record_spans(&self, track: &mut codesign_trace::Track) {
+        if !track.is_enabled() {
+            return;
+        }
+        for s in &self.segments {
+            track.leaf(
+                s.phase.tag(),
+                codesign_trace::Category::Phase,
+                s.cycles,
+                &[("macs", s.cycles * s.macs_per_cycle), ("active_pes", s.active_pes)],
+            );
+        }
+    }
+
     /// Expands the trace to one [`CycleState`] per machine cycle.
     pub fn iter_cycles(&self) -> impl Iterator<Item = CycleState> + '_ {
         self.segments.iter().flat_map(|s| (0..s.cycles).map(move |_| s)).enumerate().map(
@@ -109,6 +137,25 @@ impl MachineTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_spans_mirrors_the_segments() {
+        let mut t = MachineTrace::new();
+        t.push(Phase::Load, 3, 0, 0);
+        t.push(Phase::Compute, 2, 64, 64);
+        t.push(Phase::Drain, 1, 0, 0);
+        let tracer = codesign_trace::Tracer::enabled();
+        let mut track = tracer.track("cycle:test");
+        t.record_spans(&mut track);
+        drop(track);
+        let data = tracer.snapshot();
+        let spans = &data.tracks[0].spans;
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "load");
+        assert_eq!(spans[1].counter("macs"), Some(128));
+        assert_eq!(data.tracks[0].extent(), t.cycles());
+        data.tracks[0].check_nesting().expect("phase spans tile the timeline");
+    }
 
     #[test]
     fn totals_and_expansion() {

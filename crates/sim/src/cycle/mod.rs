@@ -15,10 +15,10 @@ pub mod vcd;
 mod ws_machine;
 
 pub use machine::{CycleState, MachineTrace, Phase, PhaseSegment};
-pub use os_machine::trace_os;
-pub use rs_machine::trace_rs;
+pub use os_machine::{trace_os, trace_os_recorded};
+pub use rs_machine::{trace_rs, trace_rs_recorded};
 pub use vcd::trace_to_vcd;
-pub use ws_machine::trace_ws;
+pub use ws_machine::{trace_ws, trace_ws_recorded};
 
 #[cfg(test)]
 mod validation {

@@ -114,6 +114,22 @@ fn trace_os_fc(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     trace
 }
 
+/// [`trace_os`], additionally publishing the machine trace as one
+/// `cycle:os` track of phase spans when `tracer` is enabled.
+pub fn trace_os_recorded(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: OsModelOptions,
+    tracer: &codesign_trace::Tracer,
+) -> MachineTrace {
+    let trace = trace_os(work, cfg, opts);
+    if tracer.is_enabled() {
+        let mut track = tracer.track("cycle:os");
+        trace.record_spans(&mut track);
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,21 @@ pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     trace
 }
 
+/// [`trace_rs`], additionally publishing the machine trace as one
+/// `cycle:rs` track of phase spans when `tracer` is enabled.
+pub fn trace_rs_recorded(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    tracer: &codesign_trace::Tracer,
+) -> MachineTrace {
+    let trace = trace_rs(work, cfg);
+    if tracer.is_enabled() {
+        let mut track = tracer.track("cycle:rs");
+        trace.record_spans(&mut track);
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,21 @@ pub fn trace_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     trace
 }
 
+/// [`trace_ws`], additionally publishing the machine trace as one
+/// `cycle:ws` track of phase spans when `tracer` is enabled.
+pub fn trace_ws_recorded(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    tracer: &codesign_trace::Tracer,
+) -> MachineTrace {
+    let trace = trace_ws(work, cfg);
+    if tracer.is_enabled() {
+        let mut track = tracer.track("cycle:ws");
+        trace.record_spans(&mut track);
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
+use codesign_trace::{Category, Tracer};
 
 use crate::cache::{CacheStats, LayerKey, SimCache};
 use crate::compression::WeightCompression;
@@ -162,21 +163,45 @@ fn conv_layer_parts(
 /// // Fire modules repeat layer shapes, so the cache saw hits already.
 /// assert!(sim.stats().hits > 0);
 /// ```
+///
+/// A `Simulator` also carries a [`Tracer`] (disabled by default, so
+/// tracing costs nothing unless requested). With an enabled tracer every
+/// [`Simulator::simulate_network`] call publishes one track of per-layer
+/// spans — duration in simulated cycles, with MACs, DRAM bytes/cycles,
+/// phase breakdown, buffer occupancy, and cache-hit counters attached —
+/// plus global `sim.*` counters. Tracing never changes simulation
+/// results: the instrumented paths only *observe* values that are
+/// computed anyway.
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     cache: Option<Arc<SimCache>>,
+    tracer: Tracer,
 }
 
 impl Simulator {
     /// A simulator with memoization enabled (an empty cache).
     pub fn new() -> Self {
-        Self { cache: Some(Arc::new(SimCache::new())) }
+        Self { cache: Some(Arc::new(SimCache::new())), tracer: Tracer::disabled() }
     }
 
     /// A simulator that always recomputes — the baseline the determinism
     /// tests compare cached runs against.
     pub fn uncached() -> Self {
-        Self { cache: None }
+        Self { cache: None, tracer: Tracer::disabled() }
+    }
+
+    /// Attaches a tracer; simulation spans and counters are recorded
+    /// through it. Clones of this simulator share the tracer (and the
+    /// cache), so parallel workers all feed one trace.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless [`Simulator::with_tracer`]
+    /// installed an enabled one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Whether this handle memoizes.
@@ -205,16 +230,37 @@ impl Simulator {
         opts: SimOptions,
         dataflow: Dataflow,
     ) -> LayerPerf {
-        match ConvWork::from_layer(layer) {
+        self.simulate_layer_flagged(layer, cfg, opts, dataflow).0
+    }
+
+    /// [`Simulator::simulate_layer`] plus a flag telling whether the
+    /// result was answered from the memo cache.
+    fn simulate_layer_flagged(
+        &self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        dataflow: Dataflow,
+    ) -> (LayerPerf, bool) {
+        // `looked_up` distinguishes a genuine cache miss from the paths
+        // that never consult the cache (uncached handle, SIMD layers).
+        let (perf, cache_hit, looked_up) = match ConvWork::from_layer(layer) {
             Some(work) => {
-                let (compute, dram_bytes) = match self.cache.as_deref() {
-                    Some(cache) => cache
-                        .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
-                            conv_layer_parts(&work, cfg, opts, dataflow)
-                        }),
-                    None => conv_layer_parts(&work, cfg, opts, dataflow),
+                let ((compute, dram_bytes), cache_hit, looked_up) = match self.cache.as_deref() {
+                    Some(cache) => {
+                        let (value, hit) = cache
+                            .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
+                                conv_layer_parts(&work, cfg, opts, dataflow)
+                            });
+                        (value, hit, true)
+                    }
+                    None => (conv_layer_parts(&work, cfg, opts, dataflow), false, false),
                 };
-                finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg)
+                (
+                    finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg),
+                    cache_hit,
+                    looked_up,
+                )
             }
             None => {
                 let compute =
@@ -224,9 +270,22 @@ impl Simulator {
                     layer.output.elements() as u64,
                     cfg,
                 );
-                finish_layer(layer, None, compute, traffic.total(), cfg)
+                (finish_layer(layer, None, compute, traffic.total(), cfg), false, false)
+            }
+        };
+        if self.tracer.is_enabled() {
+            // Global counters. Note the cache.* pair is schedule-dependent
+            // under parallel misses (see `SimCache::get_or_compute`);
+            // everything else is a pure function of the work simulated.
+            self.tracer.add_counter("sim.layer_sims", 1);
+            self.tracer.add_counter("sim.dram.bytes", perf.dram_bytes);
+            self.tracer.add_counter("sim.macs", perf.compute.executed_macs);
+            if looked_up {
+                let name = if cache_hit { "sim.cache.hits" } else { "sim.cache.misses" };
+                self.tracer.add_counter(name, 1);
             }
         }
+        (perf, cache_hit)
     }
 
     /// Simulates one layer under both dataflows and returns
@@ -263,22 +322,105 @@ impl Simulator {
         policy: DataflowPolicy,
         opts: SimOptions,
     ) -> NetworkPerf {
+        let mut cache_hits = Vec::new();
         let layers = network
             .layers()
             .iter()
-            .map(|layer| match policy {
-                DataflowPolicy::Fixed(d) => self.simulate_layer(layer, cfg, opts, d),
-                DataflowPolicy::PerLayer => {
-                    let (ws, os, best) = self.compare_dataflows(layer, cfg, opts);
-                    match best {
-                        Dataflow::WeightStationary => ws,
-                        Dataflow::OutputStationary => os,
+            .map(|layer| {
+                let (perf, hit) = match policy {
+                    DataflowPolicy::Fixed(d) => self.simulate_layer_flagged(layer, cfg, opts, d),
+                    DataflowPolicy::PerLayer => {
+                        let (ws, hit_ws) = self.simulate_layer_flagged(
+                            layer,
+                            cfg,
+                            opts,
+                            Dataflow::WeightStationary,
+                        );
+                        let (os, hit_os) = self.simulate_layer_flagged(
+                            layer,
+                            cfg,
+                            opts,
+                            Dataflow::OutputStationary,
+                        );
+                        if os.total_cycles < ws.total_cycles {
+                            (os, hit_os)
+                        } else {
+                            (ws, hit_ws)
+                        }
                     }
-                }
+                };
+                cache_hits.push(hit);
+                perf
             })
             .collect();
-        NetworkPerf { name: network.name().to_owned(), layers }
+        let perf = NetworkPerf { name: network.name().to_owned(), layers };
+        if self.tracer.is_enabled() {
+            record_network_impl(&self.tracer, network, &perf, cfg, policy, Some(&cache_hits));
+        }
+        perf
     }
+}
+
+fn policy_tag(policy: DataflowPolicy) -> &'static str {
+    match policy {
+        DataflowPolicy::PerLayer => "hybrid",
+        DataflowPolicy::Fixed(Dataflow::WeightStationary) => "ws",
+        DataflowPolicy::Fixed(Dataflow::OutputStationary) => "os",
+    }
+}
+
+/// Global-buffer bytes a layer occupies: its full operand footprint,
+/// capped at the buffer capacity (larger layers stream through tiles).
+fn layer_buffer_occupancy(layer: &Layer, cfg: &AcceleratorConfig) -> u64 {
+    let weights = ConvWork::from_layer(layer).map(|w| w.weight_elements()).unwrap_or(0);
+    let elements = layer.input.elements() as u64 + layer.output.elements() as u64 + weights;
+    (elements * cfg.bytes_per_element() as u64).min(cfg.global_buffer_bytes() as u64)
+}
+
+fn record_network_impl(
+    tracer: &Tracer,
+    network: &Network,
+    perf: &NetworkPerf,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    cache_hits: Option<&[bool]>,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let mut track = tracer.track(format!("sim:{}:{}", network.name(), policy_tag(policy)));
+    track.open(network.name(), Category::Network);
+    for (i, (layer, l)) in network.layers().iter().zip(&perf.layers).enumerate() {
+        let mut counters = vec![
+            ("macs", l.compute.executed_macs),
+            ("cycles.load", l.compute.phases.load),
+            ("cycles.compute", l.compute.phases.compute),
+            ("cycles.drain", l.compute.phases.drain),
+            ("dram.bytes", l.dram_bytes),
+            ("dram.cycles", l.dram_cycles),
+            ("buffer.bytes", layer_buffer_occupancy(layer, cfg)),
+        ];
+        if let Some(&hit) = cache_hits.and_then(|h| h.get(i)) {
+            counters.push(("cache.hit", hit as u64));
+        }
+        track.leaf(&l.name, Category::Layer, l.total_cycles, &counters);
+    }
+    track.close_with(&[("total_cycles", perf.total_cycles())]);
+}
+
+/// Publishes one track of per-layer spans for an already-computed
+/// network result — the post-hoc twin of the recording
+/// [`Simulator::simulate_network`] does inline, for callers that obtained
+/// a [`NetworkPerf`] through another path (batched or multi-core runs).
+/// No-op on a disabled tracer.
+pub fn record_network(
+    tracer: &Tracer,
+    network: &Network,
+    perf: &NetworkPerf,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+) {
+    record_network_impl(tracer, network, perf, cfg, policy, None);
 }
 
 /// Simulates one layer under a forced dataflow (non-PE layers always take
@@ -390,6 +532,46 @@ mod tests {
         assert!(l.dram_bytes > 0);
         assert!(l.total_cycles >= l.compute.cycles());
         assert!(l.compute.accesses.dram > 0);
+    }
+
+    #[test]
+    fn tracing_records_layers_without_changing_results() {
+        let net = zoo::squeezenet_v1_1();
+        let opts = SimOptions::paper_default();
+        let tracer = Tracer::enabled();
+        let traced = Simulator::new().with_tracer(tracer.clone());
+        let a = traced.simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
+        let b = Simulator::new().simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
+        assert_eq!(a, b, "tracing must not perturb simulation results");
+
+        let data = tracer.snapshot();
+        assert_eq!(data.tracks.len(), 1);
+        let track = &data.tracks[0];
+        assert!(track.name.starts_with("sim:") && track.name.ends_with(":hybrid"));
+        track.check_nesting().expect("network/layer spans nest");
+        // One network span plus one leaf per layer, tiling the timeline.
+        assert_eq!(track.spans.len(), net.layers().len() + 1);
+        assert_eq!(track.spans[0].counter("total_cycles"), Some(a.total_cycles()));
+        assert_eq!(track.extent(), a.total_cycles());
+        let span_macs: u64 = track.spans[1..].iter().filter_map(|s| s.counter("macs")).sum();
+        assert_eq!(span_macs, a.total_macs());
+        // Global counters: PerLayer simulates every layer twice (WS + OS),
+        // and the cache pair accounts for every actual lookup.
+        assert_eq!(data.counter("sim.layer_sims"), Some(2 * net.layers().len() as u64));
+        let lookups = data.counter("sim.cache.hits").unwrap_or(0)
+            + data.counter("sim.cache.misses").unwrap_or(0);
+        assert_eq!(lookups, traced.stats().lookups());
+        // Every layer span carries a cache-hit flag.
+        assert!(track.spans[1..].iter().all(|s| s.counter("cache.hit").is_some()));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let net = zoo::squeezenet_v1_1();
+        let sim = Simulator::new();
+        assert!(!sim.tracer().is_enabled());
+        sim.simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, SimOptions::paper_default());
+        assert!(sim.tracer().snapshot().tracks.is_empty());
     }
 
     #[test]

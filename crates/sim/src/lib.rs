@@ -58,8 +58,8 @@ pub use batch::{simulate_layer_batched, simulate_network_batched};
 pub use cache::{CacheStats, SimCache};
 pub use compression::WeightCompression;
 pub use engine::{
-    compare_dataflows, simulate_conv, simulate_layer, simulate_network, SimOptions, Simulator,
-    TrafficModel,
+    compare_dataflows, record_network, simulate_conv, simulate_layer, simulate_network, SimOptions,
+    Simulator, TrafficModel,
 };
 pub use event::{simulate_layer_event, simulate_network_event, EventLayerResult, EventResult};
 pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};

@@ -1,0 +1,74 @@
+//! Minimal JSON writing helpers shared by every sink (the environment is
+//! offline, so there is no serde; the subset written here — strings,
+//! integers, fixed-point floats, arrays, objects — is all the sinks
+//! need).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `s` as a quoted JSON string.
+pub fn quote(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trippable form Rust offers without a dependency.
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders `(name, value)` integer pairs as a JSON object.
+pub fn counter_object(counters: &[(impl AsRef<str>, u64)]) -> String {
+    let body: Vec<String> =
+        counters.iter().map(|(n, v)| format!("{}:{v}", quote(n.as_ref()))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(quote("x"), "\"x\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn counter_objects_render() {
+        let empty: &[(&str, u64)] = &[];
+        assert_eq!(counter_object(empty), "{}");
+        assert_eq!(counter_object(&[("a", 1u64), ("b", 2)]), "{\"a\":1,\"b\":2}");
+    }
+}

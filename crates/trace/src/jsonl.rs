@@ -1,0 +1,64 @@
+//! JSONL sink: one self-describing JSON object per line, for `jq`-style
+//! ad-hoc analysis and append-friendly event logs.
+
+use std::fmt::Write as _;
+
+use crate::json::{counter_object, quote};
+use crate::tracer::TraceData;
+
+/// Renders a snapshot as JSON Lines: first one `span` record per span
+/// (in canonical track order), then one `counter` record per global
+/// counter.
+pub fn jsonl(data: &TraceData) -> String {
+    let mut out = String::new();
+    for track in &data.tracks {
+        for span in &track.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"track\":{},\"name\":{},\"cat\":{},\
+                 \"start\":{},\"dur\":{},\"depth\":{},\"counters\":{}}}",
+                quote(&track.name),
+                quote(&span.name),
+                quote(span.category.tag()),
+                span.start,
+                span.duration,
+                span.depth,
+                counter_object(&span.counters),
+            );
+        }
+    }
+    for (name, value) in &data.counters {
+        let _ =
+            writeln!(out, "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}", quote(name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Category;
+    use crate::Tracer;
+
+    #[test]
+    fn one_record_per_line() {
+        let tracer = Tracer::enabled();
+        let mut t = tracer.track("t");
+        t.leaf("a", Category::Layer, 5, &[("macs", 1)]);
+        t.leaf("b", Category::Layer, 5, &[]);
+        drop(t);
+        tracer.add_counter("c", 9);
+        let text = jsonl(&tracer.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"counters\":{\"macs\":1}"));
+        assert!(lines[2].contains("\"type\":\"counter\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(jsonl(&TraceData::default()), "");
+    }
+}

@@ -1,0 +1,164 @@
+//! Aggregated metrics snapshot: the order-independent roll-up of a trace.
+//!
+//! Aggregation sums `u64` span counters per category, so the result is
+//! identical however the underlying spans were interleaved across worker
+//! threads — the property the trace layer's determinism tests pin down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{counter_object, quote};
+use crate::span::Category;
+use crate::tracer::TraceData;
+
+/// Totals for one span category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryMetrics {
+    /// The category.
+    pub category: Category,
+    /// Number of spans.
+    pub spans: u64,
+    /// Summed span durations (simulated cycles).
+    pub cycles: u64,
+    /// Summed span counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// The aggregated view of a [`TraceData`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Number of tracks.
+    pub tracks: u64,
+    /// Total spans across all tracks.
+    pub spans: u64,
+    /// Per-category totals, in canonical category order (categories with
+    /// no spans are omitted).
+    pub categories: Vec<CategoryMetrics>,
+    /// Global tracer counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Aggregates a snapshot.
+    pub fn of(data: &TraceData) -> Self {
+        let mut by_cat: BTreeMap<Category, CategoryMetrics> = BTreeMap::new();
+        for track in &data.tracks {
+            for span in &track.spans {
+                let m = by_cat.entry(span.category).or_insert_with(|| CategoryMetrics {
+                    category: span.category,
+                    spans: 0,
+                    cycles: 0,
+                    counters: Vec::new(),
+                });
+                m.spans += 1;
+                m.cycles += span.duration;
+                for &(name, value) in &span.counters {
+                    match m.counters.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, v)) => *v += value,
+                        None => m.counters.push((name.to_owned(), value)),
+                    }
+                }
+            }
+        }
+        let mut categories: Vec<CategoryMetrics> = by_cat.into_values().collect();
+        for m in &mut categories {
+            m.counters.sort();
+        }
+        Self {
+            tracks: data.tracks.len() as u64,
+            spans: data.span_count() as u64,
+            categories,
+            counters: data.counters.clone(),
+        }
+    }
+
+    /// The totals for one category, if any spans carried it.
+    pub fn category(&self, category: Category) -> Option<&CategoryMetrics> {
+        self.categories.iter().find(|m| m.category == category)
+    }
+
+    /// A summed span counter within one category.
+    pub fn category_counter(&self, category: Category, name: &str) -> Option<u64> {
+        self.category(category)?.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A global tracer counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"codesign-metrics/1\",");
+        let _ = writeln!(out, "  \"tracks\": {},", self.tracks);
+        let _ = writeln!(out, "  \"spans\": {},", self.spans);
+        let cats: Vec<String> = self
+            .categories
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"category\":{},\"spans\":{},\"cycles\":{},\"counters\":{}}}",
+                    quote(m.category.tag()),
+                    m.spans,
+                    m.cycles,
+                    counter_object(&m.counters),
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"categories\": [\n{}\n  ],", cats.join(",\n"));
+        let _ = writeln!(out, "  \"counters\": {}", counter_object(&self.counters));
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn demo(order: &[usize]) -> TraceData {
+        // Three tracks published in the given order; aggregation must not
+        // care.
+        let tracer = Tracer::enabled();
+        let specs = [("a", 10u64, 100u64), ("b", 20, 200), ("c", 30, 300)];
+        for &i in order {
+            let (name, cycles, macs) = specs[i];
+            let mut t = tracer.track(name);
+            t.leaf("layer", Category::Layer, cycles, &[("macs", macs)]);
+        }
+        tracer.add_counter("sim.cache.hits", 5);
+        tracer.snapshot()
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let a = MetricsSnapshot::of(&demo(&[0, 1, 2]));
+        let b = MetricsSnapshot::of(&demo(&[2, 0, 1]));
+        assert_eq!(a, b);
+        assert_eq!(a.category_counter(Category::Layer, "macs"), Some(600));
+        assert_eq!(a.category(Category::Layer).unwrap().cycles, 60);
+        assert_eq!(a.counter("sim.cache.hits"), Some(5));
+        assert_eq!(a.counter("absent"), None);
+        assert!(a.category(Category::Sweep).is_none());
+    }
+
+    #[test]
+    fn json_renders_schema_and_totals() {
+        let json = MetricsSnapshot::of(&demo(&[0, 1, 2])).to_json();
+        assert!(json.contains("\"schema\": \"codesign-metrics/1\""));
+        assert!(json.contains("\"category\":\"layer\""));
+        assert!(json.contains("\"macs\":600"));
+        assert!(json.contains("\"sim.cache.hits\":5"));
+    }
+
+    #[test]
+    fn empty_trace_aggregates_to_empty() {
+        let m = MetricsSnapshot::of(&TraceData::default());
+        assert_eq!(m.spans, 0);
+        assert!(m.categories.is_empty());
+        assert!(m.to_json().contains("\"spans\": 0"));
+    }
+}

@@ -12,7 +12,9 @@
 //!   (analytic models, cycle-stepped machine, functional dataflow
 //!   executors);
 //! * [`core`] — the co-design engine (hybrid scheduling, DSE, model
-//!   transformations, Pareto analysis).
+//!   transformations, Pareto analysis);
+//! * [`trace`] — the observability layer (spans, counters, Chrome-trace
+//!   / JSONL / metrics sinks).
 //!
 //! # Examples
 //!
@@ -39,3 +41,4 @@ pub use codesign_core as core;
 pub use codesign_dnn as dnn;
 pub use codesign_sim as sim;
 pub use codesign_tensor as tensor;
+pub use codesign_trace as trace;

@@ -8,6 +8,7 @@ use codesign::arch::EnergyModel;
 use codesign::core::{sweep_with, SweepSpace};
 use codesign::dnn::zoo;
 use codesign::sim::{SimOptions, Simulator};
+use codesign::trace::Tracer;
 
 fn assert_bit_identical(
     serial: &[codesign::core::DesignPoint],
@@ -40,6 +41,61 @@ fn parallel_cached_sweep_is_bit_identical_to_serial_uncached() {
         // but fire-module shape repeats within each network still hit.
         assert!(sim.stats().hits > 0, "{}", sim.stats());
     }
+}
+
+#[test]
+fn tracing_on_preserves_determinism() {
+    // The observability layer must be a pure observer: sweeping with an
+    // enabled tracer — serial or parallel — reproduces the untraced
+    // results bit-for-bit, and everything the trace derives from spans
+    // is independent of the worker schedule.
+    let space = SweepSpace::paper_default();
+    let opts = SimOptions::paper_default();
+    let energy = EnergyModel::default();
+    let net = zoo::squeezenet_v1_1();
+    let untraced = sweep_with(&Simulator::uncached(), &net, &space, opts, &energy, 1).unwrap();
+
+    let serial_tracer = Tracer::enabled();
+    let serial = sweep_with(
+        &Simulator::new().with_tracer(serial_tracer.clone()),
+        &net,
+        &space,
+        opts,
+        &energy,
+        1,
+    )
+    .unwrap();
+    let parallel_tracer = Tracer::enabled();
+    let parallel = sweep_with(
+        &Simulator::new().with_tracer(parallel_tracer.clone()),
+        &net,
+        &space,
+        opts,
+        &energy,
+        8,
+    )
+    .unwrap();
+    assert_bit_identical(&untraced, &serial);
+    assert_bit_identical(&untraced, &parallel);
+
+    // Span-derived trace data (tracks are canonically ordered in the
+    // snapshot) must not depend on the thread count...
+    let serial_data = serial_tracer.snapshot();
+    let parallel_data = parallel_tracer.snapshot();
+    assert!(serial_data.span_count() > 0);
+    assert_eq!(serial_data.tracks, parallel_data.tracks);
+
+    // ...and neither must any global counter except the cache hit/miss
+    // pair, which is documented as schedule-dependent (racing workers may
+    // both miss the same key).
+    let non_cache = |data: &codesign::trace::TraceData| {
+        data.counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("sim.cache."))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(non_cache(&serial_data), non_cache(&parallel_data));
 }
 
 #[test]
