@@ -83,7 +83,11 @@ impl AcceleratorConfig {
     /// (not stated in the paper; chosen so AlexNet's FC runtime share
     /// lands near the reported 73 % — documented assumption in DESIGN.md).
     pub fn paper_default() -> Self {
-        Self::builder().build().expect("paper default configuration is valid")
+        // The builder's defaults are the paper constants, which satisfy
+        // every range check in `build` by construction.
+        Self::builder()
+            .build()
+            .unwrap_or_else(|e| unreachable!("paper default configuration is valid: {e}"))
     }
 
     /// Starts a builder initialized to [`AcceleratorConfig::paper_default`].

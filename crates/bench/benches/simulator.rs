@@ -94,7 +94,7 @@ fn bench_tiling_search() {
         out_w: 56,
     };
     let g = Stopwatch::group("optimize_tiling", 10);
-    g.bench("128x56x56_k128", || optimize_tiling(&work, &cfg));
+    g.bench("128x56x56_k128", || optimize_tiling(&work, &cfg).unwrap());
 }
 
 fn bench_program_compile() {

@@ -21,6 +21,8 @@ pub enum Action {
     Wave,
     /// List the model zoo.
     List,
+    /// Run the fault-injection corpus against the simulator.
+    Faultinject,
 }
 
 /// Fully parsed invocation.
@@ -97,8 +99,14 @@ commands:
   sweep    <net>   hardware design-space sweep
   wave     <net> <layer>  layer waveform as VCD (stdout; pipe to a file)
   list             list the model zoo
+  faultinject      run the hostile-input corpus against the simulator
 
 <net> is a zoo name (try `codesign list`) or a path to a .net file.
+
+exit codes: 0 success; 1 usage or I/O error; 2 the workload or
+configuration was rejected by the simulator (preflight validation,
+infeasible tiling, overflow-scale shapes, ...) or the fault-injection
+corpus failed.
 
 options:
   --arch ws|os|hybrid    dataflow policy            (default hybrid)
@@ -140,6 +148,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         Some("sweep") => Action::Sweep,
         Some("wave") => Action::Wave,
         Some("list") => Action::List,
+        Some("faultinject") => Action::Faultinject,
         Some(other) => return Err(ParseArgsError(format!("unknown command `{other}`"))),
         None => return Err(ParseArgsError("missing command".to_owned())),
     };
@@ -190,7 +199,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             extra => return Err(ParseArgsError(format!("unexpected argument `{extra}`"))),
         }
     }
-    if inv.network.is_none() && inv.action != Action::List {
+    if inv.network.is_none() && !matches!(inv.action, Action::List | Action::Faultinject) {
         return Err(ParseArgsError("this command needs a network".to_owned()));
     }
     if inv.action == Action::Wave && inv.layer.is_none() {
@@ -245,6 +254,11 @@ mod tests {
     fn list_needs_no_network() {
         assert_eq!(parse("list").unwrap().action, Action::List);
         assert!(parse("simulate").is_err());
+    }
+
+    #[test]
+    fn faultinject_needs_no_network() {
+        assert_eq!(parse("faultinject").unwrap().action, Action::Faultinject);
     }
 
     #[test]

@@ -18,12 +18,32 @@ use codesign_arch::EnergyModel;
 use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedule, SweepSpace};
 use codesign_dnn::{parse_network, zoo, Network};
 use codesign_sim::{
-    compare_dataflows, cycle, record_network, simulate_network_batched, simulate_network_multicore,
-    ConvWork, MultiCoreConfig, Program, SimOptions, Simulator,
+    cycle, record_network, run_corpus, try_compare_dataflows, try_simulate_network_batched,
+    try_simulate_network_multicore, validate_network, ConvWork, MultiCoreConfig, Program,
+    SimOptions, Simulator,
 };
 use codesign_trace::{chrome_trace, MetricsSnapshot, Tracer};
 
 use args::{parse_args, Action, Invocation, USAGE};
+
+/// Exit code 2: the simulator rejected the workload or configuration
+/// with a typed error (preflight validation, infeasible tiling,
+/// overflow-scale shapes), or the fault-injection corpus failed.
+const EXIT_REJECTED: u8 = 2;
+
+/// A failed run, classified for the process exit code: `Usage` exits 1
+/// (bad arguments, unknown networks, I/O), `Rejected` exits 2 (the
+/// simulator refused the workload with a typed error).
+enum RunError {
+    Usage(String),
+    Rejected(String),
+}
+
+impl RunError {
+    fn rejected(e: impl std::fmt::Display) -> Self {
+        RunError::Rejected(e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -40,43 +60,53 @@ fn main() -> ExitCode {
     };
     match run(&inv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(RunError::Usage(e)) => {
             eprintln!("codesign: {e}");
             ExitCode::FAILURE
+        }
+        Err(RunError::Rejected(e)) => {
+            eprintln!("codesign: {e}");
+            ExitCode::from(EXIT_REJECTED)
         }
     }
 }
 
-fn load_network(spec: &str) -> Result<Network, String> {
+fn load_network(spec: &str) -> Result<Network, RunError> {
     if let Some(net) = zoo::by_name(spec) {
         return Ok(net);
     }
     if spec.ends_with(".net") || spec.contains('/') {
-        let text = fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
-        return parse_network(&text).map_err(|e| format!("{spec}: {e}"));
+        let text = fs::read_to_string(spec)
+            .map_err(|e| RunError::Usage(format!("cannot read {spec}: {e}")))?;
+        // A file that exists but does not describe a valid network is an
+        // input-rejection (exit 2), not a usage error.
+        return parse_network(&text).map_err(|e| RunError::Rejected(format!("{spec}: {e}")));
     }
-    Err(format!("unknown network `{spec}` (see `codesign list`, or pass a .net file)"))
+    Err(RunError::Usage(format!(
+        "unknown network `{spec}` (see `codesign list`, or pass a .net file)"
+    )))
 }
 
 /// Writes the requested trace/metrics sinks at the end of a run.
-fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), String> {
+fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), RunError> {
     if !tracer.is_enabled() {
         return Ok(());
     }
     let data = tracer.snapshot();
     if let Some(path) = &inv.trace {
-        fs::write(path, chrome_trace(&data)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        fs::write(path, chrome_trace(&data))
+            .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; wrote Chrome trace to {path} ({} spans)", data.span_count());
     }
     if let Some(path) = &inv.metrics {
         fs::write(path, MetricsSnapshot::of(&data).to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; wrote metrics snapshot to {path}");
     }
     Ok(())
 }
 
-fn run(inv: &Invocation) -> Result<(), String> {
+fn run(inv: &Invocation) -> Result<(), RunError> {
     let opts = SimOptions::paper_default();
     let energy = EnergyModel::default();
     // One tracer for the whole invocation; disabled (zero-cost) unless a
@@ -99,16 +129,34 @@ fn run(inv: &Invocation) -> Result<(), String> {
         return Ok(());
     }
 
-    let cfg = inv.config().map_err(|e| e.to_string())?;
-    let net = load_network(inv.network.as_deref().expect("non-list commands have a network"))?;
+    if inv.action == Action::Faultinject {
+        let report = run_corpus(&tracer);
+        print!("{}", report.render());
+        write_sinks(inv, &tracer)?;
+        if !report.passed() {
+            return Err(RunError::Rejected("fault-injection corpus failed".to_owned()));
+        }
+        return Ok(());
+    }
+
+    let cfg = inv.config().map_err(|e| RunError::Usage(e.to_string()))?;
+    let Some(spec) = inv.network.as_deref() else {
+        return Err(RunError::Usage("this command needs a network".to_owned()));
+    };
+    let net = load_network(spec)?;
+    // Pre-flight: reject workloads the cycle models cannot represent
+    // before any simulation starts, with the offending layer named.
+    validate_network(&net, &cfg).map_err(RunError::rejected)?;
 
     match inv.action {
         Action::Simulate => {
             let mc = MultiCoreConfig { core: cfg.clone(), cores: inv.cores };
             let perf = if inv.cores > 1 {
-                simulate_network_multicore(&net, &mc, inv.policy, opts)
+                try_simulate_network_multicore(&net, &mc, inv.policy, opts)
+                    .map_err(RunError::rejected)?
             } else {
-                simulate_network_batched(&net, &cfg, inv.policy, opts, inv.batch)
+                try_simulate_network_batched(&net, &cfg, inv.policy, opts, inv.batch)
+                    .map_err(RunError::rejected)?
             };
             // Batched/multi-core runs bypass the Simulator handle, so the
             // per-layer spans are recorded post hoc.
@@ -144,7 +192,8 @@ fn run(inv: &Invocation) -> Result<(), String> {
             println!("total: {} cycles", schedule.total_cycles());
         }
         Action::Compile => {
-            let program = Program::compile(&net, &cfg, inv.policy, opts);
+            let program =
+                Program::try_compile(&net, &cfg, inv.policy, opts).map_err(RunError::rejected)?;
             print!("{}", program.listing());
             println!("; {} commands, {} cycles replayed", program.len(), program.estimate(&cfg));
         }
@@ -156,7 +205,7 @@ fn run(inv: &Invocation) -> Result<(), String> {
         Action::Sweep => {
             let sim = Simulator::new().with_tracer(tracer.clone());
             let started = std::time::Instant::now();
-            let points = codesign_core::sweep_with(
+            let outcome = codesign_core::sweep_full_with(
                 &sim,
                 &net,
                 &SweepSpace::paper_default(),
@@ -164,10 +213,11 @@ fn run(inv: &Invocation) -> Result<(), String> {
                 &energy,
                 inv.jobs,
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| RunError::Usage(e.to_string()))?;
+            let points = &outcome.points;
             let wall = started.elapsed();
             println!("{:<18} {:>12} {:>14} {:>8}", "design", "cycles", "energy (MMAC)", "util");
-            for p in &points {
+            for p in points {
                 println!(
                     "{:<18} {:>12} {:>14.1} {:>7.1}%",
                     p.params.to_string(),
@@ -176,8 +226,16 @@ fn run(inv: &Invocation) -> Result<(), String> {
                     100.0 * p.utilization
                 );
             }
-            if let Some(best) = best_by_energy_delay(&points) {
+            if let Some(best) = best_by_energy_delay(points) {
                 println!("best energy-delay: {}", best.params);
+            }
+            // Degraded points are reported, not fatal: the sweep still
+            // exits 0 with the surviving results.
+            if !outcome.failures.is_empty() {
+                eprintln!("; {}", outcome.failure_summary());
+                for f in &outcome.failures {
+                    eprintln!(";   {f}");
+                }
             }
             eprintln!(
                 "; swept {} point(s) in {:.1} ms on {} thread(s); sim cache: {}",
@@ -188,13 +246,17 @@ fn run(inv: &Invocation) -> Result<(), String> {
             );
         }
         Action::Wave => {
-            let layer_name = inv.layer.as_deref().expect("wave requires a layer");
-            let layer = net
-                .layer(layer_name)
-                .ok_or_else(|| format!("no layer `{layer_name}` in {}", net.name()))?;
-            let work = ConvWork::from_layer(layer)
-                .ok_or_else(|| format!("`{layer_name}` is not a PE-array layer"))?;
-            let (_, _, best) = compare_dataflows(layer, &cfg, opts);
+            let Some(layer_name) = inv.layer.as_deref() else {
+                return Err(RunError::Usage("wave requires a layer".to_owned()));
+            };
+            let layer = net.layer(layer_name).ok_or_else(|| {
+                RunError::Usage(format!("no layer `{layer_name}` in {}", net.name()))
+            })?;
+            let work = ConvWork::from_layer(layer).ok_or_else(|| {
+                RunError::Usage(format!("`{layer_name}` is not a PE-array layer"))
+            })?;
+            let (_, _, best) =
+                try_compare_dataflows(layer, &cfg, opts).map_err(RunError::rejected)?;
             let trace = match best {
                 codesign_arch::Dataflow::WeightStationary => {
                     cycle::trace_ws_recorded(&work, &cfg, &tracer)
@@ -212,7 +274,7 @@ fn run(inv: &Invocation) -> Result<(), String> {
                 trace.segments().len()
             );
         }
-        Action::List => unreachable!("handled above"),
+        Action::List | Action::Faultinject => unreachable!("handled above"),
     }
     write_sinks(inv, &tracer)
 }

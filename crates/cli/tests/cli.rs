@@ -99,6 +99,43 @@ fn errors_are_clean_and_nonzero() {
 }
 
 #[test]
+fn faultinject_runs_the_corpus_clean() {
+    let o = run(&["faultinject"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("0 panicked"), "{out}");
+    assert!(out.contains("-> PASS"), "{out}");
+    // The issue demands at least 30 hostile/degenerate cases.
+    let listed = out.lines().filter(|l| l.contains("expect ")).count();
+    assert!(listed >= 30, "only {listed} cases listed:\n{out}");
+}
+
+#[test]
+fn rejected_workloads_exit_2() {
+    // A syntactically valid .net whose conv kernel exceeds its input
+    // plane: parses fine, fails pre-flight validation.
+    let dir = std::env::temp_dir();
+    let path = dir.join("cli_test_rejected.net");
+    std::fs::write(&path, "network rejected 3x4x4\nconv c1 8 11 s1 p0\n")
+        .expect("temp file writes");
+    let o = run(&["simulate", path.to_str().expect("utf-8 temp path")]);
+    assert_eq!(o.status.code(), Some(2), "{}", stderr(&o));
+    let err = stderr(&o);
+    assert!(err.contains("c1"), "error should name the layer: {err}");
+
+    // Usage errors stay exit 1, distinct from workload rejection.
+    let o = run(&["simulate", "no-such-network"]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+}
+
+#[test]
+fn sweep_completes_with_partial_results() {
+    let o = run(&["sweep", "tiny-darknet", "--jobs", "2"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("best energy-delay"));
+}
+
+#[test]
 fn help_prints_usage() {
     let o = run(&["--help"]);
     assert!(o.status.success());

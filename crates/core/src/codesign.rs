@@ -168,8 +168,15 @@ impl CodesignStudy {
             })
             .collect();
 
-        let rf8 = AcceleratorConfig::builder().rf_depth(8).build().expect("rf8 config");
-        let rf16 = AcceleratorConfig::builder().rf_depth(16).build().expect("rf16 config");
+        // Both depths sit inside the builder's validated range.
+        let rf8 = AcceleratorConfig::builder()
+            .rf_depth(8)
+            .build()
+            .unwrap_or_else(|e| unreachable!("rf8 config is valid: {e}"));
+        let rf16 = AcceleratorConfig::builder()
+            .rf_depth(16)
+            .build()
+            .unwrap_or_else(|e| unreachable!("rf16 config is valid: {e}"));
         // Flatten the (hardware point × variant) grid into one work list
         // so a single fan-out covers all ten evaluations.
         let work: Vec<(&AcceleratorConfig, &Network)> = [&rf8, &rf16]
@@ -184,11 +191,15 @@ impl CodesignStudy {
     }
 
     /// End-to-end gain of the co-design loop: v1 on untuned hardware vs
-    /// v5 on tuned hardware. Returns `(speedup, energy gain)`.
+    /// v5 on tuned hardware. Returns `(speedup, energy gain)`, or
+    /// `(1.0, 1.0)` if the study is somehow empty.
     pub fn end_to_end_gain(&self) -> (f64, f64) {
-        let start = &self.before_tuneup[0];
-        let end = self.after_tuneup.last().expect("five variants");
-        (start.cycles as f64 / end.cycles as f64, start.energy / end.energy)
+        match (self.before_tuneup.first(), self.after_tuneup.last()) {
+            (Some(start), Some(end)) => {
+                (start.cycles as f64 / end.cycles as f64, start.energy / end.energy)
+            }
+            _ => (1.0, 1.0),
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use std::fmt;
 
 use codesign_arch::{area, AcceleratorConfig, AreaModel, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{par_map, SimOptions, Simulator};
+use codesign_sim::{par_map_catch, SimError, SimOptions, Simulator};
 
 /// The swept hardware parameters of one design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,22 +167,27 @@ impl SweepSpace {
     }
 }
 
-/// Evaluates one grid point; `None` when the configuration is invalid
-/// (e.g. a buffer too small for the array) or the evaluation degenerates.
+/// Evaluates one grid point. `Ok(None)` when the configuration is
+/// invalid (e.g. a buffer too small for the array) or the evaluation
+/// degenerates — skipped, exactly as before; `Err` when the simulator
+/// rejects the point with a typed error — reported as a
+/// [`PointFailure`] diagnostic.
 fn evaluate_point(
     sim: &Simulator,
     network: &Network,
     params: DesignParams,
     opts: SimOptions,
     energy_model: &EnergyModel,
-) -> Option<DesignPoint> {
-    let cfg = AcceleratorConfig::builder()
+) -> Result<Option<DesignPoint>, SimError> {
+    let Ok(cfg) = AcceleratorConfig::builder()
         .array_size(params.array_size)
         .rf_depth(params.rf_depth)
         .global_buffer_bytes(params.global_buffer_bytes)
         .build()
-        .ok()?;
-    let perf = sim.simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts);
+    else {
+        return Ok(None);
+    };
+    let perf = sim.try_simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts)?;
     if sim.tracer().is_enabled() {
         let mut track = sim.tracer().track(format!("sweep:{}:{}", network.name(), params));
         track.leaf(
@@ -192,13 +197,58 @@ fn evaluate_point(
             &[("cycles", perf.total_cycles()), ("macs", perf.total_macs())],
         );
     }
-    DesignPoint::checked(
+    Ok(DesignPoint::checked(
         params,
         perf.total_cycles(),
         perf.total_energy(energy_model),
         perf.average_utilization(cfg.pe_count()),
         area(&cfg, &AreaModel::default(), true).total(),
-    )
+    ))
+}
+
+/// Diagnostic for one grid point that could not be evaluated: the
+/// simulator rejected it with a typed error, or (defensively) a worker
+/// panicked. Skipped-invalid configurations are *not* failures — they
+/// are silently dropped exactly as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// The grid point that failed.
+    pub params: DesignParams,
+    /// Human-readable reason, straight from the surfaced error.
+    pub reason: String,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.params, self.reason)
+    }
+}
+
+/// Result of a degradation-tolerant sweep: every point that evaluated,
+/// plus a diagnostic per point that failed. One bad grid point no
+/// longer aborts the other n−1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Successfully evaluated points, in deterministic grid order.
+    pub points: Vec<DesignPoint>,
+    /// Per-point diagnostics, in deterministic grid order.
+    pub failures: Vec<PointFailure>,
+}
+
+impl SweepOutcome {
+    /// One-line failure summary (empty string when everything passed).
+    pub fn failure_summary(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let listed: Vec<String> = self.failures.iter().map(PointFailure::to_string).collect();
+        format!(
+            "{} of {} points failed: {}",
+            self.failures.len(),
+            self.points.len() + self.failures.len(),
+            listed.join("; ")
+        )
+    }
 }
 
 /// Evaluates every design point in `space` for `network` on the hybrid
@@ -220,11 +270,44 @@ pub fn sweep_with(
     energy_model: &EnergyModel,
     jobs: usize,
 ) -> Result<Vec<DesignPoint>, SweepError> {
+    Ok(sweep_full_with(sim, network, space, opts, energy_model, jobs)?.points)
+}
+
+/// Degradation-tolerant variant of [`sweep_with`]: evaluates every grid
+/// point with per-point isolation (typed simulation errors *and* worker
+/// panics are caught per point), so the sweep completes with partial
+/// results plus one diagnostic per failed point instead of aborting.
+/// Results and diagnostics are in deterministic grid order — bit
+/// identical across `jobs` settings.
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpace`] when any sweep axis is empty.
+pub fn sweep_full_with(
+    sim: &Simulator,
+    network: &Network,
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+    jobs: usize,
+) -> Result<SweepOutcome, SweepError> {
     space.check_non_empty()?;
     let grid = space.grid();
-    let points =
-        par_map(jobs, &grid, |_, &params| evaluate_point(sim, network, params, opts, energy_model));
-    Ok(points.into_iter().flatten().collect())
+    let evals = par_map_catch(jobs, &grid, |_, &params| {
+        evaluate_point(sim, network, params, opts, energy_model)
+    });
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for (params, eval) in grid.into_iter().zip(evals) {
+        match eval {
+            Ok(Ok(Some(point))) => points.push(point),
+            Ok(Ok(None)) => {} // invalid or degenerate config: skipped
+            Ok(Err(e)) => failures.push(PointFailure { params, reason: e.to_string() }),
+            Err(panic_msg) => failures
+                .push(PointFailure { params, reason: format!("worker panicked: {panic_msg}") }),
+        }
+    }
+    Ok(SweepOutcome { points, failures })
 }
 
 /// Evaluates every design point in `space` for `network` on the hybrid
@@ -275,7 +358,11 @@ pub fn pareto_designs(points: &[DesignPoint]) -> Vec<DesignPoint> {
 pub fn rf_tuneup_effect(network: &Network, opts: SimOptions) -> (u64, u64) {
     let sim = Simulator::new();
     let mk = |rf: usize| {
-        let cfg = AcceleratorConfig::builder().rf_depth(rf).build().expect("valid rf sweep point");
+        // Both depths sit inside the builder's validated range.
+        let cfg = AcceleratorConfig::builder()
+            .rf_depth(rf)
+            .build()
+            .unwrap_or_else(|e| unreachable!("rf{rf} sweep point is valid: {e}"));
         sim.simulate_network(network, &cfg, DataflowPolicy::PerLayer, opts).total_cycles()
     };
     (mk(8), mk(16))
@@ -457,6 +544,70 @@ mod tests {
         assert_eq!(serial.categories, parallel.categories);
         assert_eq!(serial.tracks, parallel.tracks);
         assert_eq!(serial.category(Category::Sweep).expect("sweep spans").spans, 4);
+    }
+
+    #[test]
+    fn one_infeasible_point_degrades_instead_of_aborting() {
+        // A 256-byte buffer builds (it holds two 8x8 tiles) but leaves
+        // the tiling search no feasible plan for real layers — the sweep
+        // must complete with n-1 points plus one named diagnostic.
+        let space = SweepSpace {
+            array_sizes: vec![8],
+            rf_depths: vec![16],
+            buffer_bytes: vec![256, 64 * 1024, 128 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let outcome = sweep_full_with(
+            &Simulator::new(),
+            &net,
+            &space,
+            SimOptions::default(),
+            &EnergyModel::default(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(outcome.points.len(), 2, "{:?}", outcome.failures);
+        assert_eq!(outcome.failures.len(), 1);
+        let failure = &outcome.failures[0];
+        assert_eq!(failure.params.global_buffer_bytes, 256);
+        assert!(failure.reason.contains("infeasible tiling"), "{}", failure.reason);
+        assert!(outcome.failure_summary().contains("1 of 3 points failed"));
+        // The tolerant path and the plain path agree on the survivors.
+        let plain = sweep_with(
+            &Simulator::new(),
+            &net,
+            &space,
+            SimOptions::default(),
+            &EnergyModel::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(outcome.points, plain);
+    }
+
+    #[test]
+    fn degraded_sweep_is_schedule_independent() {
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![256, 64 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let run = |jobs: usize| {
+            sweep_full_with(
+                &Simulator::uncached(),
+                &net,
+                &space,
+                SimOptions::default(),
+                &EnergyModel::default(),
+                jobs,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel);
+        assert!(!serial.failures.is_empty());
     }
 
     #[test]

@@ -134,7 +134,10 @@ pub fn fusion_savings(
     let mut elided_tensors = 0usize;
     for g in &groups {
         for name in &g.layers[..g.layers.len().saturating_sub(1)] {
-            let layer = network.layer(name).expect("plan names network layers");
+            // The plan is built from this network, so the lookup only
+            // misses if a caller mixes plans across networks — such
+            // entries contribute no savings rather than aborting.
+            let Some(layer) = network.layer(name) else { continue };
             // One write + one read of the intermediate map.
             elided_dram_bytes += 2 * layer.output.elements() as u64 * bytes;
             elided_tensors += 1;

@@ -84,7 +84,7 @@ pub fn pareto_front(points: &[ModelPoint], axis: CostAxis) -> Vec<ModelPoint> {
         })
         .cloned()
         .collect();
-    front.sort_by(|a, b| cost(a).partial_cmp(&cost(b)).expect("costs are finite"));
+    front.sort_by(|a, b| cost(a).total_cmp(&cost(b)));
     front.dedup_by(|a, b| a.name == b.name);
     front
 }

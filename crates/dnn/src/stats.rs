@@ -22,7 +22,7 @@ impl MacBreakdown {
             let idx = LayerClass::ALL
                 .iter()
                 .position(|c| *c == layer.class())
-                .expect("every class is in ALL");
+                .unwrap_or_else(|| unreachable!("every class is in ALL"));
             macs[idx] += layer.macs();
         }
         Self { macs }
@@ -30,7 +30,10 @@ impl MacBreakdown {
 
     /// MACs in the given class.
     pub fn macs(&self, class: LayerClass) -> u64 {
-        let idx = LayerClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let idx = LayerClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .unwrap_or_else(|| unreachable!("class in ALL"));
         self.macs[idx]
     }
 

@@ -102,7 +102,7 @@ pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
         }
         last_line = line;
         let mut it = content.split_whitespace();
-        let directive = it.next().expect("non-empty line has a first token");
+        let Some(directive) = it.next() else { continue };
         let toks: Vec<&str> = it.collect();
         let need = |n: usize| {
             if toks.len() < n {

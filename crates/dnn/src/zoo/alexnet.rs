@@ -32,7 +32,7 @@ pub fn alexnet() -> Network {
         .fully_connected("fc8", 1000)
         .top1_accuracy(57.2)
         .finish()
-        .expect("AlexNet definition is shape-consistent")
+        .unwrap_or_else(|e| unreachable!("AlexNet definition is shape-consistent: {e}"))
 }
 
 #[cfg(test)]

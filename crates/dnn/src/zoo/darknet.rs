@@ -33,7 +33,7 @@ pub fn tiny_darknet() -> Network {
         .global_avg_pool("pool16")
         .top1_accuracy(58.7)
         .finish()
-        .expect("Tiny Darknet definition is shape-consistent")
+        .unwrap_or_else(|e| unreachable!("Tiny Darknet definition is shape-consistent: {e}"))
 }
 
 #[cfg(test)]

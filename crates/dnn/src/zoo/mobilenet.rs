@@ -56,7 +56,7 @@ pub fn mobilenet(width: f64) -> Network {
     if let Some((_, acc)) = WIDTH_VARIANTS.iter().find(|(w, _)| (w - width).abs() < 1e-9) {
         b.top1_accuracy(*acc);
     }
-    b.finish().expect("MobileNet definition is shape-consistent")
+    b.finish().unwrap_or_else(|e| unreachable!("MobileNet definition is shape-consistent: {e}"))
 }
 
 /// Builds 1.0-MobileNet-224, the variant in the paper's tables.
@@ -113,7 +113,8 @@ pub fn mobilenet_resolution(resolution: usize) -> Network {
     if let Some((_, acc)) = RESOLUTION_VARIANTS.iter().find(|(r, _)| *r == resolution) {
         b.top1_accuracy(*acc);
     }
-    b.finish().expect("MobileNet resolution variant is shape-consistent")
+    b.finish()
+        .unwrap_or_else(|e| unreachable!("MobileNet resolution variant is shape-consistent: {e}"))
 }
 
 /// The published resolution family, largest first.

@@ -45,7 +45,7 @@ pub fn squeezedet_trunk() -> Network {
         .fire("fire11", 96, 384, 384)
         .conv("convdet", outputs, 3, 1, 1)
         .finish()
-        .expect("SqueezeDet trunk definition is shape-consistent")
+        .unwrap_or_else(|e| unreachable!("SqueezeDet trunk definition is shape-consistent: {e}"))
 }
 
 #[cfg(test)]

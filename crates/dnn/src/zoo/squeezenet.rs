@@ -26,7 +26,7 @@ pub fn squeezenet_v1_0() -> Network {
         .global_avg_pool("pool10")
         .top1_accuracy(57.1)
         .finish()
-        .expect("SqueezeNet v1.0 definition is shape-consistent")
+        .unwrap_or_else(|e| unreachable!("SqueezeNet v1.0 definition is shape-consistent: {e}"))
 }
 
 /// Builds SqueezeNet v1.1 (the 2.4×-cheaper revision: 3×3 first conv,
@@ -49,7 +49,7 @@ pub fn squeezenet_v1_1() -> Network {
         .global_avg_pool("pool10")
         .top1_accuracy(57.1)
         .finish()
-        .expect("SqueezeNet v1.1 definition is shape-consistent")
+        .unwrap_or_else(|e| unreachable!("SqueezeNet v1.1 definition is shape-consistent: {e}"))
 }
 
 #[cfg(test)]

@@ -63,7 +63,8 @@ impl SqueezeNextConfig {
         b.global_avg_pool("pool_final");
         b.fully_connected("fc", 1000);
         b.top1_accuracy(self.top1_accuracy);
-        b.finish().expect("SqueezeNext definition is shape-consistent")
+        b.finish()
+            .unwrap_or_else(|e| unreachable!("SqueezeNext definition is shape-consistent: {e}"))
     }
 }
 
@@ -111,13 +112,13 @@ fn variant_config(v: usize) -> SqueezeNextConfig {
     // optimized variants have "slightly better accuracy", ending at 59.2 %
     // top-1. Intermediate accuracies are interpolated (documented
     // assumption).
+    assert!((1..=5).contains(&v), "SqueezeNext variant must be in 1..=5, got {v}");
     let (stage_blocks, conv1_kernel, acc) = match v {
         1 => ([6, 6, 8, 1], 7, 58.2),
         2 => ([6, 6, 8, 1], 5, 58.5),
         3 => ([4, 8, 8, 1], 5, 58.9),
         4 => ([2, 10, 8, 1], 5, 59.1),
-        5 => ([2, 4, 14, 1], 5, 59.2),
-        _ => panic!("SqueezeNext variant must be in 1..=5, got {v}"),
+        _ => ([2, 4, 14, 1], 5, 59.2),
     };
     SqueezeNextConfig {
         name: format!("1.0-SqNxt-23v{v}"),

@@ -17,62 +17,81 @@ use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 
 use crate::dram::combine_cycles;
-use crate::engine::{simulate_conv, SimOptions};
+use crate::engine::{try_simulate_conv, SimOptions};
+use crate::error::{SimError, SimResult};
 use crate::perf::{LayerPerf, NetworkPerf, PhaseCycles};
 use crate::simd::simulate_simd;
 use crate::workload::ConvWork;
 
-fn scale_counts(acc: codesign_arch::AccessCounts, batch: u64) -> codesign_arch::AccessCounts {
-    codesign_arch::AccessCounts {
-        macs: acc.macs * batch,
-        register_file: acc.register_file * batch,
-        inter_pe: acc.inter_pe * batch,
-        global_buffer: acc.global_buffer * batch,
+const SCALE_CTX: &str = "batched scaling";
+
+fn mul(a: u64, b: u64) -> SimResult<u64> {
+    a.checked_mul(b).ok_or(SimError::overflow(SCALE_CTX))
+}
+
+fn scale_counts(
+    acc: codesign_arch::AccessCounts,
+    batch: u64,
+) -> SimResult<codesign_arch::AccessCounts> {
+    Ok(codesign_arch::AccessCounts {
+        macs: mul(acc.macs, batch)?,
+        register_file: mul(acc.register_file, batch)?,
+        inter_pe: mul(acc.inter_pe, batch)?,
+        global_buffer: mul(acc.global_buffer, batch)?,
         dram: 0, // folded in separately (weights amortize)
-    }
+    })
 }
 
 /// Simulates one layer over a batch of `batch` images under the given
 /// dataflow, returning the **whole-batch** result (divide cycles by
 /// `batch` for per-image numbers).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `batch == 0`.
-pub fn simulate_layer_batched(
+/// [`SimError::InvalidWorkload`] when `batch == 0` or the layer itself
+/// is degenerate; [`SimError::ArithmeticOverflow`] when the batch
+/// multiplies any count past the 64-bit modeling range.
+pub fn try_simulate_layer_batched(
     layer: &Layer,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
     batch: u64,
-) -> LayerPerf {
-    assert!(batch > 0, "batch size must be positive");
-    match ConvWork::from_layer(layer) {
+) -> SimResult<LayerPerf> {
+    if batch == 0 {
+        return Err(SimError::invalid("batch size must be positive").for_layer(&layer.name));
+    }
+    let result = match ConvWork::from_layer(layer) {
         Some(work) => {
-            let single = simulate_conv(&work, cfg, opts, dataflow);
+            let single = try_simulate_conv(&work, cfg, opts, dataflow)?;
             let phases = match dataflow {
                 // Weights stay resident across the batch: loads once,
                 // streaming scales.
                 Dataflow::WeightStationary => PhaseCycles {
                     load: single.phases.load,
-                    compute: single.phases.compute * batch,
-                    drain: single.phases.drain * batch,
+                    compute: mul(single.phases.compute, batch)?,
+                    drain: mul(single.phases.drain, batch)?,
                 },
                 // Output-stationary state is per image: everything scales.
                 Dataflow::OutputStationary => PhaseCycles {
-                    load: single.phases.load * batch,
-                    compute: single.phases.compute * batch,
-                    drain: single.phases.drain * batch,
+                    load: mul(single.phases.load, batch)?,
+                    compute: mul(single.phases.compute, batch)?,
+                    drain: mul(single.phases.drain, batch)?,
                 },
             };
             let mut compute = crate::perf::ComputePerf {
                 phases,
-                executed_macs: single.executed_macs * batch,
-                accesses: scale_counts(single.accesses, batch),
+                executed_macs: mul(single.executed_macs, batch)?,
+                accesses: scale_counts(single.accesses, batch)?,
             };
-            let traffic = opts.layer_traffic(&work, cfg);
+            let traffic = opts.layer_traffic(&work, cfg)?;
             // Weights once per batch; activations per image.
-            let dram_bytes = traffic.weights + (traffic.input + traffic.output) * batch;
+            let dram_bytes = traffic
+                .input
+                .checked_add(traffic.output)
+                .and_then(|act| act.checked_mul(batch))
+                .and_then(|act| act.checked_add(traffic.weights))
+                .ok_or(SimError::overflow(SCALE_CTX))?;
             let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
             let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
             compute.accesses.dram = dram_bytes / cfg.bytes_per_element() as u64;
@@ -81,7 +100,7 @@ pub fn simulate_layer_batched(
             } else {
                 compute.executed_macs as f64 / (total_cycles as f64 * cfg.pe_count() as f64)
             };
-            LayerPerf {
+            Ok(LayerPerf {
                 name: layer.name.clone(),
                 dataflow: Some(dataflow),
                 compute,
@@ -89,22 +108,27 @@ pub fn simulate_layer_batched(
                 dram_cycles,
                 total_cycles,
                 utilization,
-            }
+            })
         }
         None => {
-            let single = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+            let single = simulate_simd(layer, cfg)?;
             let mut compute = crate::perf::ComputePerf {
-                phases: PhaseCycles { load: 0, compute: single.phases.compute * batch, drain: 0 },
+                phases: PhaseCycles {
+                    load: 0,
+                    compute: mul(single.phases.compute, batch)?,
+                    drain: 0,
+                },
                 executed_macs: 0,
-                accesses: scale_counts(single.accesses, batch),
+                accesses: scale_counts(single.accesses, batch)?,
             };
-            let dram_bytes = (layer.input.elements() + layer.output.elements()) as u64
-                * cfg.bytes_per_element() as u64
-                * batch;
+            let act = (layer.input.elements() as u64)
+                .checked_add(layer.output.elements() as u64)
+                .ok_or(SimError::overflow(SCALE_CTX))?;
+            let dram_bytes = mul(mul(act, cfg.bytes_per_element() as u64)?, batch)?;
             let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
             let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
             compute.accesses.dram = dram_bytes / cfg.bytes_per_element() as u64;
-            LayerPerf {
+            Ok(LayerPerf {
                 name: layer.name.clone(),
                 dataflow: None,
                 compute,
@@ -112,16 +136,79 @@ pub fn simulate_layer_batched(
                 dram_cycles,
                 total_cycles,
                 utilization: 0.0,
-            }
+            })
         }
-    }
+    };
+    result.map_err(|e: SimError| e.for_layer(&layer.name))
+}
+
+/// Simulates one layer over a batch of `batch` images. Infallible
+/// wrapper over [`try_simulate_layer_batched`].
+///
+/// # Panics
+///
+/// Panics (through the crate's single panic site) if `batch == 0` or
+/// the layer is degenerate.
+pub fn simulate_layer_batched(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+    batch: u64,
+) -> LayerPerf {
+    try_simulate_layer_batched(layer, cfg, opts, dataflow, batch).unwrap_or_else(|e| e.raise())
 }
 
 /// Simulates a network over a batch; per-layer results are whole-batch.
 ///
+/// # Errors
+///
+/// The first [`SimError`] any layer surfaces, attributed to that layer.
+pub fn try_simulate_network_batched(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+    batch: u64,
+) -> SimResult<NetworkPerf> {
+    let mut layers = Vec::with_capacity(network.layers().len());
+    for layer in network.layers() {
+        let perf = match policy {
+            DataflowPolicy::Fixed(d) => try_simulate_layer_batched(layer, cfg, opts, d, batch)?,
+            DataflowPolicy::PerLayer => {
+                let ws = try_simulate_layer_batched(
+                    layer,
+                    cfg,
+                    opts,
+                    Dataflow::WeightStationary,
+                    batch,
+                )?;
+                let os = try_simulate_layer_batched(
+                    layer,
+                    cfg,
+                    opts,
+                    Dataflow::OutputStationary,
+                    batch,
+                )?;
+                if os.total_cycles < ws.total_cycles {
+                    os
+                } else {
+                    ws
+                }
+            }
+        };
+        layers.push(perf);
+    }
+    Ok(NetworkPerf { name: network.name().to_owned(), layers })
+}
+
+/// Simulates a network over a batch. Infallible wrapper over
+/// [`try_simulate_network_batched`].
+///
 /// # Panics
 ///
-/// Panics if `batch == 0`.
+/// Panics (through the crate's single panic site) if `batch == 0` or
+/// any layer is degenerate.
 pub fn simulate_network_batched(
     network: &Network,
     cfg: &AcceleratorConfig,
@@ -129,25 +216,7 @@ pub fn simulate_network_batched(
     opts: SimOptions,
     batch: u64,
 ) -> NetworkPerf {
-    let layers = network
-        .layers()
-        .iter()
-        .map(|layer| match policy {
-            DataflowPolicy::Fixed(d) => simulate_layer_batched(layer, cfg, opts, d, batch),
-            DataflowPolicy::PerLayer => {
-                let ws =
-                    simulate_layer_batched(layer, cfg, opts, Dataflow::WeightStationary, batch);
-                let os =
-                    simulate_layer_batched(layer, cfg, opts, Dataflow::OutputStationary, batch);
-                if os.total_cycles < ws.total_cycles {
-                    os
-                } else {
-                    ws
-                }
-            }
-        })
-        .collect();
-    NetworkPerf { name: network.name().to_owned(), layers }
+    try_simulate_network_batched(network, cfg, policy, opts, batch).unwrap_or_else(|e| e.raise())
 }
 
 #[cfg(test)]
@@ -217,5 +286,24 @@ mod tests {
         let (cfg, opts) = setup();
         let net = zoo::tiny_darknet();
         let _ = simulate_network_batched(&net, &cfg, DataflowPolicy::PerLayer, opts, 0);
+    }
+
+    #[test]
+    fn zero_batch_is_a_typed_error_on_the_fallible_path() {
+        let (cfg, opts) = setup();
+        let net = zoo::tiny_darknet();
+        let err = try_simulate_network_batched(&net, &cfg, DataflowPolicy::PerLayer, opts, 0)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidWorkload { .. }), "{err}");
+    }
+
+    #[test]
+    fn overflow_scale_batch_is_a_typed_error() {
+        let (cfg, opts) = setup();
+        let net = zoo::alexnet();
+        let err =
+            try_simulate_network_batched(&net, &cfg, DataflowPolicy::PerLayer, opts, u64::MAX / 2)
+                .unwrap_err();
+        assert!(matches!(err, SimError::ArithmeticOverflow { .. }), "{err}");
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use codesign_arch::{AcceleratorConfig, Dataflow};
 
@@ -167,8 +167,19 @@ impl SimCache {
         Self::default()
     }
 
+    /// The memo map, recovered from lock poisoning: the map only ever
+    /// holds fully-written `Copy` values, so a panic in *another* thread
+    /// (between map operations) cannot leave it torn, and continuing is
+    /// sound — exactly the degradation the catch-unwind sweep workers
+    /// rely on.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<LayerKey, CachedLayer>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached result for `key` plus a hit flag, computing and
-    /// inserting the value with `compute` on a miss.
+    /// inserting the value with `compute` on a miss. Errors are returned
+    /// to the caller and never cached (failure diagnostics are cheap to
+    /// recompute and carry per-call layer attribution).
     ///
     /// The lock is *not* held while computing, so parallel workers never
     /// serialize on a miss; two threads racing on the same key both
@@ -176,19 +187,19 @@ impl SimCache {
     /// wins. The hit flag (and therefore the hit/miss counters) is the one
     /// piece of cache state that is *not* schedule-independent: a key one
     /// run answers from cache may race and recompute in another.
-    pub(crate) fn get_or_compute(
+    pub(crate) fn get_or_compute<E>(
         &self,
         key: LayerKey,
-        compute: impl FnOnce() -> CachedLayer,
-    ) -> (CachedLayer, bool) {
-        if let Some(hit) = self.map.lock().expect("sim cache lock").get(&key).copied() {
+        compute: impl FnOnce() -> Result<CachedLayer, E>,
+    ) -> Result<(CachedLayer, bool), E> {
+        if let Some(hit) = self.lock_map().get(&key).copied() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit, true);
+            return Ok((hit, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = compute();
-        self.map.lock().expect("sim cache lock").insert(key, value);
-        (value, false)
+        let value = compute()?;
+        self.lock_map().insert(key, value);
+        Ok((value, false))
     }
 
     /// Counters and occupancy.
@@ -196,13 +207,13 @@ impl SimCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("sim cache lock").len(),
+            entries: self.lock_map().len(),
         }
     }
 
     /// Drops all entries and resets the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("sim cache lock").clear();
+        self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -234,13 +245,17 @@ mod tests {
         LayerKey::new(&work, &cfg, &SimOptions::paper_default(), Dataflow::WeightStationary)
     }
 
+    type Infallible = Result<CachedLayer, std::convert::Infallible>;
+
     #[test]
     fn hit_after_miss() {
         let cache = SimCache::new();
         let fresh = (ComputePerf::default(), 42u64);
-        let (first, was_hit) = cache.get_or_compute(key(8), || fresh);
+        let (first, was_hit) = cache.get_or_compute(key(8), || Infallible::Ok(fresh)).unwrap();
         assert!(!was_hit);
-        let (second, was_hit) = cache.get_or_compute(key(8), || panic!("must not recompute"));
+        let (second, was_hit) = cache
+            .get_or_compute(key(8), || -> Infallible { panic!("must not recompute") })
+            .unwrap();
         assert!(was_hit);
         assert_eq!(first, second);
         let s = cache.stats();
@@ -251,17 +266,31 @@ mod tests {
     #[test]
     fn distinct_configs_do_not_collide() {
         let cache = SimCache::new();
-        cache.get_or_compute(key(8), || (ComputePerf::default(), 1));
-        let ((_, d), was_hit) = cache.get_or_compute(key(16), || (ComputePerf::default(), 2));
+        cache.get_or_compute(key(8), || Infallible::Ok((ComputePerf::default(), 1))).unwrap();
+        let ((_, d), was_hit) =
+            cache.get_or_compute(key(16), || Infallible::Ok((ComputePerf::default(), 2))).unwrap();
         assert_eq!(d, 2);
         assert!(!was_hit);
         assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]
+    fn errors_are_not_cached() {
+        let cache = SimCache::new();
+        let err = cache.get_or_compute(key(8), || Err("boom"));
+        assert_eq!(err, Err("boom"));
+        assert_eq!(cache.stats().entries, 0, "failed computations leave no entry");
+        // The key still computes (and caches) fine afterwards.
+        let (_, was_hit) =
+            cache.get_or_compute(key(8), || Ok::<_, &str>((ComputePerf::default(), 7))).unwrap();
+        assert!(!was_hit);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let cache = SimCache::new();
-        cache.get_or_compute(key(8), || (ComputePerf::default(), 1));
+        cache.get_or_compute(key(8), || Infallible::Ok((ComputePerf::default(), 1))).unwrap();
         cache.clear();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));

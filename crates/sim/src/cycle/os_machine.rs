@@ -28,7 +28,9 @@ fn distribute(total: u64, parts: u64) -> Vec<u64> {
     }
     let base = total / parts;
     let mut v = vec![base; parts as usize];
-    *v.last_mut().expect("parts > 0") += total % parts;
+    if let Some(last) = v.last_mut() {
+        *last += total % parts;
+    }
     v
 }
 

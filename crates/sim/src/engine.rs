@@ -11,6 +11,7 @@ use codesign_trace::{Category, Tracer};
 use crate::cache::{CacheStats, LayerKey, SimCache};
 use crate::compression::WeightCompression;
 use crate::dram::{combine_cycles, conv_traffic, simd_traffic};
+use crate::error::{SimError, SimResult};
 use crate::os::{simulate_os, OsModelOptions};
 use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
 use crate::simd::simulate_simd;
@@ -55,16 +56,23 @@ impl SimOptions {
     }
 
     /// The layer's DRAM traffic under these options.
+    ///
+    /// Fallible: the workload is validated first ([`ConvWork::validate`])
+    /// and the tiling search reports infeasible buffers as
+    /// [`SimError::InfeasibleTiling`] rather than guessing.
     pub(crate) fn layer_traffic(
         &self,
         work: &ConvWork,
         cfg: &AcceleratorConfig,
-    ) -> crate::dram::DramTraffic {
+    ) -> SimResult<crate::dram::DramTraffic> {
         let raw = match self.traffic {
-            TrafficModel::ClosedForm => conv_traffic(work, cfg),
-            TrafficModel::TilingSearch => optimize_tiling(work, cfg).traffic,
+            TrafficModel::ClosedForm => {
+                work.validate()?;
+                conv_traffic(work, cfg)
+            }
+            TrafficModel::TilingSearch => optimize_tiling(work, cfg)?.traffic,
         };
-        match self.weight_compression {
+        Ok(match self.weight_compression {
             Some(c) => c.apply(
                 raw,
                 work.weight_elements(),
@@ -72,7 +80,7 @@ impl SimOptions {
                 cfg.bytes_per_element() as u64,
             ),
             None => raw,
-        }
+        })
     }
 }
 
@@ -82,17 +90,37 @@ impl Default for SimOptions {
     }
 }
 
+/// Runs one convolution-shaped workload under a specific dataflow,
+/// validating it first.
+///
+/// # Errors
+///
+/// [`SimError::InvalidWorkload`] / [`SimError::ArithmeticOverflow`] when
+/// the workload fails [`ConvWork::validate`] — the gate that makes the
+/// unchecked arithmetic inside the WS/OS cycle models safe.
+pub fn try_simulate_conv(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> SimResult<ComputePerf> {
+    work.validate()?;
+    Ok(match dataflow {
+        Dataflow::WeightStationary => simulate_ws(work, cfg),
+        Dataflow::OutputStationary => simulate_os(work, cfg, opts.os),
+    })
+}
+
 /// Runs one convolution-shaped workload under a specific dataflow.
+/// Infallible wrapper over [`try_simulate_conv`]; panics (through the
+/// crate's single panic site) on a degenerate workload.
 pub fn simulate_conv(
     work: &ConvWork,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
 ) -> ComputePerf {
-    match dataflow {
-        Dataflow::WeightStationary => simulate_ws(work, cfg),
-        Dataflow::OutputStationary => simulate_os(work, cfg, opts.os),
-    }
+    try_simulate_conv(work, cfg, opts, dataflow).unwrap_or_else(|e| e.raise())
 }
 
 fn finish_layer(
@@ -129,10 +157,10 @@ fn conv_layer_parts(
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
-) -> (ComputePerf, u64) {
-    let compute = simulate_conv(work, cfg, opts, dataflow);
-    let traffic = opts.layer_traffic(work, cfg);
-    (compute, traffic.total())
+) -> SimResult<(ComputePerf, u64)> {
+    let compute = try_simulate_conv(work, cfg, opts, dataflow)?;
+    let traffic = opts.layer_traffic(work, cfg)?;
+    Ok((compute, traffic.total()))
 }
 
 /// A simulation engine handle: the entry point every higher layer
@@ -221,8 +249,37 @@ impl Simulator {
         }
     }
 
+    /// Bumps the `sim.error.<kind>` counter for a surfaced error, so
+    /// traced sweeps expose *what kinds* of failures their space
+    /// produced. Returns the error for `map_err` chaining.
+    fn note_error(&self, e: SimError) -> SimError {
+        if self.tracer.is_enabled() {
+            self.tracer.add_counter(&format!("sim.error.{}", e.kind()), 1);
+        }
+        e
+    }
+
     /// Simulates one layer under a forced dataflow (non-PE layers always
     /// take the SIMD path, regardless of `dataflow`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], attributed to the layer by name. With an
+    /// enabled tracer, a surfaced error also bumps the matching
+    /// `sim.error.<kind>` counter.
+    pub fn try_simulate_layer(
+        &self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        dataflow: Dataflow,
+    ) -> SimResult<LayerPerf> {
+        Ok(self.try_simulate_layer_flagged(layer, cfg, opts, dataflow)?.0)
+    }
+
+    /// Simulates one layer under a forced dataflow (non-PE layers always
+    /// take the SIMD path, regardless of `dataflow`). Infallible wrapper
+    /// over [`Simulator::try_simulate_layer`].
     pub fn simulate_layer(
         &self,
         layer: &Layer,
@@ -230,49 +287,50 @@ impl Simulator {
         opts: SimOptions,
         dataflow: Dataflow,
     ) -> LayerPerf {
-        self.simulate_layer_flagged(layer, cfg, opts, dataflow).0
+        self.try_simulate_layer(layer, cfg, opts, dataflow).unwrap_or_else(|e| e.raise())
     }
 
-    /// [`Simulator::simulate_layer`] plus a flag telling whether the
+    /// [`Simulator::try_simulate_layer`] plus a flag telling whether the
     /// result was answered from the memo cache.
-    fn simulate_layer_flagged(
+    fn try_simulate_layer_flagged(
         &self,
         layer: &Layer,
         cfg: &AcceleratorConfig,
         opts: SimOptions,
         dataflow: Dataflow,
-    ) -> (LayerPerf, bool) {
+    ) -> SimResult<(LayerPerf, bool)> {
         // `looked_up` distinguishes a genuine cache miss from the paths
         // that never consult the cache (uncached handle, SIMD layers).
-        let (perf, cache_hit, looked_up) = match ConvWork::from_layer(layer) {
+        let result = match ConvWork::from_layer(layer) {
             Some(work) => {
-                let ((compute, dram_bytes), cache_hit, looked_up) = match self.cache.as_deref() {
-                    Some(cache) => {
-                        let (value, hit) = cache
-                            .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
-                                conv_layer_parts(&work, cfg, opts, dataflow)
-                            });
-                        (value, hit, true)
-                    }
-                    None => (conv_layer_parts(&work, cfg, opts, dataflow), false, false),
+                let parts = match self.cache.as_deref() {
+                    Some(cache) => cache
+                        .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
+                            conv_layer_parts(&work, cfg, opts, dataflow)
+                        })
+                        .map(|(value, hit)| (value, hit, true)),
+                    None => conv_layer_parts(&work, cfg, opts, dataflow)
+                        .map(|value| (value, false, false)),
                 };
-                (
-                    finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg),
-                    cache_hit,
-                    looked_up,
-                )
+                parts.map(|((compute, dram_bytes), cache_hit, looked_up)| {
+                    (
+                        finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg),
+                        cache_hit,
+                        looked_up,
+                    )
+                })
             }
-            None => {
-                let compute =
-                    simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+            None => simulate_simd(layer, cfg).map(|compute| {
                 let traffic = simd_traffic(
                     layer.input.elements() as u64,
                     layer.output.elements() as u64,
                     cfg,
                 );
                 (finish_layer(layer, None, compute, traffic.total(), cfg), false, false)
-            }
+            }),
         };
+        let (perf, cache_hit, looked_up) =
+            result.map_err(|e| self.note_error(e.for_layer(&layer.name)))?;
         if self.tracer.is_enabled() {
             // Global counters. Note the cache.* pair is schedule-dependent
             // under parallel misses (see `SimCache::get_or_compute`);
@@ -285,7 +343,7 @@ impl Simulator {
                 self.tracer.add_counter(name, 1);
             }
         }
-        (perf, cache_hit)
+        Ok((perf, cache_hit))
     }
 
     /// Simulates one layer under both dataflows and returns
@@ -293,20 +351,36 @@ impl Simulator {
     /// choice the Squeezelerator's static scheduler makes ("each layer
     /// configuration must be simulated to determine which architecture is
     /// best").
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], attributed to the layer by name.
+    pub fn try_compare_dataflows(
+        &self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+    ) -> SimResult<(LayerPerf, LayerPerf, Dataflow)> {
+        let ws = self.try_simulate_layer(layer, cfg, opts, Dataflow::WeightStationary)?;
+        let os = self.try_simulate_layer(layer, cfg, opts, Dataflow::OutputStationary)?;
+        let best = if os.total_cycles < ws.total_cycles {
+            Dataflow::OutputStationary
+        } else {
+            Dataflow::WeightStationary
+        };
+        Ok((ws, os, best))
+    }
+
+    /// Simulates one layer under both dataflows and returns
+    /// `(ws, os, best)`. Infallible wrapper over
+    /// [`Simulator::try_compare_dataflows`].
     pub fn compare_dataflows(
         &self,
         layer: &Layer,
         cfg: &AcceleratorConfig,
         opts: SimOptions,
     ) -> (LayerPerf, LayerPerf, Dataflow) {
-        let ws = self.simulate_layer(layer, cfg, opts, Dataflow::WeightStationary);
-        let os = self.simulate_layer(layer, cfg, opts, Dataflow::OutputStationary);
-        let best = if os.total_cycles < ws.total_cycles {
-            Dataflow::OutputStationary
-        } else {
-            Dataflow::WeightStationary
-        };
-        (ws, os, best)
+        self.try_compare_dataflows(layer, cfg, opts).unwrap_or_else(|e| e.raise())
     }
 
     /// Simulates a whole network under the given dataflow policy.
@@ -315,6 +389,56 @@ impl Simulator {
     /// dataflow simulates faster (no switching overhead, per the paper);
     /// with [`DataflowPolicy::Fixed`] every layer is forced onto one
     /// dataflow — the paper's reference WS and OS architectures.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any layer surfaces, attributed to that
+    /// layer by name (simulation stops at the failing layer: partial
+    /// network results would not be meaningful totals).
+    pub fn try_simulate_network(
+        &self,
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        policy: DataflowPolicy,
+        opts: SimOptions,
+    ) -> SimResult<NetworkPerf> {
+        let mut cache_hits = Vec::new();
+        let mut layers = Vec::with_capacity(network.layers().len());
+        for layer in network.layers() {
+            let (perf, hit) = match policy {
+                DataflowPolicy::Fixed(d) => self.try_simulate_layer_flagged(layer, cfg, opts, d)?,
+                DataflowPolicy::PerLayer => {
+                    let (ws, hit_ws) = self.try_simulate_layer_flagged(
+                        layer,
+                        cfg,
+                        opts,
+                        Dataflow::WeightStationary,
+                    )?;
+                    let (os, hit_os) = self.try_simulate_layer_flagged(
+                        layer,
+                        cfg,
+                        opts,
+                        Dataflow::OutputStationary,
+                    )?;
+                    if os.total_cycles < ws.total_cycles {
+                        (os, hit_os)
+                    } else {
+                        (ws, hit_ws)
+                    }
+                }
+            };
+            cache_hits.push(hit);
+            layers.push(perf);
+        }
+        let perf = NetworkPerf { name: network.name().to_owned(), layers };
+        if self.tracer.is_enabled() {
+            record_network_impl(&self.tracer, network, &perf, cfg, policy, Some(&cache_hits));
+        }
+        Ok(perf)
+    }
+
+    /// Simulates a whole network under the given dataflow policy.
+    /// Infallible wrapper over [`Simulator::try_simulate_network`].
     pub fn simulate_network(
         &self,
         network: &Network,
@@ -322,42 +446,7 @@ impl Simulator {
         policy: DataflowPolicy,
         opts: SimOptions,
     ) -> NetworkPerf {
-        let mut cache_hits = Vec::new();
-        let layers = network
-            .layers()
-            .iter()
-            .map(|layer| {
-                let (perf, hit) = match policy {
-                    DataflowPolicy::Fixed(d) => self.simulate_layer_flagged(layer, cfg, opts, d),
-                    DataflowPolicy::PerLayer => {
-                        let (ws, hit_ws) = self.simulate_layer_flagged(
-                            layer,
-                            cfg,
-                            opts,
-                            Dataflow::WeightStationary,
-                        );
-                        let (os, hit_os) = self.simulate_layer_flagged(
-                            layer,
-                            cfg,
-                            opts,
-                            Dataflow::OutputStationary,
-                        );
-                        if os.total_cycles < ws.total_cycles {
-                            (os, hit_os)
-                        } else {
-                            (ws, hit_ws)
-                        }
-                    }
-                };
-                cache_hits.push(hit);
-                perf
-            })
-            .collect();
-        let perf = NetworkPerf { name: network.name().to_owned(), layers };
-        if self.tracer.is_enabled() {
-            record_network_impl(&self.tracer, network, &perf, cfg, policy, Some(&cache_hits));
-        }
-        perf
+        self.try_simulate_network(network, cfg, policy, opts).unwrap_or_else(|e| e.raise())
     }
 }
 
@@ -435,6 +524,20 @@ pub fn simulate_layer(
     Simulator::uncached().simulate_layer(layer, cfg, opts, dataflow)
 }
 
+/// Fallible twin of [`simulate_layer`].
+///
+/// # Errors
+///
+/// Any [`SimError`], attributed to the layer by name.
+pub fn try_simulate_layer(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> SimResult<LayerPerf> {
+    Simulator::uncached().try_simulate_layer(layer, cfg, opts, dataflow)
+}
+
 /// Simulates one layer under both dataflows and returns `(ws, os, best)`.
 /// Uncached convenience wrapper over [`Simulator::compare_dataflows`].
 pub fn compare_dataflows(
@@ -443,6 +546,19 @@ pub fn compare_dataflows(
     opts: SimOptions,
 ) -> (LayerPerf, LayerPerf, Dataflow) {
     Simulator::uncached().compare_dataflows(layer, cfg, opts)
+}
+
+/// Fallible twin of [`compare_dataflows`].
+///
+/// # Errors
+///
+/// Any [`SimError`], attributed to the layer by name.
+pub fn try_compare_dataflows(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+) -> SimResult<(LayerPerf, LayerPerf, Dataflow)> {
+    Simulator::uncached().try_compare_dataflows(layer, cfg, opts)
 }
 
 /// Simulates a whole network under the given dataflow policy, routing
@@ -455,6 +571,20 @@ pub fn simulate_network(
     opts: SimOptions,
 ) -> NetworkPerf {
     Simulator::new().simulate_network(network, cfg, policy, opts)
+}
+
+/// Fallible twin of [`simulate_network`].
+///
+/// # Errors
+///
+/// The first [`SimError`] any layer surfaces, attributed to that layer.
+pub fn try_simulate_network(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> SimResult<NetworkPerf> {
+    Simulator::new().try_simulate_network(network, cfg, policy, opts)
 }
 
 #[cfg(test)]
@@ -597,5 +727,65 @@ mod tests {
         assert!(l.dram_bytes >= 4096 * 4096 * 2);
         assert!(l.utilization < 0.05, "util = {}", l.utilization);
         assert_eq!(l.total_cycles, l.compute.cycles().max(l.dram_cycles) + 100);
+    }
+
+    #[test]
+    fn fc_only_network_simulates_on_the_pe_path() {
+        // Regression for the old `expect("non-conv layers take the SIMD
+        // path")` routing: a network of nothing but FC layers must
+        // simulate fine under every policy (FC work goes to the PE array,
+        // not the SIMD unit).
+        let net = NetworkBuilder::new("fc-only", Shape::new(256, 1, 1))
+            .fully_connected("fc1", 128)
+            .fully_connected("fc2", 10)
+            .finish()
+            .unwrap();
+        let opts = SimOptions::paper_default();
+        for policy in [
+            DataflowPolicy::PerLayer,
+            DataflowPolicy::Fixed(Dataflow::WeightStationary),
+            DataflowPolicy::Fixed(Dataflow::OutputStationary),
+        ] {
+            let perf = Simulator::new().try_simulate_network(&net, &cfg(), policy, opts).unwrap();
+            assert_eq!(perf.layers.len(), 2);
+            assert!(perf.total_cycles() > 0);
+            assert!(perf.layers.iter().all(|l| l.dataflow.is_some()));
+        }
+    }
+
+    #[test]
+    fn degenerate_layer_surfaces_named_error_and_counter() {
+        // A 1x1 input under a 7x7 kernel is infeasible; the error names
+        // the layer and the traced run bumps `sim.error.invalid_workload`.
+        use codesign_dnn::{ConvSpec, Kernel, Layer, LayerOp};
+        let layer = Layer {
+            name: "bad7x7".into(),
+            op: LayerOp::Conv(ConvSpec {
+                out_channels: 4,
+                kernel: Kernel::square(7),
+                stride: 1,
+                pad_h: 0,
+                pad_w: 0,
+                groups: 1,
+            }),
+            input: Shape::new(4, 1, 1),
+            output: Shape::new(4, 1, 1),
+            is_first_conv: false,
+            primary_input: None,
+            extra_input: None,
+        };
+        let tracer = Tracer::enabled();
+        let sim = Simulator::new().with_tracer(tracer.clone());
+        let err = sim
+            .try_simulate_layer(
+                &layer,
+                &cfg(),
+                SimOptions::paper_default(),
+                Dataflow::WeightStationary,
+            )
+            .unwrap_err();
+        assert_eq!(err.layer(), Some("bad7x7"));
+        assert!(matches!(err, crate::error::SimError::InvalidWorkload { .. }), "{err}");
+        assert_eq!(tracer.snapshot().counter("sim.error.invalid_workload"), Some(1));
     }
 }

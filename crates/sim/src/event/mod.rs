@@ -19,7 +19,8 @@ pub mod units;
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 
-use crate::engine::{compare_dataflows, simulate_conv, SimOptions};
+use crate::engine::{try_simulate_conv, SimOptions};
+use crate::error::{SimError, SimResult};
 use crate::simd::simulate_simd;
 use crate::tiling::optimize_tiling;
 use crate::workload::ConvWork;
@@ -86,15 +87,15 @@ fn tile_sequence(
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
-) -> LayerTxns {
-    let plan = optimize_tiling(work, cfg);
-    let compute = simulate_conv(work, cfg, opts, dataflow).cycles();
+) -> SimResult<LayerTxns> {
+    let plan = optimize_tiling(work, cfg)?;
+    let compute = try_simulate_conv(work, cfg, opts, dataflow)?.cycles();
     let tiles = (work.out_h.div_ceil(plan.tiling.out_rows)
         * work.out_channels.div_ceil(plan.tiling.out_channels)
         * work.in_channels.div_ceil(plan.tiling.in_channels)
         * work.groups) as u64;
     let tiles = tiles.max(1);
-    let traffic = opts.layer_traffic(work, cfg);
+    let traffic = opts.layer_traffic(work, cfg)?;
     let spread = |total: u64, i: u64| {
         let base = total / tiles;
         if i == tiles - 1 {
@@ -109,7 +110,7 @@ fn tile_sequence(
     let weights_fit = traffic.weights <= cfg.working_buffer_bytes() as u64 / 2;
     let (prefetch_weights, streamed_weights) =
         if weights_fit { (traffic.weights, 0) } else { (0, traffic.weights) };
-    LayerTxns {
+    Ok(LayerTxns {
         weight_bytes: prefetch_weights,
         tiles: (0..tiles)
             .map(|i| TileTxn {
@@ -118,7 +119,7 @@ fn tile_sequence(
                 store_bytes: spread(traffic.output, i),
             })
             .collect(),
-    }
+    })
 }
 
 /// Pipeline state carried across layers.
@@ -189,19 +190,23 @@ fn play_layer(
 /// Runs a whole network through the event model. Layers execute back to
 /// back (the paper's layer-by-layer operation), each with its own tile
 /// pipeline.
-pub fn simulate_network_event(
+///
+/// # Errors
+///
+/// The first [`SimError`] any layer surfaces, attributed to that layer.
+pub fn try_simulate_network_event(
     network: &Network,
     cfg: &AcceleratorConfig,
     policy: DataflowPolicy,
     opts: SimOptions,
-) -> EventResult {
+) -> SimResult<EventResult> {
     let mut dma = DmaUnit::new(cfg.dram());
     let mut array = ArrayUnit::new();
     let mut state = PipelineState { prev_compute_start: 0, finished: 0 };
     let mut layers = Vec::with_capacity(network.layers().len());
     for layer in network.layers() {
         let start = state.finished;
-        let txns = lower_layer(layer, cfg, opts, policy);
+        let txns = lower_layer(layer, cfg, opts, policy)?;
         let (next, stalls, tiles) =
             play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering());
         layers.push(EventLayerResult {
@@ -212,7 +217,18 @@ pub fn simulate_network_event(
         });
         state = next;
     }
-    EventResult { network: network.name().to_owned(), layers }
+    Ok(EventResult { network: network.name().to_owned(), layers })
+}
+
+/// Runs a whole network through the event model. Infallible wrapper
+/// over [`try_simulate_network_event`].
+pub fn simulate_network_event(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> EventResult {
+    try_simulate_network_event(network, cfg, policy, opts).unwrap_or_else(|e| e.raise())
 }
 
 fn lower_layer(
@@ -220,17 +236,18 @@ fn lower_layer(
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     policy: DataflowPolicy,
-) -> LayerTxns {
-    match ConvWork::from_layer(layer) {
+) -> SimResult<LayerTxns> {
+    let lowered = match ConvWork::from_layer(layer) {
         Some(work) => {
             let dataflow = match policy {
                 DataflowPolicy::Fixed(d) => d,
-                DataflowPolicy::PerLayer => compare_dataflows(layer, cfg, opts).2,
+                DataflowPolicy::PerLayer => {
+                    crate::engine::try_compare_dataflows(layer, cfg, opts)?.2
+                }
             };
             tile_sequence(&work, cfg, opts, dataflow)
         }
-        None => {
-            let perf = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+        None => simulate_simd(layer, cfg).map(|perf| {
             let e = cfg.bytes_per_element() as u64;
             LayerTxns {
                 weight_bytes: 0,
@@ -240,29 +257,45 @@ fn lower_layer(
                     store_bytes: layer.output.elements() as u64 * e,
                 }],
             }
-        }
-    }
+        }),
+    };
+    lowered.map_err(|e: SimError| e.for_layer(&layer.name))
 }
 
 /// Helper for one standalone layer (unit tests, calibration).
+///
+/// # Errors
+///
+/// Any [`SimError`] the layer surfaces.
+pub fn try_simulate_layer_event(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+) -> SimResult<EventLayerResult> {
+    let mut dma = DmaUnit::new(cfg.dram());
+    let mut array = ArrayUnit::new();
+    let txns = lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow))?;
+    let state = PipelineState { prev_compute_start: 0, finished: 0 };
+    let (next, stalls, tiles) =
+        play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering());
+    Ok(EventLayerResult {
+        name: layer.name.clone(),
+        cycles: next.finished,
+        array_stall_cycles: stalls,
+        tiles,
+    })
+}
+
+/// Helper for one standalone layer (unit tests, calibration).
+/// Infallible wrapper over [`try_simulate_layer_event`].
 pub fn simulate_layer_event(
     layer: &Layer,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: Dataflow,
 ) -> EventLayerResult {
-    let mut dma = DmaUnit::new(cfg.dram());
-    let mut array = ArrayUnit::new();
-    let txns = lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow));
-    let state = PipelineState { prev_compute_start: 0, finished: 0 };
-    let (next, stalls, tiles) =
-        play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering());
-    EventLayerResult {
-        name: layer.name.clone(),
-        cycles: next.finished,
-        array_stall_cycles: stalls,
-        tiles,
-    }
+    try_simulate_layer_event(layer, cfg, opts, dataflow).unwrap_or_else(|e| e.raise())
 }
 
 #[cfg(test)]

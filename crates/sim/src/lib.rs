@@ -38,7 +38,9 @@ pub mod compression;
 pub mod cycle;
 pub mod dram;
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod faultinject;
 pub mod functional;
 pub mod multicore;
 pub mod nlr;
@@ -51,29 +53,41 @@ pub mod simd;
 pub mod sparsity;
 pub mod taxonomy;
 pub mod tiling;
+pub mod validate;
 pub mod workload;
 pub mod ws;
 
-pub use batch::{simulate_layer_batched, simulate_network_batched};
+pub use batch::{
+    simulate_layer_batched, simulate_network_batched, try_simulate_layer_batched,
+    try_simulate_network_batched,
+};
 pub use cache::{CacheStats, SimCache};
 pub use compression::WeightCompression;
 pub use engine::{
-    compare_dataflows, record_network, simulate_conv, simulate_layer, simulate_network, SimOptions,
+    compare_dataflows, record_network, simulate_conv, simulate_layer, simulate_network,
+    try_compare_dataflows, try_simulate_conv, try_simulate_layer, try_simulate_network, SimOptions,
     Simulator, TrafficModel,
 };
-pub use event::{simulate_layer_event, simulate_network_event, EventLayerResult, EventResult};
+pub use error::{SimError, SimResult};
+pub use event::{
+    simulate_layer_event, simulate_network_event, try_simulate_layer_event,
+    try_simulate_network_event, EventLayerResult, EventResult,
+};
+pub use faultinject::{run_corpus, CaseOutcome, FaultCase, FaultReport};
 pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};
 pub use multicore::{
-    schedule_branch_parallel, simulate_network_multicore, BranchParallelResult, MultiCoreConfig,
+    schedule_branch_parallel, simulate_network_multicore, try_simulate_network_multicore,
+    BranchParallelResult, MultiCoreConfig,
 };
 pub use nlr::simulate_nlr;
 pub use os::{simulate_os, OsModelOptions, SparsityModel};
-pub use parallel::{max_jobs, par_map, resolve_jobs};
+pub use parallel::{max_jobs, par_map, par_map_catch, resolve_jobs};
 pub use perf::{ComputePerf, LayerPerf, NetworkPerf, PhaseCycles};
 pub use program::{Command, LayerProgram, Program};
 pub use rs::simulate_rs;
 pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
-pub use taxonomy::{compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
+pub use taxonomy::{compare_taxonomy, try_compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
 pub use tiling::{optimize_tiling, LoopOrder, Tiling, TilingPlan};
+pub use validate::{validate_network, validate_network_all, ValidationIssue};
 pub use workload::{ConvWork, WorkKind};
 pub use ws::simulate_ws;

@@ -12,7 +12,8 @@ use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 
 use crate::dram::{combine_cycles, simd_traffic};
-use crate::engine::{simulate_conv, SimOptions};
+use crate::engine::{try_simulate_conv, SimOptions};
+use crate::error::{SimError, SimResult};
 use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
 use crate::simd::simulate_simd;
 use crate::workload::ConvWork;
@@ -58,29 +59,43 @@ fn simulate_layer_multicore(
     mc: &MultiCoreConfig,
     opts: SimOptions,
     dataflow: Dataflow,
-) -> LayerPerf {
+) -> SimResult<LayerPerf> {
+    const CTX: &str = "multi-core scaling";
+    if mc.cores == 0 {
+        return Err(SimError::invalid("core count must be positive"));
+    }
     let cfg = &mc.core;
-    match ConvWork::from_layer(layer) {
+    let cores = mc.cores as u64;
+    let of = || SimError::overflow(CTX);
+    let result = match ConvWork::from_layer(layer) {
         Some(work) => {
             // The slowest (largest) slice gates the layer.
             let slice = core_slice(&work, mc.cores);
-            let slice_perf = simulate_conv(&slice, cfg, opts, dataflow);
+            let slice_perf = try_simulate_conv(&slice, cfg, opts, dataflow)?;
             // Aggregate access counts: every core does its share; scale
             // the slice's counts by the core count (upper bound — the
             // last core's slice may be smaller).
             let mut compute = ComputePerf {
                 phases: slice_perf.phases,
-                executed_macs: slice_perf.executed_macs * mc.cores as u64,
+                executed_macs: slice_perf.executed_macs.checked_mul(cores).ok_or_else(of)?,
                 accesses: codesign_arch::AccessCounts {
-                    macs: slice_perf.accesses.macs * mc.cores as u64,
-                    register_file: slice_perf.accesses.register_file * mc.cores as u64,
-                    inter_pe: slice_perf.accesses.inter_pe * mc.cores as u64,
-                    global_buffer: slice_perf.accesses.global_buffer * mc.cores as u64,
+                    macs: slice_perf.accesses.macs.checked_mul(cores).ok_or_else(of)?,
+                    register_file: slice_perf
+                        .accesses
+                        .register_file
+                        .checked_mul(cores)
+                        .ok_or_else(of)?,
+                    inter_pe: slice_perf.accesses.inter_pe.checked_mul(cores).ok_or_else(of)?,
+                    global_buffer: slice_perf
+                        .accesses
+                        .global_buffer
+                        .checked_mul(cores)
+                        .ok_or_else(of)?,
                     dram: 0,
                 },
             };
             // Shared DRAM: weights once (multicast), activations split.
-            let traffic = opts.layer_traffic(&work, cfg);
+            let traffic = opts.layer_traffic(&work, cfg)?;
             let dram_bytes = traffic.total();
             let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
             let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
@@ -91,7 +106,7 @@ fn simulate_layer_multicore(
             } else {
                 compute.executed_macs as f64 / (total_cycles as f64 * pes as f64)
             };
-            LayerPerf {
+            Ok(LayerPerf {
                 name: layer.name.clone(),
                 dataflow: Some(dataflow),
                 compute,
@@ -99,20 +114,20 @@ fn simulate_layer_multicore(
                 dram_cycles,
                 total_cycles,
                 utilization,
-            }
+            })
         }
         None => {
             // SIMD path: split evenly too.
-            let compute = simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
+            let compute = simulate_simd(layer, cfg)?;
             let traffic =
                 simd_traffic(layer.input.elements() as u64, layer.output.elements() as u64, cfg);
             let mut compute = compute;
-            compute.phases.compute = compute.phases.compute.div_ceil(mc.cores as u64);
+            compute.phases.compute = compute.phases.compute.div_ceil(cores);
             let dram_bytes = traffic.total();
             let dram_cycles = cfg.dram().transfer_cycles(dram_bytes);
             let total_cycles = combine_cycles(compute.cycles(), dram_cycles, cfg);
             compute.accesses.dram = dram_bytes / cfg.bytes_per_element() as u64;
-            LayerPerf {
+            Ok(LayerPerf {
                 name: layer.name.clone(),
                 dataflow: None,
                 compute,
@@ -120,35 +135,52 @@ fn simulate_layer_multicore(
                 dram_cycles,
                 total_cycles,
                 utilization: 0.0,
-            }
+            })
         }
-    }
+    };
+    result.map_err(|e: SimError| e.for_layer(&layer.name))
 }
 
 /// Simulates a network on a multi-core accelerator.
-pub fn simulate_network_multicore(
+///
+/// # Errors
+///
+/// [`SimError::InvalidWorkload`] for a zero core count; otherwise the
+/// first error any layer surfaces, attributed to that layer.
+pub fn try_simulate_network_multicore(
     network: &Network,
     mc: &MultiCoreConfig,
     policy: DataflowPolicy,
     opts: SimOptions,
-) -> NetworkPerf {
-    let layers = network
-        .layers()
-        .iter()
-        .map(|layer| match policy {
-            DataflowPolicy::Fixed(d) => simulate_layer_multicore(layer, mc, opts, d),
+) -> SimResult<NetworkPerf> {
+    let mut layers = Vec::with_capacity(network.layers().len());
+    for layer in network.layers() {
+        let perf = match policy {
+            DataflowPolicy::Fixed(d) => simulate_layer_multicore(layer, mc, opts, d)?,
             DataflowPolicy::PerLayer => {
-                let ws = simulate_layer_multicore(layer, mc, opts, Dataflow::WeightStationary);
-                let os = simulate_layer_multicore(layer, mc, opts, Dataflow::OutputStationary);
+                let ws = simulate_layer_multicore(layer, mc, opts, Dataflow::WeightStationary)?;
+                let os = simulate_layer_multicore(layer, mc, opts, Dataflow::OutputStationary)?;
                 if os.total_cycles < ws.total_cycles {
                     os
                 } else {
                     ws
                 }
             }
-        })
-        .collect();
-    NetworkPerf { name: network.name().to_owned(), layers }
+        };
+        layers.push(perf);
+    }
+    Ok(NetworkPerf { name: network.name().to_owned(), layers })
+}
+
+/// Simulates a network on a multi-core accelerator. Infallible wrapper
+/// over [`try_simulate_network_multicore`].
+pub fn simulate_network_multicore(
+    network: &Network,
+    mc: &MultiCoreConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> NetworkPerf {
+    try_simulate_network_multicore(network, mc, policy, opts).unwrap_or_else(|e| e.raise())
 }
 
 /// Result of the branch-parallel schedule.
@@ -208,13 +240,9 @@ pub fn schedule_branch_parallel(
             name.as_deref().and_then(|n| finish.get(n)).copied().unwrap_or(0)
         };
         let ready = dep(&layer.primary_input).max(dep(&layer.extra_input));
-        // Earliest-available core.
-        let core = cores
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .map(|(i, _)| i)
-            .expect("at least one core");
+        // Earliest-available core (`cores` is non-empty by construction:
+        // `mc.cores.max(1)` above).
+        let core = cores.iter().enumerate().min_by_key(|(_, &t)| t).map(|(i, _)| i).unwrap_or(0);
         let start = ready.max(cores[core]);
         let end = start + dur;
         cores[core] = end;

@@ -8,6 +8,7 @@
 //! parallel runs are bit-identical to serial runs, just faster.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads the host supports (`1` when undetectable).
@@ -56,17 +57,50 @@ where
                 })
             })
             .collect();
+        // Deliberate panic propagation: `par_map`'s contract is that a
+        // panicking `f` panics the caller, after every worker stopped
+        // (use `par_map_catch` for per-item isolation instead).
+        #[allow(clippy::expect_used)]
         handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
     });
 
     // Reassemble in input order regardless of which worker ran what.
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    for bucket in buckets {
-        for (i, r) in bucket {
-            slots[i] = Some(r);
-        }
-    }
-    slots.into_iter().map(|s| s.expect("every index was claimed exactly once")).collect()
+    // Every index was claimed exactly once, so after sorting the
+    // concatenated buckets the result is a permutation-free 0..n list.
+    let mut tagged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] with per-item panic isolation: each application of `f`
+/// runs under [`catch_unwind`], so one panicking item cannot poison its
+/// siblings or the caller — it degrades into an `Err` carrying the panic
+/// message while every other item completes normally.
+///
+/// This is the worker primitive behind degradation-tolerant sweeps: the
+/// `try_*` simulation APIs make panics unreachable for well-formed
+/// inputs, and this catches anything that slips through (including
+/// future bugs), converting it into a per-item diagnostic.
+///
+/// Output order is input order; serial (`jobs == 1`) and parallel runs
+/// are bit-identical.
+pub fn par_map_catch<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(jobs, items, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "worker panicked with a non-string payload".to_owned()
+            }
+        })
+    })
 }
 
 #[cfg(test)]
@@ -113,5 +147,33 @@ mod tests {
             assert!(x < 8, "boom");
             x
         });
+    }
+
+    #[test]
+    fn catch_isolates_panicking_items() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = par_map_catch(4, &items, |_, &x| {
+            assert!(x != 7, "item 7 exploded");
+            x * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("item 7 exploded"), "{msg}");
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(i as u32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn catch_is_schedule_independent() {
+        let items: Vec<u32> = (0..64).collect();
+        let f = |_: usize, &x: &u32| {
+            assert!(!x.is_multiple_of(13), "multiple of 13");
+            x
+        };
+        assert_eq!(par_map_catch(1, &items, f), par_map_catch(8, &items, f));
     }
 }

@@ -18,7 +18,8 @@ use codesign_dnn::Network;
 
 use crate::cycle::{trace_os, trace_ws, Phase};
 use crate::dram::combine_cycles;
-use crate::engine::{compare_dataflows, SimOptions};
+use crate::engine::{try_compare_dataflows, SimOptions};
+use crate::error::SimResult;
 use crate::simd::simulate_simd;
 use crate::workload::ConvWork;
 
@@ -137,67 +138,96 @@ impl Program {
     /// Compiles a network under the given policy: per layer, picks the
     /// dataflow the scheduler would pick, walks the cycle machine's
     /// trace, and emits the merged command stream.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any layer surfaces, attributed to that
+    /// layer.
+    pub fn try_compile(
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        policy: DataflowPolicy,
+        opts: SimOptions,
+    ) -> SimResult<Program> {
+        let mut layers = Vec::with_capacity(network.layers().len());
+        for layer in network.layers() {
+            let compiled = Self::compile_layer(layer, cfg, policy, opts)
+                .map_err(|e| e.for_layer(&layer.name))?;
+            layers.push(compiled);
+        }
+        Ok(Program { network: network.name().to_owned(), layers })
+    }
+
+    fn compile_layer(
+        layer: &codesign_dnn::Layer,
+        cfg: &AcceleratorConfig,
+        policy: DataflowPolicy,
+        opts: SimOptions,
+    ) -> SimResult<LayerProgram> {
+        let mut commands = Vec::new();
+        match ConvWork::from_layer(layer) {
+            Some(work) => {
+                let dataflow = match policy {
+                    DataflowPolicy::Fixed(d) => d,
+                    DataflowPolicy::PerLayer => try_compare_dataflows(layer, cfg, opts)?.2,
+                };
+                // Validation precedes the cycle machines: trace_ws/trace_os
+                // assume well-formed work, just like simulate_ws/simulate_os.
+                work.validate()?;
+                commands.push(Command::SetDataflow(dataflow));
+                let traffic = opts.layer_traffic(&work, cfg)?;
+                commands.push(Command::DmaLoad { bytes: traffic.input + traffic.weights });
+                let trace = match dataflow {
+                    Dataflow::WeightStationary => trace_ws(&work, cfg),
+                    Dataflow::OutputStationary => trace_os(&work, cfg, opts.os),
+                };
+                // Merge consecutive same-phase segments into one
+                // command each (the listing stays readable for
+                // thousand-segment layers).
+                for seg in trace.segments() {
+                    let cycles = seg.cycles;
+                    let macs = seg.cycles * seg.macs_per_cycle;
+                    match (seg.phase, commands.last_mut()) {
+                        (Phase::Load, Some(Command::Preload { cycles: c })) => *c += cycles,
+                        (Phase::Compute, Some(Command::Compute { cycles: c, macs: m })) => {
+                            *c += cycles;
+                            *m += macs;
+                        }
+                        (Phase::Drain, Some(Command::Drain { cycles: c })) => *c += cycles,
+                        (Phase::Load, _) => commands.push(Command::Preload { cycles }),
+                        (Phase::Compute, _) => {
+                            commands.push(Command::Compute { cycles, macs });
+                        }
+                        (Phase::Drain, _) => commands.push(Command::Drain { cycles }),
+                    }
+                }
+                commands.push(Command::DmaStore { bytes: traffic.output });
+            }
+            None => {
+                let e = cfg.bytes_per_element() as u64;
+                let perf = simulate_simd(layer, cfg)?;
+                commands.push(Command::DmaLoad { bytes: layer.input.elements() as u64 * e });
+                commands.push(Command::Simd { cycles: perf.cycles() });
+                commands.push(Command::DmaStore { bytes: layer.output.elements() as u64 * e });
+            }
+        }
+        Ok(LayerProgram { layer: layer.name.clone(), commands })
+    }
+
+    /// Compiles a network under the given policy. Infallible wrapper
+    /// over [`Program::try_compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (through the crate's single panic site) if any layer is
+    /// degenerate or infeasible on this configuration.
     pub fn compile(
         network: &Network,
         cfg: &AcceleratorConfig,
         policy: DataflowPolicy,
         opts: SimOptions,
     ) -> Program {
-        let layers = network
-            .layers()
-            .iter()
-            .map(|layer| {
-                let mut commands = Vec::new();
-                match ConvWork::from_layer(layer) {
-                    Some(work) => {
-                        let dataflow = match policy {
-                            DataflowPolicy::Fixed(d) => d,
-                            DataflowPolicy::PerLayer => compare_dataflows(layer, cfg, opts).2,
-                        };
-                        commands.push(Command::SetDataflow(dataflow));
-                        let traffic = opts.layer_traffic(&work, cfg);
-                        commands.push(Command::DmaLoad { bytes: traffic.input + traffic.weights });
-                        let trace = match dataflow {
-                            Dataflow::WeightStationary => trace_ws(&work, cfg),
-                            Dataflow::OutputStationary => trace_os(&work, cfg, opts.os),
-                        };
-                        // Merge consecutive same-phase segments into one
-                        // command each (the listing stays readable for
-                        // thousand-segment layers).
-                        for seg in trace.segments() {
-                            let cycles = seg.cycles;
-                            let macs = seg.cycles * seg.macs_per_cycle;
-                            match (seg.phase, commands.last_mut()) {
-                                (Phase::Load, Some(Command::Preload { cycles: c })) => *c += cycles,
-                                (Phase::Compute, Some(Command::Compute { cycles: c, macs: m })) => {
-                                    *c += cycles;
-                                    *m += macs;
-                                }
-                                (Phase::Drain, Some(Command::Drain { cycles: c })) => *c += cycles,
-                                (Phase::Load, _) => commands.push(Command::Preload { cycles }),
-                                (Phase::Compute, _) => {
-                                    commands.push(Command::Compute { cycles, macs });
-                                }
-                                (Phase::Drain, _) => commands.push(Command::Drain { cycles }),
-                            }
-                        }
-                        commands.push(Command::DmaStore { bytes: traffic.output });
-                    }
-                    None => {
-                        let e = cfg.bytes_per_element() as u64;
-                        let perf =
-                            simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path");
-                        commands
-                            .push(Command::DmaLoad { bytes: layer.input.elements() as u64 * e });
-                        commands.push(Command::Simd { cycles: perf.cycles() });
-                        commands
-                            .push(Command::DmaStore { bytes: layer.output.elements() as u64 * e });
-                    }
-                }
-                LayerProgram { layer: layer.name.clone(), commands }
-            })
-            .collect();
-        Program { network: network.name().to_owned(), layers }
+        Self::try_compile(network, cfg, policy, opts).unwrap_or_else(|e| e.raise())
     }
 
     /// Replays the program against a hardware configuration and returns

@@ -7,26 +7,53 @@
 use codesign_arch::{AcceleratorConfig, AccessCounts};
 use codesign_dnn::{Layer, LayerOp};
 
+use crate::error::{SimError, SimResult};
 use crate::perf::{ComputePerf, PhaseCycles};
 
-/// Simulates a non-PE layer on the N-lane SIMD path, or returns `None`
-/// for convolution/FC layers (which belong on the PE array).
-pub fn simulate_simd(layer: &Layer, cfg: &AcceleratorConfig) -> Option<ComputePerf> {
+/// Simulates a non-PE layer on the N-lane SIMD path.
+///
+/// # Errors
+///
+/// [`SimError::UnsupportedLayer`] for convolution/FC layers (which
+/// belong on the PE array), [`SimError::ArithmeticOverflow`] when the
+/// element-operation count leaves the 64-bit modeling range, and
+/// [`SimError::InvalidWorkload`] when the accelerator has no lanes.
+pub fn simulate_simd(layer: &Layer, cfg: &AcceleratorConfig) -> SimResult<ComputePerf> {
     let lanes = cfg.array_size() as u64;
+    if lanes == 0 {
+        return Err(SimError::invalid("SIMD path needs at least one lane").for_layer(&layer.name));
+    }
     let out = layer.output.elements() as u64;
     let input = layer.input.elements() as u64;
+    let of = || SimError::ArithmeticOverflow {
+        layer: Some(layer.name.clone()),
+        context: "SIMD element operations",
+    };
     // Element operations the vector unit performs.
     let ops = match &layer.op {
-        LayerOp::Pool { kernel, .. } => out * (kernel * kernel) as u64,
+        LayerOp::Pool { kernel, .. } => {
+            let window = kernel.checked_mul(*kernel).ok_or_else(of)? as u64;
+            out.checked_mul(window).ok_or_else(of)?
+        }
         LayerOp::GlobalAvgPool => input,
-        LayerOp::EltwiseAdd => 2 * out,
+        LayerOp::EltwiseAdd => out.checked_mul(2).ok_or_else(of)?,
         LayerOp::Concat { .. } => 0, // pure global-buffer bookkeeping
-        LayerOp::Conv(_) | LayerOp::FullyConnected { .. } => return None,
+        LayerOp::Conv(_) | LayerOp::FullyConnected { .. } => {
+            return Err(SimError::UnsupportedLayer {
+                layer: layer.name.clone(),
+                op: format!("{} on the SIMD path", layer.class()),
+            });
+        }
     };
     let cycles = ops.div_ceil(lanes);
-    let accesses =
-        AccessCounts { macs: 0, register_file: 0, inter_pe: 0, global_buffer: ops + out, dram: 0 };
-    Some(ComputePerf {
+    let accesses = AccessCounts {
+        macs: 0,
+        register_file: 0,
+        inter_pe: 0,
+        global_buffer: ops.checked_add(out).ok_or_else(of)?,
+        dram: 0,
+    };
+    Ok(ComputePerf {
         phases: PhaseCycles { load: 0, compute: cycles, drain: 0 },
         executed_macs: 0,
         accesses,
@@ -54,7 +81,10 @@ mod tests {
         let net =
             NetworkBuilder::new("t", Shape::new(4, 16, 16)).conv("c", 4, 3, 1, 1).finish().unwrap();
         let cfg = AcceleratorConfig::paper_default();
-        assert!(simulate_simd(&net.layers()[0], &cfg).is_none());
+        assert!(matches!(
+            simulate_simd(&net.layers()[0], &cfg),
+            Err(SimError::UnsupportedLayer { .. })
+        ));
     }
 
     #[test]

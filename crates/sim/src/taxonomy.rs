@@ -18,6 +18,7 @@ use codesign_dnn::{Layer, Network};
 
 use crate::dram::combine_cycles;
 use crate::engine::SimOptions;
+use crate::error::{SimError, SimResult};
 use crate::nlr::simulate_nlr;
 use crate::os::simulate_os;
 use crate::perf::ComputePerf;
@@ -66,23 +67,30 @@ fn layer_cycles(
     cfg: &AcceleratorConfig,
     opts: SimOptions,
     dataflow: TaxonomyDataflow,
-) -> u64 {
+) -> SimResult<u64> {
     let compute: ComputePerf = match ConvWork::from_layer(layer) {
         Some(work) => {
+            // Validation precedes the cycle models (RS and NLR assume
+            // well-formed work, just like WS and OS).
+            work.validate().map_err(|e| e.for_layer(&layer.name))?;
             let perf = match dataflow {
                 TaxonomyDataflow::Ws => simulate_ws(&work, cfg),
                 TaxonomyDataflow::Os => simulate_os(&work, cfg, opts.os),
                 TaxonomyDataflow::Rs => simulate_rs(&work, cfg),
                 TaxonomyDataflow::Nlr => simulate_nlr(&work, cfg),
             };
-            let traffic = opts.layer_traffic(&work, cfg);
-            return combine_cycles(perf.cycles(), cfg.dram().transfer_cycles(traffic.total()), cfg);
+            let traffic = opts.layer_traffic(&work, cfg).map_err(|e| e.for_layer(&layer.name))?;
+            return Ok(combine_cycles(
+                perf.cycles(),
+                cfg.dram().transfer_cycles(traffic.total()),
+                cfg,
+            ));
         }
-        None => simulate_simd(layer, cfg).expect("non-conv layers take the SIMD path"),
+        None => simulate_simd(layer, cfg).map_err(|e: SimError| e.for_layer(&layer.name))?,
     };
     let bytes =
         (layer.input.elements() + layer.output.elements()) as u64 * cfg.bytes_per_element() as u64;
-    combine_cycles(compute.cycles(), cfg.dram().transfer_cycles(bytes), cfg)
+    Ok(combine_cycles(compute.cycles(), cfg.dram().transfer_cycles(bytes), cfg))
 }
 
 /// Whole-network cycles under each fixed dataflow plus the two- and
@@ -106,7 +114,12 @@ pub struct TaxonomyComparison {
 impl TaxonomyComparison {
     /// Total cycles under one fixed dataflow.
     pub fn fixed_cycles(&self, d: TaxonomyDataflow) -> u64 {
-        let idx = TaxonomyDataflow::ALL.iter().position(|x| *x == d).expect("d in ALL");
+        let idx = match d {
+            TaxonomyDataflow::Ws => 0,
+            TaxonomyDataflow::Os => 1,
+            TaxonomyDataflow::Rs => 2,
+            TaxonomyDataflow::Nlr => 3,
+        };
         self.fixed[idx]
     }
 
@@ -117,36 +130,57 @@ impl TaxonomyComparison {
 }
 
 /// Evaluates the full taxonomy for one network.
-pub fn compare_taxonomy(
+///
+/// # Errors
+///
+/// The first [`SimError`] any layer surfaces, attributed to that layer.
+pub fn try_compare_taxonomy(
     network: &Network,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
-) -> TaxonomyComparison {
+) -> SimResult<TaxonomyComparison> {
     let mut fixed = [0u64; 4];
     let mut hybrid2 = 0u64;
     let mut hybrid4 = 0u64;
     let mut extra_choices = 0usize;
     for layer in network.layers() {
-        let per: Vec<u64> =
-            TaxonomyDataflow::ALL.iter().map(|d| layer_cycles(layer, cfg, opts, *d)).collect();
+        let mut per = [0u64; 4];
+        for (slot, d) in per.iter_mut().zip(TaxonomyDataflow::ALL) {
+            *slot = layer_cycles(layer, cfg, opts, d)?;
+        }
         for (f, c) in fixed.iter_mut().zip(&per) {
             *f += c;
         }
         let two = per[0].min(per[1]);
-        let four = *per.iter().min().expect("four dataflows");
+        let four = per.iter().copied().fold(u64::MAX, u64::min);
         hybrid2 += two;
         hybrid4 += four;
         if layer.is_compute() && four < two {
             extra_choices += 1;
         }
     }
-    TaxonomyComparison {
+    Ok(TaxonomyComparison {
         network: network.name().to_owned(),
         fixed,
         hybrid2,
         hybrid4,
         extra_choices,
-    }
+    })
+}
+
+/// Evaluates the full taxonomy for one network. Infallible wrapper over
+/// [`try_compare_taxonomy`].
+///
+/// # Panics
+///
+/// Panics (through the crate's single panic site) if any layer is
+/// degenerate or infeasible on this configuration.
+pub fn compare_taxonomy(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+) -> TaxonomyComparison {
+    try_compare_taxonomy(network, cfg, opts).unwrap_or_else(|e| e.raise())
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 use codesign_arch::AcceleratorConfig;
 
 use crate::dram::DramTraffic;
+use crate::error::{checked_product, SimError, SimResult};
 use crate::workload::{ConvWork, WorkKind};
 
 /// Which of the two traffic-relevant loop orders a tiling uses.
@@ -56,7 +57,7 @@ pub struct TilingPlan {
     /// Resulting DRAM traffic.
     pub traffic: DramTraffic,
     /// Peak on-chip working set in bytes (≤ the working buffer).
-    pub working_set: usize,
+    pub working_set: u64,
 }
 
 fn candidates(extent: usize) -> Vec<usize> {
@@ -71,22 +72,31 @@ fn candidates(extent: usize) -> Vec<usize> {
     v
 }
 
-/// On-chip bytes needed by one tile of the given tiling.
-fn working_set(work: &ConvWork, t: &Tiling, bytes: usize) -> usize {
+/// On-chip bytes needed by one tile of the given tiling
+/// (overflow-checked — overflow-scale tiles report honestly instead of
+/// wrapping).
+fn working_set(work: &ConvWork, t: &Tiling, bytes: usize) -> SimResult<u64> {
     let in_rows = (t.out_rows - 1) * work.stride + work.kernel_h;
-    let input = t.in_channels * in_rows * work.in_w;
+    let input = checked_product(&[t.in_channels, in_rows, work.in_w], "tile input footprint")?;
     let weights = match work.kind {
-        WorkKind::Depthwise => t.in_channels * work.taps(),
-        _ => t.in_channels * t.out_channels * work.taps(),
+        WorkKind::Depthwise => checked_product(&[t.in_channels, work.taps()], "tile weights")?,
+        _ => checked_product(&[t.in_channels, t.out_channels, work.taps()], "tile weights")?,
     };
-    let output = t.out_channels * t.out_rows * work.out_w;
-    (input + weights + output) * bytes
+    let output =
+        checked_product(&[t.out_channels, t.out_rows, work.out_w], "tile output footprint")?;
+    input
+        .checked_add(weights)
+        .and_then(|s| s.checked_add(output))
+        .and_then(|s| s.checked_mul(bytes as u64))
+        .ok_or(SimError::overflow("tile working set"))
 }
 
 /// DRAM traffic of the tiling over the whole layer (one group; groups
 /// scale all operands linearly so they cancel in the comparison and are
-/// re-applied by the caller).
-fn traffic(work: &ConvWork, t: &Tiling, bytes: u64) -> DramTraffic {
+/// re-applied by the caller). Overflow-checked.
+fn traffic(work: &ConvWork, t: &Tiling, bytes: u64) -> SimResult<DramTraffic> {
+    const CTX: &str = "tiling DRAM traffic";
+    let of = || SimError::overflow(CTX);
     let strips = work.out_h.div_ceil(t.out_rows) as u64;
     let k_tiles = work.out_channels.div_ceil(t.out_channels) as u64;
     let c_tiles = work.in_channels.div_ceil(t.in_channels) as u64;
@@ -97,11 +107,13 @@ fn traffic(work: &ConvWork, t: &Tiling, bytes: u64) -> DramTraffic {
         work.input_elements() / work.groups as u64
     } else {
         let full_rows = in_rows_per_strip(t.out_rows);
-        (work.in_channels * full_rows * work.in_w) as u64 * strips
+        checked_product(&[work.in_channels, full_rows, work.in_w], CTX)?
+            .checked_mul(strips)
+            .ok_or_else(of)?
     };
     let weights_once = match work.kind {
-        WorkKind::Depthwise => (work.in_channels * work.taps()) as u64,
-        _ => (work.in_channels * work.out_channels * work.taps()) as u64,
+        WorkKind::Depthwise => checked_product(&[work.in_channels, work.taps()], CTX)?,
+        _ => checked_product(&[work.in_channels, work.out_channels, work.taps()], CTX)?,
     };
     let output_once = work.output_elements() / work.groups as u64;
 
@@ -109,25 +121,25 @@ fn traffic(work: &ConvWork, t: &Tiling, bytes: u64) -> DramTraffic {
     // per channel: each operand moves exactly once however the channel
     // and spatial loops nest (only the strip halo costs extra).
     if work.kind == WorkKind::Depthwise {
-        return DramTraffic {
-            input: input_once * bytes,
-            weights: weights_once * bytes,
-            output: output_once * bytes,
-        };
+        return Ok(DramTraffic {
+            input: input_once.checked_mul(bytes).ok_or_else(of)?,
+            weights: weights_once.checked_mul(bytes).ok_or_else(of)?,
+            output: output_once.checked_mul(bytes).ok_or_else(of)?,
+        });
     }
 
     let (input, weights) = match t.order {
-        LoopOrder::WeightsOuter => (input_once * k_tiles, weights_once),
-        LoopOrder::SpatialOuter => (input_once, weights_once * strips),
+        LoopOrder::WeightsOuter => (input_once.checked_mul(k_tiles).ok_or_else(of)?, weights_once),
+        LoopOrder::SpatialOuter => (input_once, weights_once.checked_mul(strips).ok_or_else(of)?),
     };
     // Partial-sum spills for a tiled reduction loop.
-    let spill = output_once * 2 * (c_tiles - 1);
+    let spill = output_once.checked_mul(2 * (c_tiles - 1)).ok_or_else(of)?;
 
-    DramTraffic {
-        input: input * bytes,
-        weights: weights * bytes,
-        output: (output_once + spill) * bytes,
-    }
+    Ok(DramTraffic {
+        input: input.checked_mul(bytes).ok_or_else(of)?,
+        weights: weights.checked_mul(bytes).ok_or_else(of)?,
+        output: output_once.checked_add(spill).and_then(|o| o.checked_mul(bytes)).ok_or_else(of)?,
+    })
 }
 
 /// Number of tile iterations a tiling induces (tie-break metric: fewer,
@@ -141,48 +153,74 @@ fn tile_count(work: &ConvWork, t: &Tiling) -> u64 {
 /// Searches tile sizes and loop orders for the DRAM-minimal plan that
 /// fits the working buffer.
 ///
-/// Falls back to the smallest-footprint tiling when even it exceeds the
-/// buffer (pathological configurations — a huge layer on a tiny buffer);
-/// the returned `working_set` then reports the excess honestly.
-pub fn optimize_tiling(work: &ConvWork, cfg: &AcceleratorConfig) -> TilingPlan {
+/// # Errors
+///
+/// * [`SimError::InvalidWorkload`] / [`SimError::ArithmeticOverflow`]
+///   for malformed or overflow-scale workloads
+///   (see [`ConvWork::validate`]);
+/// * [`SimError::InfeasibleTiling`] when even the smallest candidate
+///   tile exceeds the working buffer (a huge layer on a tiny buffer) —
+///   the error reports the smallest achievable working set so sweeps
+///   can record *how far* the point missed.
+pub fn optimize_tiling(work: &ConvWork, cfg: &AcceleratorConfig) -> SimResult<TilingPlan> {
+    work.validate()?;
     let bytes = cfg.bytes_per_element();
-    let budget = cfg.working_buffer_bytes();
+    let budget = cfg.working_buffer_bytes() as u64;
     let mut best: Option<TilingPlan> = None;
-    let mut smallest: Option<TilingPlan> = None;
+    let mut smallest_ws: Option<u64> = None;
 
     for &out_rows in &candidates(work.out_h) {
         for &out_channels in &candidates(work.out_channels) {
             for &in_channels in &candidates(work.in_channels) {
                 for order in [LoopOrder::WeightsOuter, LoopOrder::SpatialOuter] {
                     let t = Tiling { out_rows, out_channels, in_channels, order };
-                    let ws = working_set(work, &t, bytes);
-                    let tr = traffic(work, &t, bytes as u64);
+                    let ws = working_set(work, &t, bytes)?;
+                    if smallest_ws.is_none_or(|s| ws < s) {
+                        smallest_ws = Some(ws);
+                    }
+                    if ws > budget {
+                        continue;
+                    }
+                    let tr = traffic(work, &t, bytes as u64)?;
                     let groups = work.groups as u64;
+                    let of = || SimError::overflow("tiling DRAM traffic");
                     let plan = TilingPlan {
                         tiling: t,
                         traffic: DramTraffic {
-                            input: tr.input * groups,
-                            weights: tr.weights * groups,
-                            output: tr.output * groups,
+                            input: tr.input.checked_mul(groups).ok_or_else(of)?,
+                            weights: tr.weights.checked_mul(groups).ok_or_else(of)?,
+                            output: tr.output.checked_mul(groups).ok_or_else(of)?,
                         },
                         working_set: ws,
                     };
-                    if smallest.is_none_or(|s| ws < s.working_set) {
-                        smallest = Some(plan);
-                    }
                     let better = |b: &TilingPlan| {
                         plan.traffic.total() < b.traffic.total()
                             || (plan.traffic.total() == b.traffic.total()
                                 && tile_count(work, &t) < tile_count(work, &b.tiling))
                     };
-                    if ws <= budget && best.as_ref().is_none_or(better) {
+                    if best.as_ref().is_none_or(better) {
                         best = Some(plan);
                     }
                 }
             }
         }
     }
-    best.or(smallest).expect("candidate grid is never empty")
+    best.ok_or(SimError::InfeasibleTiling {
+        layer: None,
+        working_set: smallest_ws.unwrap_or(0),
+        buffer: budget,
+    })
+}
+
+/// The smallest on-chip working set any candidate tiling of `work`
+/// achieves — the quantity pre-flight buffer-feasibility validation
+/// compares against the working buffer.
+pub(crate) fn min_working_set(work: &ConvWork, cfg: &AcceleratorConfig) -> SimResult<u64> {
+    work.validate()?;
+    // The minimum lies at the all-ones tile (smallest extent on every
+    // tiled loop); loop order does not affect the footprint.
+    let t = Tiling { out_rows: 1, out_channels: 1, in_channels: 1, order: LoopOrder::WeightsOuter };
+    working_set(work, &t, cfg.bytes_per_element())
 }
 
 #[cfg(test)]
@@ -212,7 +250,7 @@ mod tests {
     #[test]
     fn small_layer_is_untiled() {
         let w = work(16, 16, 3, 14);
-        let plan = optimize_tiling(&w, &cfg());
+        let plan = optimize_tiling(&w, &cfg()).unwrap();
         assert_eq!(plan.tiling.out_rows, 14);
         assert_eq!(plan.tiling.out_channels, 16);
         assert_eq!(plan.tiling.in_channels, 16);
@@ -220,15 +258,15 @@ mod tests {
         assert_eq!(plan.traffic.input, w.input_elements() * 2);
         assert_eq!(plan.traffic.weights, w.weight_elements() * 2);
         assert_eq!(plan.traffic.output, w.output_elements() * 2);
-        assert!(plan.working_set <= cfg().working_buffer_bytes());
+        assert!(plan.working_set <= cfg().working_buffer_bytes() as u64);
     }
 
     #[test]
     fn big_layer_fits_after_tiling() {
         // 128x56x56 in, 128 filters of 3x3: ~780 KB input, far over 64 KB.
         let w = work(128, 128, 3, 56);
-        let plan = optimize_tiling(&w, &cfg());
-        assert!(plan.working_set <= cfg().working_buffer_bytes());
+        let plan = optimize_tiling(&w, &cfg()).unwrap();
+        assert!(plan.working_set <= cfg().working_buffer_bytes() as u64);
         assert!(
             plan.tiling.out_rows < 56
                 || plan.tiling.out_channels < 128
@@ -244,7 +282,7 @@ mod tests {
     fn search_beats_or_matches_the_closed_form() {
         let cfg = cfg();
         for w in [work(128, 128, 3, 56), work(512, 1000, 1, 13), work(64, 192, 3, 28)] {
-            let plan = optimize_tiling(&w, &cfg);
+            let plan = optimize_tiling(&w, &cfg).unwrap();
             let closed = crate::dram::conv_traffic(&w, &cfg);
             assert!(
                 plan.traffic.total() <= closed.total(),
@@ -265,8 +303,8 @@ mod tests {
             order: LoopOrder::WeightsOuter,
         };
         let t_split = Tiling { in_channels: 32, ..t_full };
-        let full = traffic(&w, &t_full, 2);
-        let split = traffic(&w, &t_split, 2);
+        let full = traffic(&w, &t_full, 2).unwrap();
+        let split = traffic(&w, &t_split, 2).unwrap();
         assert_eq!(split.output, full.output + 2 * w.output_elements() * 2);
     }
 
@@ -274,8 +312,8 @@ mod tests {
     fn loop_orders_trade_input_for_weight_refetch() {
         let w = work(64, 256, 3, 28);
         let t = |order| Tiling { out_rows: 7, out_channels: 64, in_channels: 64, order };
-        let wo = traffic(&w, &t(LoopOrder::WeightsOuter), 2);
-        let so = traffic(&w, &t(LoopOrder::SpatialOuter), 2);
+        let wo = traffic(&w, &t(LoopOrder::WeightsOuter), 2).unwrap();
+        let so = traffic(&w, &t(LoopOrder::SpatialOuter), 2).unwrap();
         assert!(wo.input > so.input);
         assert!(wo.weights < so.weights);
     }
@@ -295,12 +333,12 @@ mod tests {
             out_h: 14,
             out_w: 14,
         };
-        let plan = optimize_tiling(&w, &cfg());
+        let plan = optimize_tiling(&w, &cfg()).unwrap();
         assert_eq!(plan.traffic.weights, 512 * 9 * 2);
     }
 
     #[test]
-    fn impossible_budget_degrades_gracefully() {
+    fn impossible_budget_is_a_typed_error() {
         let tiny = AcceleratorConfig::builder()
             .array_size(2)
             .global_buffer_bytes(64)
@@ -308,9 +346,30 @@ mod tests {
             .build()
             .unwrap();
         let w = work(256, 256, 3, 56);
-        let plan = optimize_tiling(&w, &tiny);
-        // Honest overflow report, not a panic.
-        assert!(plan.working_set > 64);
+        match optimize_tiling(&w, &tiny) {
+            Err(SimError::InfeasibleTiling { layer, working_set, buffer }) => {
+                assert_eq!(layer, None, "anonymous at this level; engine attaches the name");
+                assert!(working_set > buffer, "{working_set} must exceed {buffer}");
+                assert_eq!(working_set, min_working_set(&w, &tiny).unwrap());
+            }
+            other => panic!("expected InfeasibleTiling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_working_set_is_a_lower_bound_on_plans() {
+        let w = work(128, 128, 3, 56);
+        let cfg = cfg();
+        let floor = min_working_set(&w, &cfg).unwrap();
+        let plan = optimize_tiling(&w, &cfg).unwrap();
+        assert!(floor <= plan.working_set);
+    }
+
+    #[test]
+    fn degenerate_work_is_rejected_before_the_search() {
+        let mut w = work(16, 16, 3, 14);
+        w.out_h = 0;
+        assert!(matches!(optimize_tiling(&w, &cfg()), Err(SimError::InvalidWorkload { .. })));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Pre-flight validation of a (network, accelerator) pair.
+//!
+//! Sweeps and CLI runs call [`validate_network`] before simulating so
+//! that degenerate inputs surface as named, typed diagnostics *before*
+//! any cycle model runs — the validation order is:
+//!
+//! 1. **configuration sanity** — the accelerator must have PEs and a
+//!    non-empty working buffer;
+//! 2. **per-layer workload sanity** — zero/absurd dimensions, kernels
+//!    larger than their input, element counts beyond the 64-bit modeling
+//!    range ([`crate::ConvWork::validate`]);
+//! 3. **buffer feasibility** — the smallest candidate tile of every
+//!    PE-array layer must fit the working buffer
+//!    ([`crate::SimError::InfeasibleTiling`] otherwise);
+//! 4. **path support** — every layer must have a model on the path that
+//!    will execute it (PE array for conv/FC, SIMD for the rest; this is
+//!    total today, so step 4 cannot fail for builder-produced networks
+//!    but guards hand-constructed layers).
+//!
+//! The same checks run lazily inside the `try_*` simulation APIs; the
+//! pre-flight pass exists so a whole-network report can list *all*
+//! offending layers ([`validate_network_all`]) instead of stopping at
+//! the first.
+
+use std::fmt;
+
+use codesign_arch::AcceleratorConfig;
+use codesign_dnn::{Layer, Network};
+
+use crate::error::{SimError, SimResult};
+use crate::tiling::min_working_set;
+use crate::workload::ConvWork;
+
+/// One named validation failure inside a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Name of the offending layer (empty for configuration-level
+    /// issues).
+    pub layer: String,
+    /// What is wrong with it.
+    pub error: SimError,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.layer.is_empty() {
+            write!(f, "configuration: {}", self.error)
+        } else {
+            write!(f, "{}", self.error)
+        }
+    }
+}
+
+fn validate_config(cfg: &AcceleratorConfig) -> SimResult<()> {
+    if cfg.array_size() == 0 {
+        return Err(SimError::invalid("accelerator has a 0x0 PE array"));
+    }
+    if cfg.bytes_per_element() == 0 {
+        return Err(SimError::invalid("element width is zero bytes"));
+    }
+    if cfg.working_buffer_bytes() == 0 {
+        return Err(SimError::invalid("working buffer holds zero bytes"));
+    }
+    Ok(())
+}
+
+/// Validates one layer against one configuration: workload sanity plus
+/// buffer feasibility for PE-array layers.
+///
+/// # Errors
+///
+/// The first failing check's [`SimError`], attributed to the layer.
+pub fn validate_layer(layer: &Layer, cfg: &AcceleratorConfig) -> SimResult<()> {
+    let check = || -> SimResult<()> {
+        match ConvWork::from_layer(layer) {
+            Some(work) => {
+                work.validate()?;
+                let need = min_working_set(&work, cfg)?;
+                let budget = cfg.working_buffer_bytes() as u64;
+                if need > budget {
+                    return Err(SimError::InfeasibleTiling {
+                        layer: None,
+                        working_set: need,
+                        buffer: budget,
+                    });
+                }
+                Ok(())
+            }
+            // Non-PE layers take the SIMD path, which models every
+            // remaining `LayerOp`; nothing shape-dependent can
+            // overflow there below the already-checked element counts.
+            None => Ok(()),
+        }
+    };
+    check().map_err(|e| e.for_layer(&layer.name))
+}
+
+/// Validates every layer of `network` against `cfg`, stopping at the
+/// first problem.
+///
+/// # Errors
+///
+/// The first failing check's [`SimError`], attributed to the offending
+/// layer (configuration-level errors carry no layer name).
+pub fn validate_network(network: &Network, cfg: &AcceleratorConfig) -> SimResult<()> {
+    validate_config(cfg)?;
+    for layer in network.layers() {
+        validate_layer(layer, cfg)?;
+    }
+    Ok(())
+}
+
+/// Validates every layer of `network` against `cfg` and returns *all*
+/// failures, for whole-network diagnostics reports. An empty vector
+/// means the pair is feasible.
+pub fn validate_network_all(network: &Network, cfg: &AcceleratorConfig) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    if let Err(error) = validate_config(cfg) {
+        issues.push(ValidationIssue { layer: String::new(), error });
+    }
+    for layer in network.layers() {
+        if let Err(error) = validate_layer(layer, cfg) {
+            issues.push(ValidationIssue { layer: layer.name.clone(), error });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_dnn::{zoo, NetworkBuilder, Shape};
+
+    #[test]
+    fn paper_workloads_all_validate() {
+        let cfg = AcceleratorConfig::paper_default();
+        for net in [zoo::squeezenet_v1_0(), zoo::mobilenet_v1(), zoo::alexnet()] {
+            assert_eq!(validate_network(&net, &cfg), Ok(()), "{}", net.name());
+            assert!(validate_network_all(&net, &cfg).is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_fails_feasibility_with_layer_name() {
+        let cfg = AcceleratorConfig::builder()
+            .array_size(2)
+            .global_buffer_bytes(64)
+            .double_buffering(false)
+            .build()
+            .unwrap();
+        let net = zoo::squeezenet_v1_0();
+        let err = validate_network(&net, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InfeasibleTiling { .. }), "{err}");
+        assert!(err.layer().is_some(), "feasibility errors name their layer");
+    }
+
+    #[test]
+    fn all_issues_are_collected_not_just_the_first() {
+        let cfg = AcceleratorConfig::builder()
+            .array_size(2)
+            .global_buffer_bytes(64)
+            .double_buffering(false)
+            .build()
+            .unwrap();
+        let net = zoo::squeezenet_v1_0();
+        let issues = validate_network_all(&net, &cfg);
+        assert!(issues.len() > 1, "many layers cannot fit 64 B: {}", issues.len());
+        for issue in &issues {
+            assert_eq!(issue.error.layer(), Some(issue.layer.as_str()));
+        }
+    }
+
+    #[test]
+    fn small_network_on_default_config_is_feasible() {
+        let net = NetworkBuilder::new("t", Shape::new(8, 16, 16))
+            .conv("c", 16, 3, 1, 1)
+            .max_pool("p", 2, 2)
+            .fully_connected("fc", 10)
+            .finish()
+            .unwrap();
+        assert_eq!(validate_network(&net, &AcceleratorConfig::paper_default()), Ok(()));
+    }
+}

@@ -3,6 +3,8 @@
 
 use codesign_dnn::{Layer, LayerOp};
 
+use crate::error::{bounded_product, SimError, SimResult};
+
 /// How the PE array treats the layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkKind {
@@ -68,11 +70,15 @@ impl ConvWork {
                         out_w: layer.output.width,
                     })
                 } else {
+                    // `groups == 0` must survive extraction so `validate`
+                    // can reject it with a typed error instead of a
+                    // divide-by-zero here.
+                    let per_group = spec.groups.max(1);
                     Some(Self {
                         kind: WorkKind::Dense,
                         groups: spec.groups,
-                        in_channels: layer.input.channels / spec.groups,
-                        out_channels: spec.out_channels / spec.groups,
+                        in_channels: layer.input.channels / per_group,
+                        out_channels: spec.out_channels / per_group,
                         kernel_h: spec.kernel.height,
                         kernel_w: spec.kernel.width,
                         stride: spec.stride,
@@ -98,6 +104,69 @@ impl ConvWork {
             }),
             _ => None,
         }
+    }
+
+    /// Checks that the workload is well-formed and within the modeling
+    /// range — the gate every fallible simulation path passes before
+    /// trusting the unchecked arithmetic of the cycle models.
+    ///
+    /// Rejects zero dimensions, kernels larger than their input, and
+    /// shapes whose MAC or element counts overflow 64 bits (with
+    /// headroom reserved for the constant multipliers of derived
+    /// quantities).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidWorkload`] for malformed dimensions,
+    /// [`SimError::ArithmeticOverflow`] for overflow-scale shapes. The
+    /// layer name is attached by the caller ([`SimError::for_layer`]).
+    pub fn validate(&self) -> SimResult<()> {
+        let dims = [
+            (self.groups, "groups"),
+            (self.in_channels, "input channels"),
+            (self.out_channels, "output channels"),
+            (self.kernel_h, "kernel height"),
+            (self.kernel_w, "kernel width"),
+            (self.stride, "stride"),
+            (self.in_h, "input height"),
+            (self.in_w, "input width"),
+            (self.out_h, "output height"),
+            (self.out_w, "output width"),
+        ];
+        for (v, name) in dims {
+            if v == 0 {
+                return Err(SimError::invalid(format!("{name} is zero")));
+            }
+        }
+        if self.kernel_h > self.in_h || self.kernel_w > self.in_w {
+            return Err(SimError::invalid(format!(
+                "kernel {}x{} does not fit the {}x{} input",
+                self.kernel_h, self.kernel_w, self.in_h, self.in_w
+            )));
+        }
+        let reduce = if self.kind == WorkKind::Depthwise { 1 } else { self.in_channels };
+        bounded_product(
+            &[
+                self.out_h,
+                self.out_w,
+                self.kernel_h,
+                self.kernel_w,
+                self.out_channels,
+                reduce,
+                self.groups,
+            ],
+            "MAC count",
+        )?;
+        bounded_product(
+            &[self.kernel_h, self.kernel_w, reduce, self.out_channels, self.groups],
+            "weight element count",
+        )?;
+        bounded_product(&[self.in_channels, self.groups, self.in_h, self.in_w], "input elements")?;
+        bounded_product(
+            &[self.out_channels, self.groups, self.out_h, self.out_w],
+            "output elements",
+        )?;
+        Ok(())
     }
 
     /// Useful (algorithmic) MACs — the dense count before any sparsity

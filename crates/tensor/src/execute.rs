@@ -150,7 +150,8 @@ impl NetworkActivations {
 
     /// The final network output.
     pub fn final_output(&self) -> &Tensor {
-        &self.outputs.last().expect("networks have at least one layer").1
+        // Non-empty by the `from_outputs` constructor invariant.
+        &self.outputs.last().unwrap_or_else(|| unreachable!("networks have at least one layer")).1
     }
 
     /// Iterates `(layer name, output)` in execution order.

@@ -115,7 +115,8 @@ impl Tensor {
     ///
     /// Panics if spatial dimensions disagree or `parts` is empty.
     pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
-        let first = parts.first().expect("concat of at least one tensor");
+        assert!(!parts.is_empty(), "concat of at least one tensor");
+        let first = &parts[0];
         let (h, w) = (first.shape.height, first.shape.width);
         let mut data = Vec::new();
         let mut channels = 0;

@@ -1,7 +1,7 @@
 //! The tracer handle and the snapshot it produces.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::span::{Track, TrackData};
 
@@ -16,7 +16,7 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub(crate) fn publish(&self, track: TrackData) {
-        self.tracks.lock().expect("trace track lock").push(track);
+        self.tracks.lock().unwrap_or_else(PoisonError::into_inner).push(track);
     }
 }
 
@@ -73,7 +73,7 @@ impl Tracer {
     /// Adds `delta` to the global counter `name` (creating it at zero).
     pub fn add_counter(&self, name: &str, delta: u64) {
         if let Some(shared) = &self.shared {
-            let mut counters = shared.counters.lock().expect("trace counter lock");
+            let mut counters = shared.counters.lock().unwrap_or_else(PoisonError::into_inner);
             match counters.get_mut(name) {
                 Some(v) => *v += delta,
                 None => {
@@ -93,10 +93,15 @@ impl Tracer {
         let Some(shared) = &self.shared else {
             return TraceData::default();
         };
-        let mut tracks = shared.tracks.lock().expect("trace track lock").clone();
+        let mut tracks = shared.tracks.lock().unwrap_or_else(PoisonError::into_inner).clone();
         tracks.sort();
-        let counters =
-            shared.counters.lock().expect("trace counter lock").clone().into_iter().collect();
+        let counters = shared
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .into_iter()
+            .collect();
         TraceData { tracks, counters }
     }
 }

@@ -164,7 +164,10 @@ proptest! {
     /// whole input rows are skipped and never fetched.
     #[test]
     fn tiling_plan_is_sound(work in conv_work(), cfg in config()) {
-        let plan = codesign::sim::optimize_tiling(&work, &cfg);
+        let Ok(plan) = codesign::sim::optimize_tiling(&work, &cfg) else {
+            // An honest InfeasibleTiling rejection is a sound outcome.
+            return Ok(());
+        };
         let e = cfg.bytes_per_element() as u64;
         // Row *count* actually read: bounded by the span and, when the
         // stride exceeds the kernel, by out_h disjoint kernel_h-row bands.

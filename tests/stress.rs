@@ -4,18 +4,44 @@
 
 use codesign::arch::{AcceleratorConfig, Dataflow, DataflowPolicy, DramModel, EnergyModel};
 use codesign::dnn::{parse_network, zoo, NetworkBuilder, Shape};
-use codesign::sim::{simulate_network, simulate_network_event, SimOptions};
+use codesign::sim::{simulate_network, simulate_network_event, try_simulate_network, SimOptions};
 
 fn opts() -> SimOptions {
     SimOptions::paper_default()
 }
 
 #[test]
-fn tiny_array_tiny_buffer_still_simulates() {
+fn tiny_array_tiny_buffer_rejects_with_infeasible_tiling() {
+    // A 64-byte buffer cannot hold even the smallest tile of a real
+    // network: the simulator must refuse with a typed error naming the
+    // layer — never panic, never fall back to a tiling that doesn't fit.
     let cfg = AcceleratorConfig::builder()
         .array_size(2)
         .rf_depth(1)
         .global_buffer_bytes(64)
+        .build()
+        .unwrap();
+    let net = zoo::squeezenet_v1_1();
+    for policy in [
+        DataflowPolicy::PerLayer,
+        DataflowPolicy::Fixed(Dataflow::WeightStationary),
+        DataflowPolicy::Fixed(Dataflow::OutputStationary),
+    ] {
+        let err =
+            try_simulate_network(&net, &cfg, policy, opts()).expect_err("64 B cannot fit any tile");
+        assert_eq!(err.kind(), "infeasible_tiling");
+        assert!(err.layer().is_some(), "error should name the layer: {err}");
+    }
+}
+
+#[test]
+fn tiny_array_small_buffer_still_simulates() {
+    // The same tiny array with a small-but-sufficient buffer simulates
+    // the whole network under every policy.
+    let cfg = AcceleratorConfig::builder()
+        .array_size(2)
+        .rf_depth(1)
+        .global_buffer_bytes(64 * 1024)
         .build()
         .unwrap();
     let net = zoo::squeezenet_v1_1();
