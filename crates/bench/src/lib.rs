@@ -26,6 +26,9 @@ pub mod table;
 
 pub use chart::{bar_chart, Bar};
 pub use experiments::Context;
-pub use report_json::{BenchReport, ExperimentTiming, NetworkHeadline, BENCH_REPORT_SCHEMA};
+pub use report_json::{
+    BenchReport, ExperimentTiming, NetworkHeadline, SweepBench, BENCH_REPORT_SCHEMA,
+    SWEEP_BASELINE_WALL_MS,
+};
 pub use svg::{bars_svg, scatter_svg, ScatterPoint};
 pub use table::Table;

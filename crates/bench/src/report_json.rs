@@ -6,16 +6,28 @@
 //! utilization). CI uploads this artifact so regressions are diffable
 //! without re-running anything.
 
-use codesign_core::ArchitectureComparison;
+use std::time::Instant;
+
+use codesign_arch::EnergyModel;
+use codesign_core::{sweep_full_with, ArchitectureComparison, SweepSpace};
 use codesign_dnn::zoo;
-use codesign_sim::CacheStats;
+use codesign_sim::{resolve_jobs, CacheStats, SimOptions, Simulator};
 use codesign_trace::json::{number, quote};
 
 use crate::experiments::Context;
 
 /// Schema identifier written into every report. Bump the suffix when the
-/// document shape changes incompatibly.
-pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/1";
+/// document shape changes incompatibly. `/2` added the `contended` cache
+/// counter and the `sweep_bench` section.
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/2";
+
+/// Pre-overhaul reference wall time for [`SweepBench`]: the
+/// paper-default sweep over the six table networks took ~206 ms at
+/// `--jobs 8` before the sweep-engine hot-path overhaul (sharded split
+/// cache, per-network layer dedup, persistent worker pool, pruned tiling
+/// search). Pinned so `speedup_vs_baseline` in committed reports tracks
+/// the same denominator across machines of similar class.
+pub const SWEEP_BASELINE_WALL_MS: f64 = 206.0;
 
 /// Wall time of one experiment generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +65,83 @@ pub struct NetworkHeadline {
     pub time_ms: f64,
 }
 
+/// Timed paper-default design-space sweep over the full table zoo,
+/// measured on a fresh (cold-cache) simulator so the number reflects the
+/// sweep engine's real hot path rather than a pre-warmed memo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBench {
+    /// Worker threads the sweep ran with (already resolved; never 0).
+    pub jobs: usize,
+    /// Networks swept.
+    pub networks: usize,
+    /// Design points evaluated across all networks.
+    pub points: usize,
+    /// Points that failed (expected 0).
+    pub failures: usize,
+    /// Measured wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Pinned pre-overhaul reference ([`SWEEP_BASELINE_WALL_MS`]).
+    pub baseline_wall_ms: f64,
+    /// Cache counters of the dedicated sweep simulator.
+    pub cache: CacheStats,
+}
+
+impl SweepBench {
+    /// Cold-cache repetitions per measurement; the reported wall time is
+    /// the minimum, which filters scheduler noise out of the CI gate.
+    pub const REPS: usize = 3;
+
+    /// Runs and times the paper-default sweep (array × RF × buffer grid)
+    /// over every table network, best of [`Self::REPS`] runs, each on a
+    /// fresh simulator so no repetition inherits a warm cache.
+    pub fn measure(jobs: usize) -> Self {
+        let space = SweepSpace::paper_default();
+        let opts = SimOptions::paper_default();
+        let energy = EnergyModel::default();
+        let nets = zoo::table_networks();
+        let mut best_wall_ms = f64::INFINITY;
+        let mut points = 0usize;
+        let mut failures = 0usize;
+        let mut cache = CacheStats::default();
+        for _ in 0..Self::REPS {
+            let sim = Simulator::new();
+            let mut rep_points = 0usize;
+            let mut rep_failures = 0usize;
+            let started = Instant::now();
+            for net in &nets {
+                if let Ok(out) = sweep_full_with(&sim, net, &space, opts, &energy, jobs) {
+                    rep_points += out.points.len();
+                    rep_failures += out.failures.len();
+                }
+            }
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            if wall_ms < best_wall_ms {
+                best_wall_ms = wall_ms;
+            }
+            // Counts and cache shape are deterministic across reps; keep
+            // the last repetition's.
+            points = rep_points;
+            failures = rep_failures;
+            cache = sim.stats();
+        }
+        Self {
+            jobs: resolve_jobs(jobs),
+            networks: nets.len(),
+            points,
+            failures,
+            wall_ms: best_wall_ms,
+            baseline_wall_ms: SWEEP_BASELINE_WALL_MS,
+            cache,
+        }
+    }
+
+    /// Speedup of the measured sweep over the pinned pre-overhaul
+    /// reference wall time.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.baseline_wall_ms / self.wall_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// The full report document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -62,8 +151,21 @@ pub struct BenchReport {
     pub experiments: Vec<ExperimentTiming>,
     /// Simulator cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Timed cold-cache sweep over the full zoo.
+    pub sweep_bench: SweepBench,
     /// Per-network headlines for the paper's table networks.
     pub networks: Vec<NetworkHeadline>,
+}
+
+fn cache_json(c: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"contended\":{},\"hit_rate\":{}}}",
+        c.hits,
+        c.misses,
+        c.entries,
+        c.contended,
+        number(c.hit_rate()),
+    )
 }
 
 impl BenchReport {
@@ -93,7 +195,13 @@ impl BenchReport {
                 }
             })
             .collect();
-        Self { wall_ms, experiments, cache: ctx.sim.stats(), networks }
+        Self {
+            wall_ms,
+            experiments,
+            cache: ctx.sim.stats(),
+            sweep_bench: SweepBench::measure(ctx.jobs),
+            networks,
+        }
     }
 
     /// Renders the report as a JSON document.
@@ -128,17 +236,29 @@ impl BenchReport {
                 )
             })
             .collect();
+        let sb = &self.sweep_bench;
+        let sweep_bench = format!(
+            "{{\"jobs\":{},\"networks\":{},\"points\":{},\"failures\":{},\
+             \"wall_ms\":{},\"baseline_wall_ms\":{},\"speedup_vs_baseline\":{},\
+             \"cache\":{}}}",
+            sb.jobs,
+            sb.networks,
+            sb.points,
+            sb.failures,
+            number(sb.wall_ms),
+            number(sb.baseline_wall_ms),
+            number(sb.speedup_vs_baseline()),
+            cache_json(&sb.cache),
+        );
         format!(
             "{{\n  \"schema\": {},\n  \"wall_ms\": {},\n  \"experiments\": [\n{}\n  ],\n  \
-             \"cache\": {{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{}}},\n  \
+             \"cache\": {},\n  \"sweep_bench\": {},\n  \
              \"networks\": [\n{}\n  ]\n}}\n",
             quote(BENCH_REPORT_SCHEMA),
             number(self.wall_ms),
             experiments.join(",\n"),
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.entries,
-            number(self.cache.hit_rate()),
+            cache_json(&self.cache),
+            sweep_bench,
             networks.join(",\n"),
         )
     }
@@ -185,6 +305,12 @@ mod tests {
             assert!(n.time_ms > 0.0 && n.utilization > 0.0, "{}", n.name);
         }
         assert!(report.cache.lookups() > 0, "headlines route through ctx.sim");
+        let sb = &report.sweep_bench;
+        assert_eq!(sb.networks, zoo::table_networks().len());
+        assert!(sb.points > 0 && sb.failures == 0, "sweep bench evaluates the grid");
+        assert!(sb.jobs >= 1, "jobs are resolved");
+        assert!(sb.wall_ms > 0.0 && sb.speedup_vs_baseline() > 0.0);
+        assert!(sb.cache.hits > 0, "the sweep shares cache entries across points");
     }
 
     #[test]
@@ -196,9 +322,12 @@ mod tests {
             2.0,
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"codesign-bench-report/1\""));
+        assert!(json.contains("\"schema\": \"codesign-bench-report/2\""));
         assert!(json.contains("\"hybrid_cycles\""));
         assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"contended\""));
+        assert!(json.contains("\"sweep_bench\""));
+        assert!(json.contains("\"baseline_wall_ms\""));
         json_is_balanced(&json);
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 
 use codesign_arch::{area, AcceleratorConfig, AreaModel, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{par_map_catch, SimError, SimOptions, Simulator};
+use codesign_sim::{par_map_catch_range, SimError, SimOptions, Simulator};
 
 /// The swept hardware parameters of one design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,22 +107,28 @@ impl SweepSpace {
         self.array_sizes.is_empty() || self.rf_depths.is_empty() || self.buffer_bytes.is_empty()
     }
 
-    /// The grid in deterministic row-major order
-    /// (array size → RF depth → buffer bytes).
-    fn grid(&self) -> Vec<DesignParams> {
-        let mut grid = Vec::with_capacity(self.len());
-        for &n in &self.array_sizes {
-            for &rf in &self.rf_depths {
-                for &buf in &self.buffer_bytes {
-                    grid.push(DesignParams {
-                        array_size: n,
-                        rf_depth: rf,
-                        global_buffer_bytes: buf,
-                    });
-                }
-            }
+    /// The grid point at flat index `i` in deterministic row-major order
+    /// (array size → RF depth → buffer bytes), or `None` past the end.
+    ///
+    /// The mixed-radix decode lets the sweep fan out over `0..len()`
+    /// without ever materializing the grid.
+    pub fn point(&self, i: usize) -> Option<DesignParams> {
+        let (nrf, nbuf) = (self.rf_depths.len(), self.buffer_bytes.len());
+        if nrf == 0 || nbuf == 0 {
+            return None;
         }
-        grid
+        Some(DesignParams {
+            array_size: *self.array_sizes.get(i / (nrf * nbuf))?,
+            rf_depth: *self.rf_depths.get(i / nbuf % nrf)?,
+            global_buffer_bytes: *self.buffer_bytes.get(i % nbuf)?,
+        })
+    }
+
+    /// The grid in deterministic row-major order
+    /// (array size → RF depth → buffer bytes), lazily — nothing is
+    /// materialized ahead of iteration.
+    pub fn grid(&self) -> impl Iterator<Item = DesignParams> + '_ {
+        (0..self.len()).filter_map(|i| self.point(i))
     }
 }
 
@@ -292,13 +298,27 @@ pub fn sweep_full_with(
     jobs: usize,
 ) -> Result<SweepOutcome, SweepError> {
     space.check_non_empty()?;
-    let grid = space.grid();
-    let evals = par_map_catch(jobs, &grid, |_, &params| {
-        evaluate_point(sim, network, params, opts, energy_model)
+    // Range-based fan-out: workers decode grid points from their flat
+    // index, so the grid is never materialized ahead of the sweep.
+    let evals = par_map_catch_range(jobs, space.len(), |i| {
+        // Test-only fault injection: a magic network name poisons the
+        // worker evaluating grid point 0, proving a panicking worker
+        // degrades to a `PointFailure` instead of hanging the pool.
+        #[cfg(test)]
+        #[allow(clippy::panic)]
+        if network.name() == "__poison_point_0__" && i == 0 {
+            panic!("injected worker poison");
+        }
+        match space.point(i) {
+            Some(params) => evaluate_point(sim, network, params, opts, energy_model),
+            // Unreachable once `check_non_empty` passed: every i < len()
+            // decodes. Treated as a skipped point rather than a panic.
+            None => Ok(None),
+        }
     });
     let mut points = Vec::new();
     let mut failures = Vec::new();
-    for (params, eval) in grid.into_iter().zip(evals) {
+    for (params, eval) in space.grid().zip(evals) {
         match eval {
             Ok(Ok(Some(point))) => points.push(point),
             Ok(Ok(None)) => {} // invalid or degenerate config: skipped
@@ -516,7 +536,37 @@ mod tests {
     fn space_len() {
         assert_eq!(SweepSpace::paper_default().len(), 27);
         assert!(!SweepSpace::paper_default().is_empty());
-        assert_eq!(SweepSpace::paper_default().grid().len(), 27);
+        assert_eq!(SweepSpace::paper_default().grid().count(), 27);
+    }
+
+    #[test]
+    fn grid_decode_is_row_major_and_total() {
+        let space = SweepSpace::paper_default();
+        // point(i) enumerates exactly the nested-loop order.
+        let mut expect = Vec::new();
+        for &n in &space.array_sizes {
+            for &rf in &space.rf_depths {
+                for &buf in &space.buffer_bytes {
+                    expect.push(DesignParams {
+                        array_size: n,
+                        rf_depth: rf,
+                        global_buffer_bytes: buf,
+                    });
+                }
+            }
+        }
+        let got: Vec<DesignParams> = space.grid().collect();
+        assert_eq!(got, expect);
+        assert_eq!(space.point(space.len()), None, "decode is bounded");
+        // Ragged axis lengths exercise the mixed-radix arithmetic.
+        let ragged = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16, 32, 64],
+            buffer_bytes: vec![64 * 1024, 256 * 1024, 512 * 1024],
+        };
+        assert_eq!(ragged.grid().count(), ragged.len());
+        let via_point: Vec<_> = (0..ragged.len()).filter_map(|i| ragged.point(i)).collect();
+        assert_eq!(via_point, ragged.grid().collect::<Vec<_>>());
     }
 
     #[test]
@@ -608,6 +658,64 @@ mod tests {
         let parallel = run(8);
         assert_eq!(serial, parallel);
         assert!(!serial.failures.is_empty());
+    }
+
+    #[test]
+    fn poisoned_worker_degrades_to_point_failure() {
+        // A worker panic mid-sweep must neither hang the persistent pool
+        // nor abort the sweep: the poisoned point surfaces as a
+        // diagnostic and every other point still evaluates.
+        use codesign_dnn::{NetworkBuilder, Shape};
+        let net = NetworkBuilder::new("__poison_point_0__", Shape::new(16, 16, 16))
+            .conv("c1", 16, 3, 1, 1)
+            .finish()
+            .unwrap();
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![16],
+            buffer_bytes: vec![64 * 1024, 128 * 1024],
+        };
+        for jobs in [1, 2, 8] {
+            let outcome = sweep_full_with(
+                &Simulator::new(),
+                &net,
+                &space,
+                SimOptions::default(),
+                &EnergyModel::default(),
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(outcome.points.len(), 3, "jobs={jobs}");
+            assert_eq!(outcome.failures.len(), 1, "jobs={jobs}");
+            let failure = &outcome.failures[0];
+            assert_eq!(Some(failure.params), space.point(0));
+            assert!(
+                failure.reason.contains("worker panicked: injected worker poison"),
+                "{}",
+                failure.reason
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_jobs_invariant() {
+        // The pool contract across the user-facing --jobs range: 1, 2,
+        // and 8 workers produce bit-identical outcomes.
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![8, 16],
+            buffer_bytes: vec![64 * 1024, 128 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let runs: Vec<SweepOutcome> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| sweep_full_with(&Simulator::new(), &net, &space, opts, &em, jobs).unwrap())
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert!(runs[0].failures.is_empty());
     }
 
     #[test]

@@ -63,6 +63,18 @@ impl MachineTrace {
         Self::default()
     }
 
+    /// Creates an empty trace with room for `segments` pushes — the
+    /// stepped machines know their segment counts up front, so the hot
+    /// tracing path never reallocates.
+    pub fn with_capacity(segments: usize) -> Self {
+        Self { segments: Vec::with_capacity(segments) }
+    }
+
+    /// Reserves room for at least `additional` further segments.
+    pub fn reserve(&mut self, additional: usize) {
+        self.segments.reserve(additional);
+    }
+
     /// Appends a segment (no-op when `cycles == 0`).
     pub fn push(&mut self, phase: Phase, cycles: u64, macs_per_cycle: u64, active_pes: u64) {
         if cycles > 0 {

@@ -65,6 +65,9 @@ fn trace_os_conv(
                     split(work.out_channels, resident)
                 };
 
+                // Per filter pass: an optional pipeline fill, two pushes
+                // per channel, and a drain.
+                trace.reserve(kg_list.len() * (2 * c as usize + 2));
                 for kg in kg_list {
                     let per_channel =
                         if depthwise { taps as f64 * eff } else { (kg as u64 * taps) as f64 * eff };
@@ -101,8 +104,10 @@ fn trace_os_conv(
 fn trace_os_fc(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     let n = cfg.array_size() as u64;
     let c = work.in_channels as u64;
-    let mut trace = MachineTrace::new();
-    for kp in split(work.out_channels, cfg.pe_count()) {
+    let parts = split(work.out_channels, cfg.pe_count());
+    // Exactly three pushes (two compute rates + drain) per filter part.
+    let mut trace = MachineTrace::with_capacity(3 * parts.len());
+    for kp in parts {
         let kp = kp as u64;
         let cycles = (c * kp).div_ceil(n).max(c);
         let macs = c * kp;

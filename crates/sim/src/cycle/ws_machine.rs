@@ -16,7 +16,10 @@ pub fn trace_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     let row_tiles = split(work.in_channels, n);
     let col_tiles = split(work.out_channels, n);
 
-    let mut trace = MachineTrace::new();
+    // Exactly two pushes (preload + stream) per (group, col, row, tap).
+    let mut trace = MachineTrace::with_capacity(
+        work.groups * col_tiles.len() * row_tiles.len() * taps as usize * 2,
+    );
     for _group in 0..work.groups {
         for (ci, &ct) in col_tiles.iter().enumerate() {
             for (ri, &rt) in row_tiles.iter().enumerate() {

@@ -2,13 +2,14 @@
 //! a dataflow policy, folds in DRAM timing, and assembles whole-network
 //! results.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 use codesign_trace::{Category, Tracer};
 
-use crate::cache::{CacheStats, LayerKey, SimCache};
+use crate::cache::{CacheStats, ComputeKey, SimCache, TrafficKey};
 use crate::compression::WeightCompression;
 use crate::dram::{combine_cycles, conv_traffic, simd_traffic};
 use crate::error::{SimError, SimResult};
@@ -149,6 +150,13 @@ fn finish_layer(
     }
 }
 
+/// Per-network deduplication memo: structurally identical layers (the
+/// repeated fire/bottleneck blocks of SqueezeNet, SqueezeNext, and
+/// MobileNet) map to the same `(ConvWork, Dataflow)` key, so each unique
+/// layer shape is resolved once per network simulation — duplicates are
+/// answered locally without even consulting the shared cache.
+type LayerMemo = HashMap<(ConvWork, Dataflow), (ComputePerf, u64)>;
+
 /// The memoizable part of one conv-shaped layer simulation: PE-array
 /// work plus the DRAM traffic byte count (the layer name is re-attached
 /// by the caller).
@@ -167,13 +175,17 @@ fn conv_layer_parts(
 /// (`codesign-core`'s DSE/co-design loops, the bench report, the CLI)
 /// routes per-layer simulation through.
 ///
-/// A `Simulator` optionally carries a shared, thread-safe [`SimCache`]
-/// memoizing per-layer results keyed by
-/// `(ConvWork, AcceleratorConfig, Dataflow, SimOptions)`. Cloning is
-/// cheap and shares the cache, so one handle can fan out across the
-/// parallel sweep workers in `codesign-core::dse`. Cached and uncached
-/// runs are bit-identical — the cache only skips recomputation of a
-/// deterministic function.
+/// A `Simulator` optionally carries a shared, thread-safe, sharded
+/// [`SimCache`] memoizing the cycle model and the DRAM traffic
+/// derivation separately, each keyed by exactly the inputs that
+/// influence it (see [`crate::cache`] for the keying) — one tiling
+/// search serves both dataflows and every configuration sharing a
+/// buffer size. On top of that, every network simulation deduplicates
+/// structurally identical layers up front, so repeated fire/bottleneck
+/// blocks resolve once per run. Cloning is cheap and shares the cache,
+/// so one handle can fan out across the parallel sweep workers in
+/// `codesign-core::dse`. Cached and uncached runs are bit-identical —
+/// the cache only skips recomputation of deterministic functions.
 ///
 /// # Examples
 ///
@@ -188,7 +200,8 @@ fn conv_layer_parts(
 /// let net = zoo::squeezenet_v1_1();
 /// let perf = sim.simulate_network(&net, &cfg, DataflowPolicy::PerLayer, opts);
 /// assert!(perf.total_cycles() > 0);
-/// // Fire modules repeat layer shapes, so the cache saw hits already.
+/// // Traffic entries are dataflow-independent, so each unique layer's
+/// // OS pass hit the entry its WS pass created.
 /// assert!(sim.stats().hits > 0);
 /// ```
 ///
@@ -274,7 +287,7 @@ impl Simulator {
         opts: SimOptions,
         dataflow: Dataflow,
     ) -> SimResult<LayerPerf> {
-        Ok(self.try_simulate_layer_flagged(layer, cfg, opts, dataflow)?.0)
+        Ok(self.try_simulate_layer_flagged(layer, cfg, opts, dataflow, None)?.0)
     }
 
     /// Simulates one layer under a forced dataflow (non-PE layers always
@@ -291,33 +304,58 @@ impl Simulator {
     }
 
     /// [`Simulator::try_simulate_layer`] plus a flag telling whether the
-    /// result was answered from the memo cache.
+    /// result was answered from the per-network dedup memo, and an
+    /// optional [`LayerMemo`] consulted *before* the shared cache so
+    /// duplicate layer shapes within one network resolve locally. The
+    /// flag deliberately ignores shared-cache hits: whether another sweep
+    /// point already populated a shared entry is a race, while the dedup
+    /// outcome is a pure function of the layer sequence — so the
+    /// per-layer trace stays schedule-independent.
     fn try_simulate_layer_flagged(
         &self,
         layer: &Layer,
         cfg: &AcceleratorConfig,
         opts: SimOptions,
         dataflow: Dataflow,
+        memo: Option<&mut LayerMemo>,
     ) -> SimResult<(LayerPerf, bool)> {
-        // `looked_up` distinguishes a genuine cache miss from the paths
-        // that never consult the cache (uncached handle, SIMD layers).
+        // Shared-cache consultation outcomes for the tracer: memo answers
+        // and uncached recomputes consult nothing and report (0, 0, 0).
+        let mut sub_hits = 0u64;
+        let mut sub_misses = 0u64;
+        let mut sub_contended = 0u64;
         let result = match ConvWork::from_layer(layer) {
             Some(work) => {
-                let parts = match self.cache.as_deref() {
-                    Some(cache) => cache
-                        .get_or_compute(LayerKey::new(&work, cfg, &opts, dataflow), || {
-                            conv_layer_parts(&work, cfg, opts, dataflow)
-                        })
-                        .map(|(value, hit)| (value, hit, true)),
-                    None => conv_layer_parts(&work, cfg, opts, dataflow)
-                        .map(|value| (value, false, false)),
+                let memoized = memo.as_ref().and_then(|m| m.get(&(work, dataflow)).copied());
+                let parts: SimResult<(ComputePerf, u64)> = match memoized {
+                    Some(parts) => Ok(parts),
+                    None => match self.cache.as_deref() {
+                        Some(cache) => cache
+                            .compute_or(ComputeKey::new(&work, cfg, &opts, dataflow), || {
+                                try_simulate_conv(&work, cfg, opts, dataflow)
+                            })
+                            .and_then(|compute| {
+                                sub_hits += compute.hit as u64;
+                                sub_misses += !compute.hit as u64;
+                                sub_contended += compute.contended;
+                                let traffic = cache
+                                    .traffic_or(TrafficKey::new(&work, cfg, &opts), || {
+                                        opts.layer_traffic(&work, cfg).map(|t| t.total())
+                                    })?;
+                                sub_hits += traffic.hit as u64;
+                                sub_misses += !traffic.hit as u64;
+                                sub_contended += traffic.contended;
+                                Ok((compute.value, traffic.value))
+                            }),
+                        None => conv_layer_parts(&work, cfg, opts, dataflow),
+                    },
                 };
-                parts.map(|((compute, dram_bytes), cache_hit, looked_up)| {
-                    (
-                        finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg),
-                        cache_hit,
-                        looked_up,
-                    )
+                parts.map(|(compute, dram_bytes)| {
+                    if let Some(m) = memo {
+                        m.insert((work, dataflow), (compute, dram_bytes));
+                    }
+                    let dedup_hit = memoized.is_some();
+                    (finish_layer(layer, Some(dataflow), compute, dram_bytes, cfg), dedup_hit)
                 })
             }
             None => simulate_simd(layer, cfg).map(|compute| {
@@ -326,24 +364,29 @@ impl Simulator {
                     layer.output.elements() as u64,
                     cfg,
                 );
-                (finish_layer(layer, None, compute, traffic.total(), cfg), false, false)
+                (finish_layer(layer, None, compute, traffic.total(), cfg), false)
             }),
         };
-        let (perf, cache_hit, looked_up) =
-            result.map_err(|e| self.note_error(e.for_layer(&layer.name)))?;
+        let (perf, answered) = result.map_err(|e| self.note_error(e.for_layer(&layer.name)))?;
         if self.tracer.is_enabled() {
-            // Global counters. Note the cache.* pair is schedule-dependent
-            // under parallel misses (see `SimCache::get_or_compute`);
-            // everything else is a pure function of the work simulated.
+            // Global counters. Note the cache.* triple is
+            // schedule-dependent under parallel misses and lock timing
+            // (see the [`SimCache`] docs); everything else is a pure
+            // function of the work simulated.
             self.tracer.add_counter("sim.layer_sims", 1);
             self.tracer.add_counter("sim.dram.bytes", perf.dram_bytes);
             self.tracer.add_counter("sim.macs", perf.compute.executed_macs);
-            if looked_up {
-                let name = if cache_hit { "sim.cache.hits" } else { "sim.cache.misses" };
-                self.tracer.add_counter(name, 1);
+            if sub_hits > 0 {
+                self.tracer.add_counter("sim.cache.hits", sub_hits);
+            }
+            if sub_misses > 0 {
+                self.tracer.add_counter("sim.cache.misses", sub_misses);
+            }
+            if sub_contended > 0 {
+                self.tracer.add_counter("sim.cache.contended", sub_contended);
             }
         }
-        Ok((perf, cache_hit))
+        Ok((perf, answered))
     }
 
     /// Simulates one layer under both dataflows and returns
@@ -402,23 +445,31 @@ impl Simulator {
         policy: DataflowPolicy,
         opts: SimOptions,
     ) -> SimResult<NetworkPerf> {
-        let mut cache_hits = Vec::new();
+        let mut dedup_hits = Vec::new();
         let mut layers = Vec::with_capacity(network.layers().len());
+        // Per-network dedup memo: repeated layer shapes (fire modules,
+        // depthwise blocks) resolve locally without touching the shared
+        // cache again.
+        let mut memo = LayerMemo::new();
         for layer in network.layers() {
             let (perf, hit) = match policy {
-                DataflowPolicy::Fixed(d) => self.try_simulate_layer_flagged(layer, cfg, opts, d)?,
+                DataflowPolicy::Fixed(d) => {
+                    self.try_simulate_layer_flagged(layer, cfg, opts, d, Some(&mut memo))?
+                }
                 DataflowPolicy::PerLayer => {
                     let (ws, hit_ws) = self.try_simulate_layer_flagged(
                         layer,
                         cfg,
                         opts,
                         Dataflow::WeightStationary,
+                        Some(&mut memo),
                     )?;
                     let (os, hit_os) = self.try_simulate_layer_flagged(
                         layer,
                         cfg,
                         opts,
                         Dataflow::OutputStationary,
+                        Some(&mut memo),
                     )?;
                     if os.total_cycles < ws.total_cycles {
                         (os, hit_os)
@@ -427,12 +478,12 @@ impl Simulator {
                     }
                 }
             };
-            cache_hits.push(hit);
+            dedup_hits.push(hit);
             layers.push(perf);
         }
         let perf = NetworkPerf { name: network.name().to_owned(), layers };
         if self.tracer.is_enabled() {
-            record_network_impl(&self.tracer, network, &perf, cfg, policy, Some(&cache_hits));
+            record_network_impl(&self.tracer, network, &perf, cfg, policy, Some(&dedup_hits));
         }
         Ok(perf)
     }
@@ -472,7 +523,7 @@ fn record_network_impl(
     perf: &NetworkPerf,
     cfg: &AcceleratorConfig,
     policy: DataflowPolicy,
-    cache_hits: Option<&[bool]>,
+    dedup_hits: Option<&[bool]>,
 ) {
     if !tracer.is_enabled() {
         return;
@@ -489,8 +540,8 @@ fn record_network_impl(
             ("dram.cycles", l.dram_cycles),
             ("buffer.bytes", layer_buffer_occupancy(layer, cfg)),
         ];
-        if let Some(&hit) = cache_hits.and_then(|h| h.get(i)) {
-            counters.push(("cache.hit", hit as u64));
+        if let Some(&hit) = dedup_hits.and_then(|h| h.get(i)) {
+            counters.push(("dedup.hit", hit as u64));
         }
         track.leaf(&l.name, Category::Layer, l.total_cycles, &counters);
     }
@@ -691,8 +742,10 @@ mod tests {
         let lookups = data.counter("sim.cache.hits").unwrap_or(0)
             + data.counter("sim.cache.misses").unwrap_or(0);
         assert_eq!(lookups, traced.stats().lookups());
-        // Every layer span carries a cache-hit flag.
-        assert!(track.spans[1..].iter().all(|s| s.counter("cache.hit").is_some()));
+        // Every layer span carries a dedup-hit flag, and the repeated
+        // fire-module shapes make at least one of them a hit.
+        assert!(track.spans[1..].iter().all(|s| s.counter("dedup.hit").is_some()));
+        assert!(track.spans[1..].iter().any(|s| s.counter("dedup.hit") == Some(1)));
     }
 
     #[test]

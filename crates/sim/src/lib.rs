@@ -30,7 +30,12 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool in [`parallel`] carries
+// the crate's single, documented `unsafe` block (a lifetime erasure so
+// persistent pool threads can run borrowed closures). Everything else
+// stays unsafe-free and any new site needs an explicit, reviewable
+// `#[allow]`.
+#![deny(unsafe_code)]
 
 pub mod batch;
 pub mod cache;
@@ -81,13 +86,15 @@ pub use multicore::{
 };
 pub use nlr::simulate_nlr;
 pub use os::{simulate_os, OsModelOptions, SparsityModel};
-pub use parallel::{max_jobs, par_map, par_map_catch, resolve_jobs};
+pub use parallel::{
+    max_jobs, par_map, par_map_catch, par_map_catch_range, par_map_range, resolve_jobs,
+};
 pub use perf::{ComputePerf, LayerPerf, NetworkPerf, PhaseCycles};
 pub use program::{Command, LayerProgram, Program};
 pub use rs::simulate_rs;
 pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
 pub use taxonomy::{compare_taxonomy, try_compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
-pub use tiling::{optimize_tiling, LoopOrder, Tiling, TilingPlan};
+pub use tiling::{optimize_tiling, optimize_tiling_exhaustive, LoopOrder, Tiling, TilingPlan};
 pub use validate::{validate_network, validate_network_all, ValidationIssue};
 pub use workload::{ConvWork, WorkKind};
 pub use ws::simulate_ws;

@@ -150,8 +150,94 @@ fn tile_count(work: &ConvWork, t: &Tiling) -> u64 {
         * work.in_channels.div_ceil(t.in_channels)) as u64
 }
 
+/// Scales one group's traffic by the group count (overflow-checked).
+fn grouped(tr: DramTraffic, groups: u64) -> SimResult<DramTraffic> {
+    let of = || SimError::overflow("tiling DRAM traffic");
+    Ok(DramTraffic {
+        input: tr.input.checked_mul(groups).ok_or_else(of)?,
+        weights: tr.weights.checked_mul(groups).ok_or_else(of)?,
+        output: tr.output.checked_mul(groups).ok_or_else(of)?,
+    })
+}
+
+/// Builds the full [`TilingPlan`] for one candidate and folds it into the
+/// running best under the selection rule both searches share: strictly
+/// less total traffic wins, equal traffic falls back to strictly fewer
+/// tiles, and exact ties keep the first candidate encountered.
+fn consider(
+    work: &ConvWork,
+    t: Tiling,
+    ws: u64,
+    bytes: usize,
+    best: &mut Option<TilingPlan>,
+) -> SimResult<()> {
+    let tr = traffic(work, &t, bytes as u64)?;
+    let plan = TilingPlan { tiling: t, traffic: grouped(tr, work.groups as u64)?, working_set: ws };
+    let better = |b: &TilingPlan| {
+        plan.traffic.total() < b.traffic.total()
+            || (plan.traffic.total() == b.traffic.total()
+                && tile_count(work, &t) < tile_count(work, &b.tiling))
+    };
+    if best.as_ref().is_none_or(better) {
+        *best = Some(plan);
+    }
+    Ok(())
+}
+
+/// Lower bound on the total traffic of *any* candidate with this strip
+/// height: the full-channel tile `(out_rows, K, C)` moves every operand
+/// exactly once (plus the strip halo), and shrinking the channel tiles
+/// only adds re-fetches and partial-sum spills — `traffic` is
+/// non-increasing in both channel-tile sizes for every loop order.
+fn lower_bound_rows(work: &ConvWork, out_rows: usize, bytes: usize) -> SimResult<u64> {
+    let t = Tiling {
+        out_rows,
+        out_channels: work.out_channels,
+        in_channels: work.in_channels,
+        order: LoopOrder::WeightsOuter,
+    };
+    Ok(grouped(traffic(work, &t, bytes as u64)?, work.groups as u64)?.total())
+}
+
+/// Lower bound on the total traffic of any candidate with this strip
+/// height *and* output-channel tile: evaluate both loop orders at the
+/// full input-channel tile (no spills, minimal re-fetch) and take the
+/// cheaper one.
+fn lower_bound_rows_channels(
+    work: &ConvWork,
+    out_rows: usize,
+    out_channels: usize,
+    bytes: usize,
+) -> SimResult<u64> {
+    let t = |order| Tiling { out_rows, out_channels, in_channels: work.in_channels, order };
+    let wo =
+        grouped(traffic(work, &t(LoopOrder::WeightsOuter), bytes as u64)?, work.groups as u64)?;
+    let so =
+        grouped(traffic(work, &t(LoopOrder::SpatialOuter), bytes as u64)?, work.groups as u64)?;
+    Ok(wo.total().min(so.total()))
+}
+
 /// Searches tile sizes and loop orders for the DRAM-minimal plan that
 /// fits the working buffer.
+///
+/// This is the branch-and-bound search on the sweep hot path. It visits
+/// the same candidate grid as [`optimize_tiling_exhaustive`] in the same
+/// order and applies the same selection rule, but prunes sub-grids that
+/// provably cannot win using two monotonicity facts:
+///
+/// * the working set is non-decreasing in every tile dimension, so a
+///   sub-grid whose smallest tile already overflows the buffer is
+///   entirely infeasible;
+/// * total traffic is non-increasing in both channel-tile dimensions
+///   (shrinking them only adds re-fetches and spills), so the
+///   full-channel tile bounds every candidate sharing its strip height
+///   from below.
+///
+/// Pruning compares with *strict* inequality against the best total seen
+/// so far, so equal-traffic candidates still reach the tile-count
+/// tie-break and the chosen plan is bit-identical to the exhaustive
+/// search (the equivalence property test in `tests/properties.rs` pins
+/// this).
 ///
 /// # Errors
 ///
@@ -163,6 +249,122 @@ fn tile_count(work: &ConvWork, t: &Tiling) -> u64 {
 ///   the error reports the smallest achievable working set so sweeps
 ///   can record *how far* the point missed.
 pub fn optimize_tiling(work: &ConvWork, cfg: &AcceleratorConfig) -> SimResult<TilingPlan> {
+    work.validate()?;
+    let bytes = cfg.bytes_per_element();
+    let budget = cfg.working_buffer_bytes() as u64;
+    let row_cands = candidates(work.out_h);
+    let k_cands = candidates(work.out_channels);
+    let c_cands = candidates(work.in_channels);
+
+    // Seed an upper bound on the winning total before the scan: every
+    // strip height whose full-channel tile fits contributes a *feasible*
+    // plan whose total equals that strip height's lower bound, so the
+    // minimum over them already caps the optimum and prunes most of the
+    // grid up front (ascending iteration otherwise visits the
+    // worst-traffic tiny tiles first).
+    let mut bound: Option<u64> = None;
+    for &out_rows in &row_cands {
+        let full = Tiling {
+            out_rows,
+            out_channels: work.out_channels,
+            in_channels: work.in_channels,
+            order: LoopOrder::WeightsOuter,
+        };
+        if working_set(work, &full, bytes)? <= budget {
+            // An overflowing bound just means "no bound": pruning is an
+            // optimization and must never surface an error the
+            // exhaustive search would not.
+            if let Ok(lb) = lower_bound_rows(work, out_rows, bytes) {
+                if bound.is_none_or(|b| lb < b) {
+                    bound = Some(lb);
+                }
+            }
+        }
+    }
+
+    let mut best: Option<TilingPlan> = None;
+    let mut smallest_ws: Option<u64> = None;
+    for &out_rows in &row_cands {
+        // Feasibility floor: the working set is non-decreasing in both
+        // channel tiles, so if (out_rows, 1, 1) overflows the buffer the
+        // whole strip height is infeasible. The floor at out_rows = 1 is
+        // the global minimum, keeping the infeasibility diagnostic
+        // identical to the exhaustive search's.
+        let floor = working_set(
+            work,
+            &Tiling { out_rows, out_channels: 1, in_channels: 1, order: LoopOrder::WeightsOuter },
+            bytes,
+        )?;
+        if smallest_ws.is_none_or(|s| floor < s) {
+            smallest_ws = Some(floor);
+        }
+        if floor > budget {
+            continue;
+        }
+        let cap = match (bound, best.as_ref().map(|b| b.traffic.total())) {
+            (Some(u), Some(t)) => Some(u.min(t)),
+            (u, t) => u.or(t),
+        };
+        if let Some(cap) = cap {
+            if lower_bound_rows(work, out_rows, bytes).is_ok_and(|lb| lb > cap) {
+                continue;
+            }
+        }
+        for &out_channels in &k_cands {
+            let t1 =
+                Tiling { out_rows, out_channels, in_channels: 1, order: LoopOrder::WeightsOuter };
+            if working_set(work, &t1, bytes)? > budget {
+                break; // monotone in the output-channel tile; candidates ascend
+            }
+            let cap = match (bound, best.as_ref().map(|b| b.traffic.total())) {
+                (Some(u), Some(t)) => Some(u.min(t)),
+                (u, t) => u.or(t),
+            };
+            if let Some(cap) = cap {
+                if lower_bound_rows_channels(work, out_rows, out_channels, bytes)
+                    .is_ok_and(|lb| lb > cap)
+                {
+                    continue;
+                }
+            }
+            for &in_channels in &c_cands {
+                let t =
+                    Tiling { out_rows, out_channels, in_channels, order: LoopOrder::WeightsOuter };
+                let ws = working_set(work, &t, bytes)?;
+                if ws > budget {
+                    break; // monotone in the input-channel tile
+                }
+                consider(work, t, ws, bytes, &mut best)?;
+                consider(
+                    work,
+                    Tiling { order: LoopOrder::SpatialOuter, ..t },
+                    ws,
+                    bytes,
+                    &mut best,
+                )?;
+            }
+        }
+    }
+    best.ok_or(SimError::InfeasibleTiling {
+        layer: None,
+        working_set: smallest_ws.unwrap_or(0),
+        buffer: budget,
+    })
+}
+
+/// The reference exhaustive search: every candidate tiling of every loop
+/// order, no pruning. [`optimize_tiling`] must return exactly this
+/// function's result (or error) on every input — kept as the executable
+/// specification the pruned-vs-exhaustive property test compares
+/// against. Not on any hot path.
+///
+/// # Errors
+///
+/// Same contract as [`optimize_tiling`].
+pub fn optimize_tiling_exhaustive(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+) -> SimResult<TilingPlan> {
     work.validate()?;
     let bytes = cfg.bytes_per_element();
     let budget = cfg.working_buffer_bytes() as u64;
@@ -181,26 +383,7 @@ pub fn optimize_tiling(work: &ConvWork, cfg: &AcceleratorConfig) -> SimResult<Ti
                     if ws > budget {
                         continue;
                     }
-                    let tr = traffic(work, &t, bytes as u64)?;
-                    let groups = work.groups as u64;
-                    let of = || SimError::overflow("tiling DRAM traffic");
-                    let plan = TilingPlan {
-                        tiling: t,
-                        traffic: DramTraffic {
-                            input: tr.input.checked_mul(groups).ok_or_else(of)?,
-                            weights: tr.weights.checked_mul(groups).ok_or_else(of)?,
-                            output: tr.output.checked_mul(groups).ok_or_else(of)?,
-                        },
-                        working_set: ws,
-                    };
-                    let better = |b: &TilingPlan| {
-                        plan.traffic.total() < b.traffic.total()
-                            || (plan.traffic.total() == b.traffic.total()
-                                && tile_count(work, &t) < tile_count(work, &b.tiling))
-                    };
-                    if best.as_ref().is_none_or(better) {
-                        best = Some(plan);
-                    }
+                    consider(work, t, ws, bytes, &mut best)?;
                 }
             }
         }
@@ -370,6 +553,49 @@ mod tests {
         let mut w = work(16, 16, 3, 14);
         w.out_h = 0;
         assert!(matches!(optimize_tiling(&w, &cfg()), Err(SimError::InvalidWorkload { .. })));
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_representative_shapes() {
+        let shapes = [
+            work(16, 16, 3, 14),   // fits untiled
+            work(128, 128, 3, 56), // needs tiling
+            work(512, 1000, 1, 13),
+            work(64, 192, 3, 28),
+            work(3, 96, 7, 111),   // first-conv-like, few input channels
+            work(512, 1000, 1, 1), // single-strip classifier head
+        ];
+        let dw = ConvWork {
+            kind: WorkKind::Depthwise,
+            groups: 1,
+            in_channels: 512,
+            out_channels: 512,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 16,
+            in_w: 16,
+            out_h: 14,
+            out_w: 14,
+        };
+        let grp = ConvWork { kind: WorkKind::Dense, groups: 4, ..work(32, 32, 3, 28) };
+        let mut cfgs = vec![cfg()];
+        for buf in [16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024] {
+            cfgs.push(AcceleratorConfig::builder().global_buffer_bytes(buf).build().unwrap());
+        }
+        for cfg in &cfgs {
+            for w in shapes.iter().chain([&dw, &grp]) {
+                let pruned = optimize_tiling(w, cfg);
+                let exhaustive = optimize_tiling_exhaustive(w, cfg);
+                match (&pruned, &exhaustive) {
+                    (Ok(p), Ok(e)) => assert_eq!(p, e, "plan mismatch for {w:?} on {cfg}"),
+                    (Err(p), Err(e)) => {
+                        assert_eq!(format!("{p:?}"), format!("{e:?}"), "error mismatch for {w:?}");
+                    }
+                    _ => panic!("feasibility mismatch for {w:?}: {pruned:?} vs {exhaustive:?}"),
+                }
+            }
+        }
     }
 
     #[test]

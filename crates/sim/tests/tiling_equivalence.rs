@@ -1,0 +1,183 @@
+//! Property test: the pruned (branch-and-bound) tiling search is
+//! observationally identical to the exhaustive search it replaced.
+//!
+//! For arbitrary `ConvWork` shapes and working-buffer sizes, both
+//! searches must return the same `TilingPlan` (tiling, traffic,
+//! working set) — or fail with the same error. Pinned regressions
+//! cover the depthwise and single-strip shapes called out in the
+//! issue, which exercise the bound's edge cases (diagonal-only reuse
+//! and an r-candidate list of length one).
+
+use codesign_arch::AcceleratorConfig;
+use codesign_sim::{optimize_tiling, optimize_tiling_exhaustive, ConvWork, WorkKind};
+use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = WorkKind> {
+    prop_oneof![Just(WorkKind::Dense), Just(WorkKind::Depthwise), Just(WorkKind::FullyConnected),]
+}
+
+/// Arbitrary convolution-ish work. Output extents are derived from the
+/// input extents so shapes stay plausible, but nothing here guarantees
+/// the search finds a feasible tiling — infeasible shapes must fail
+/// identically in both searches, which is exactly what we assert.
+fn conv_work() -> impl Strategy<Value = ConvWork> {
+    (
+        kind(),
+        1usize..4,    // groups
+        1usize..512,  // in_channels
+        1usize..1024, // out_channels
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7), Just(11)],
+        1usize..4,   // stride
+        1usize..128, // out_h seed
+        1usize..128, // out_w seed
+    )
+        .prop_map(|(kind, groups, c, k, f, stride, oh, ow)| {
+            let (kernel_h, kernel_w, out_h, out_w) = match kind {
+                WorkKind::FullyConnected => (1, 1, 1, 1),
+                _ => (f, f, oh, ow),
+            };
+            let (out_channels, groups) = match kind {
+                // Depthwise layers carry one filter per channel.
+                WorkKind::Depthwise => (c, 1),
+                WorkKind::FullyConnected => (k, 1),
+                WorkKind::Dense => (k, groups),
+            };
+            ConvWork {
+                kind,
+                groups,
+                in_channels: c,
+                out_channels,
+                kernel_h,
+                kernel_w,
+                stride,
+                in_h: (out_h - 1) * stride + kernel_h,
+                in_w: (out_w - 1) * stride + kernel_w,
+                out_h,
+                out_w,
+            }
+        })
+}
+
+fn buffer_kib() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(8usize), Just(16), Just(32), Just(64), Just(128), Just(256), Just(1024),]
+}
+
+fn assert_equivalent(work: &ConvWork, cfg: &AcceleratorConfig) -> Result<(), TestCaseError> {
+    let pruned = optimize_tiling(work, cfg);
+    let exhaustive = optimize_tiling_exhaustive(work, cfg);
+    match (&pruned, &exhaustive) {
+        (Ok(p), Ok(e)) => prop_assert_eq!(p, e, "plan mismatch for {:?} on {}", work, cfg),
+        (Err(p), Err(e)) => prop_assert_eq!(
+            format!("{p:?}"),
+            format!("{e:?}"),
+            "error mismatch for {:?} on {}",
+            work,
+            cfg
+        ),
+        _ => prop_assert!(
+            false,
+            "feasibility mismatch for {:?}: pruned={:?} exhaustive={:?}",
+            work,
+            pruned,
+            exhaustive
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pruned_search_matches_exhaustive(work in conv_work(), buf_kib in buffer_kib()) {
+        let cfg = match AcceleratorConfig::builder().global_buffer_bytes(buf_kib * 1024).build() {
+            Ok(cfg) => cfg,
+            // Buffer too small for this PE array: nothing to compare.
+            Err(_) => return Ok(()),
+        };
+        assert_equivalent(&work, &cfg)?;
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_across_arrays(
+        work in conv_work(),
+        array in prop_oneof![Just(8usize), Just(16), Just(32)],
+        rf in prop_oneof![Just(8usize), Just(16), Just(32)],
+    ) {
+        let cfg = match AcceleratorConfig::builder()
+            .array_size(array)
+            .rf_depth(rf)
+            .build()
+        {
+            Ok(cfg) => cfg,
+            Err(_) => return Ok(()),
+        };
+        assert_equivalent(&work, &cfg)?;
+    }
+}
+
+mod pinned {
+    use super::*;
+
+    fn check(work: &ConvWork, cfg: &AcceleratorConfig) {
+        let pruned = optimize_tiling(work, cfg);
+        let exhaustive = optimize_tiling_exhaustive(work, cfg);
+        match (&pruned, &exhaustive) {
+            (Ok(p), Ok(e)) => assert_eq!(p, e, "plan mismatch for {work:?}"),
+            (Err(p), Err(e)) => {
+                assert_eq!(format!("{p:?}"), format!("{e:?}"), "error mismatch for {work:?}");
+            }
+            _ => panic!("feasibility mismatch for {work:?}: {pruned:?} vs {exhaustive:?}"),
+        }
+    }
+
+    /// Depthwise layers reuse no input across filters, which makes the
+    /// channel dimension of the bound degenerate — pruning must not cut
+    /// the channel loop short.
+    #[test]
+    fn depthwise_regression() {
+        let work = ConvWork {
+            kind: WorkKind::Depthwise,
+            groups: 1,
+            in_channels: 512,
+            out_channels: 512,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 16,
+            in_w: 16,
+            out_h: 14,
+            out_w: 14,
+        };
+        for buf in [16 * 1024, 64 * 1024, 256 * 1024] {
+            if let Ok(cfg) = AcceleratorConfig::builder().global_buffer_bytes(buf).build() {
+                check(&work, &cfg);
+            }
+        }
+    }
+
+    /// A classifier-head layer with a 1×1 output plane admits exactly
+    /// one row-strip candidate; the strip loop must still visit it
+    /// rather than prune on the (equal) lower bound.
+    #[test]
+    fn single_strip_regression() {
+        let work = ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: 512,
+            out_channels: 1000,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+        };
+        for buf in [16 * 1024, 64 * 1024, 1024 * 1024] {
+            if let Ok(cfg) = AcceleratorConfig::builder().global_buffer_bytes(buf).build() {
+                check(&work, &cfg);
+            }
+        }
+    }
+}
