@@ -126,17 +126,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Generate in parallel (each generator shares `ctx.sim`'s cache),
-    // then print and write in the deterministic selection order.
+    // Generate in parallel (each generator shares `ctx.sim`'s cache but
+    // carries its own simulated-cycles odometer, so throughput can be
+    // attributed per experiment), then print and write in the
+    // deterministic selection order.
     let started = Instant::now();
-    let generated: Vec<(Table, std::time::Duration)> = par_map(jobs, &selected, |_, (_, gen)| {
-        let t0 = Instant::now();
-        let table = gen(&ctx);
-        (table, t0.elapsed())
-    });
+    let generated: Vec<(Table, std::time::Duration, u64)> =
+        par_map(jobs, &selected, |_, (_, gen)| {
+            let local = Context { sim: ctx.sim.fork_counter(), ..ctx.clone() };
+            let t0 = Instant::now();
+            let table = gen(&local);
+            (table, t0.elapsed(), local.sim.cycles_simulated())
+        });
     let total_wall = started.elapsed();
 
-    for ((name, _), (table, elapsed)) in selected.iter().zip(&generated) {
+    for ((name, _), (table, elapsed, _)) in selected.iter().zip(&generated) {
         eprintln!("[{name}] generated in {:.1} ms", elapsed.as_secs_f64() * 1e3);
         println!("{}", table.to_markdown());
         if *name == "fig1" {
@@ -208,9 +212,10 @@ fn main() -> ExitCode {
         let timings: Vec<ExperimentTiming> = selected
             .iter()
             .zip(&generated)
-            .map(|(exp, (_, elapsed))| ExperimentTiming {
+            .map(|(exp, (_, elapsed, sim_cycles))| ExperimentTiming {
                 name: exp.0.to_owned(),
                 wall_ms: elapsed.as_secs_f64() * 1e3,
+                sim_cycles: *sim_cycles,
             })
             .collect();
         let report = BenchReport::collect(&ctx, timings, total_wall.as_secs_f64() * 1e3);

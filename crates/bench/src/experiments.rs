@@ -6,7 +6,7 @@
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_core::{
-    advantage_range, compare_all, machine_balance, pareto_front, roofline, spectrum, CodesignStudy,
+    advantage_range_with, compare_all, machine_balance, pareto_front, roofline, spectrum_with, CodesignStudy,
     CostAxis, NetworkSchedule, SweepSpace,
 };
 use codesign_dnn::{zoo, LayerClass, MacBreakdown, Network};
@@ -107,7 +107,7 @@ pub fn table2(ctx: &Context) -> Table {
 }
 
 fn per_layer_series(net: &Network, ctx: &Context, title: &str) -> Table {
-    let schedule = NetworkSchedule::build(net, &ctx.cfg, ctx.opts);
+    let schedule = NetworkSchedule::build_with(&ctx.sim, net, &ctx.cfg, ctx.opts);
     let mut t = Table::new(
         title,
         &["Layer", "Class", "WS cycles", "OS cycles", "Chosen", "Hybrid cycles", "Utilization"],
@@ -146,7 +146,7 @@ pub fn fig3(ctx: &Context) -> Table {
         &["Variant", "Layer", "Class", "Hybrid cycles", "Utilization"],
     );
     for net in zoo::squeezenext_variants() {
-        let schedule = NetworkSchedule::build(&net, &ctx.cfg, ctx.opts);
+        let schedule = NetworkSchedule::build_with(&ctx.sim, &net, &ctx.cfg, ctx.opts);
         for e in &schedule.entries {
             t.push_row(vec![
                 net.name().to_owned(),
@@ -174,7 +174,7 @@ pub fn fig4_networks() -> Vec<Network> {
 /// for the model families, with Pareto membership flags.
 pub fn fig4(ctx: &Context) -> Table {
     let nets = fig4_networks();
-    let points = spectrum(&nets, &ctx.cfg, ctx.opts, &ctx.energy);
+    let points = spectrum_with(&ctx.sim, &nets, &ctx.cfg, ctx.opts, &ctx.energy);
     let time_front = pareto_front(&points, CostAxis::Time);
     let energy_front = pareto_front(&points, CostAxis::Energy);
     let mut t = Table::new(
@@ -207,7 +207,7 @@ pub fn ranges(ctx: &Context) -> Table {
         (LayerClass::Depthwise, Dataflow::OutputStationary, "19x - 96x"),
     ];
     for (class, winner, paper) in rows {
-        if let Some(r) = advantage_range(&nets, class, winner, &ctx.cfg, ctx.opts) {
+        if let Some(r) = advantage_range_with(&ctx.sim, &nets, class, winner, &ctx.cfg, ctx.opts) {
             t.push_row(vec![
                 class.to_string(),
                 winner.tag().to_owned(),
@@ -454,7 +454,7 @@ pub fn per_layer_all(ctx: &Context) -> Table {
         ],
     );
     for net in zoo::table_networks() {
-        let schedule = NetworkSchedule::build(&net, &ctx.cfg, ctx.opts);
+        let schedule = NetworkSchedule::build_with(&ctx.sim, &net, &ctx.cfg, ctx.opts);
         for e in &schedule.entries {
             t.push_row(vec![
                 net.name().to_owned(),
@@ -508,7 +508,8 @@ pub fn schedule_robustness(ctx: &Context) -> Table {
     );
     let probes = [0.0, 0.2, 0.4, 0.6, 0.8];
     for net in zoo::table_networks() {
-        let rows = codesign_core::schedule_sparsity_robustness(
+        let rows = codesign_core::schedule_sparsity_robustness_with(
+            &ctx.sim,
             &net,
             &ctx.cfg,
             SparsityModel::paper_default(),
@@ -563,7 +564,7 @@ pub fn fusion_study(ctx: &Context) -> Table {
                 .global_buffer_bytes(kib * 1024)
                 .build()
                 .expect("buffer sweep points are valid");
-            let s = codesign_core::fusion_savings(&net, &cfg, ctx.opts, &ctx.energy);
+            let s = codesign_core::fusion_savings_with(&ctx.sim, &net, &cfg, ctx.opts, &ctx.energy);
             cells.push(pct(s.dram_fraction_saved()));
         }
         t.push_row(cells);

@@ -18,8 +18,9 @@ use crate::experiments::Context;
 
 /// Schema identifier written into every report. Bump the suffix when the
 /// document shape changes incompatibly. `/2` added the `contended` cache
-/// counter and the `sweep_bench` section.
-pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/2";
+/// counter and the `sweep_bench` section; `/3` added per-experiment
+/// `sim_cycles` and `sim_cycles_per_sec` throughput.
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/3";
 
 /// Pre-overhaul reference wall time for [`SweepBench`]: the
 /// paper-default sweep over the six table networks took ~206 ms at
@@ -29,13 +30,26 @@ pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/2";
 /// the same denominator across machines of similar class.
 pub const SWEEP_BASELINE_WALL_MS: f64 = 206.0;
 
-/// Wall time of one experiment generator.
+/// Wall time and simulation throughput of one experiment generator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentTiming {
     /// Experiment name (`table1`, `fig4`, ...).
     pub name: String,
     /// Generation wall time in milliseconds.
     pub wall_ms: f64,
+    /// Simulated cycles delivered through the shared engine handle while
+    /// generating this experiment (cache hits included — a memoized
+    /// answer still delivers its cycles). Zero for experiments that do
+    /// not route layer simulation through the engine (static tables, the
+    /// standalone event/batch/multicore models).
+    pub sim_cycles: u64,
+}
+
+impl ExperimentTiming {
+    /// Simulated-cycles-per-wall-second throughput of this experiment.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / (self.wall_ms.max(f64::MIN_POSITIVE) / 1e3)
+    }
 }
 
 /// Headline numbers for one network on the paper-default hardware point.
@@ -210,7 +224,14 @@ impl BenchReport {
             .experiments
             .iter()
             .map(|e| {
-                format!("    {{\"name\":{},\"wall_ms\":{}}}", quote(&e.name), number(e.wall_ms))
+                format!(
+                    "    {{\"name\":{},\"wall_ms\":{},\"sim_cycles\":{},\
+                     \"sim_cycles_per_sec\":{}}}",
+                    quote(&e.name),
+                    number(e.wall_ms),
+                    e.sim_cycles,
+                    number(e.sim_cycles_per_sec()),
+                )
             })
             .collect();
         let networks: Vec<String> = self
@@ -296,7 +317,8 @@ mod tests {
     #[test]
     fn collect_produces_sane_headlines() {
         let ctx = Context::paper_default();
-        let timings = vec![ExperimentTiming { name: "table2".to_owned(), wall_ms: 12.5 }];
+        let timings =
+            vec![ExperimentTiming { name: "table2".to_owned(), wall_ms: 12.5, sim_cycles: 1_000 }];
         let report = BenchReport::collect(&ctx, timings, 40.0);
         assert_eq!(report.networks.len(), zoo::table_networks().len());
         for n in &report.networks {
@@ -318,11 +340,13 @@ mod tests {
         let ctx = Context::paper_default();
         let report = BenchReport::collect(
             &ctx,
-            vec![ExperimentTiming { name: "t\"1".to_owned(), wall_ms: 1.0 }],
+            vec![ExperimentTiming { name: "t\"1".to_owned(), wall_ms: 1.0, sim_cycles: 42 }],
             2.0,
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"codesign-bench-report/2\""));
+        assert!(json.contains("\"schema\": \"codesign-bench-report/3\""));
+        assert!(json.contains("\"sim_cycles\":42"));
+        assert!(json.contains("\"sim_cycles_per_sec\":42000"));
         assert!(json.contains("\"hybrid_cycles\""));
         assert!(json.contains("\"hit_rate\""));
         assert!(json.contains("\"contended\""));

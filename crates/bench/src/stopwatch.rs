@@ -61,7 +61,11 @@ impl Stopwatch {
                 for _ in 0..iters {
                     std::hint::black_box(f());
                 }
-                t.elapsed() / iters
+                // Round the per-iteration time up to a whole nanosecond:
+                // plain `Duration / iters` truncates sub-ns workloads to
+                // zero, which misreports any measured nonzero elapsed.
+                let total = t.elapsed();
+                Duration::from_nanos((total.as_nanos() as u64).div_ceil(iters as u64))
             })
             .collect();
         per_iter.sort();

@@ -265,13 +265,20 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
                     cycle::trace_os_recorded(&work, &cfg, opts.os, &tracer)
                 }
             };
-            print!("{}", cycle::trace_to_vcd(&trace, layer_name));
+            cycle::write_vcd(
+                &trace,
+                layer_name,
+                cycle::VcdGranularity::Segment,
+                std::io::stdout().lock(),
+            )
+            .map_err(|e| RunError::Usage(format!("cannot write VCD: {e}")))?;
             eprintln!(
-                "; {} on {}: {} cycles, {} segments",
+                "; {} on {}: {} cycles, {} macro-segments ({} steps)",
                 layer_name,
                 best,
                 trace.cycles(),
-                trace.segments().len()
+                trace.segments().len(),
+                trace.steps()
             );
         }
         Action::List | Action::Faultinject => unreachable!("handled above"),

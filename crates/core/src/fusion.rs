@@ -16,7 +16,7 @@
 
 use codesign_arch::{AcceleratorConfig, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{simulate_network, NetworkPerf, SimOptions};
+use codesign_sim::{NetworkPerf, SimOptions, Simulator};
 
 /// A run of consecutive layers whose intermediates stay on chip.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,7 +127,20 @@ pub fn fusion_savings(
     opts: SimOptions,
     energy_model: &EnergyModel,
 ) -> FusionSavings {
-    let baseline = simulate_network(network, cfg, DataflowPolicy::PerLayer, opts);
+    fusion_savings_with(&Simulator::new(), network, cfg, opts, energy_model)
+}
+
+/// [`fusion_savings`] against a caller-provided simulator. The compute
+/// walks do not depend on the buffer size, so a buffer sweep sharing one
+/// simulator re-runs only the per-buffer tiling searches.
+pub fn fusion_savings_with(
+    sim: &Simulator,
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> FusionSavings {
+    let baseline = sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts);
     let groups = plan_fusion(network, cfg);
     let bytes = cfg.bytes_per_element() as u64;
     let mut elided_dram_bytes = 0u64;

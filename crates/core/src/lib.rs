@@ -50,9 +50,12 @@ pub use dse::{
 pub use evaluate::{
     compare_all, compare_networks, compare_networks_with, ArchitectureComparison, RelativeResult,
 };
-pub use fusion::{fusion_savings, plan_fusion, FusionGroup, FusionSavings};
-pub use pareto::{pareto_front, spectrum, CostAxis, ModelPoint};
-pub use ranges::{advantage_range, AdvantageRange};
+pub use fusion::{fusion_savings, fusion_savings_with, plan_fusion, FusionGroup, FusionSavings};
+pub use pareto::{pareto_front, spectrum, spectrum_with, CostAxis, ModelPoint};
+pub use ranges::{advantage_range, advantage_range_with, AdvantageRange};
 pub use roofline::{machine_balance, roofline, Bound, LayerRoofline, NetworkRoofline};
-pub use schedule::{schedule_sparsity_robustness, LayerScheduleEntry, NetworkSchedule};
+pub use schedule::{
+    schedule_sparsity_robustness, schedule_sparsity_robustness_with, LayerScheduleEntry,
+    NetworkSchedule,
+};
 pub use select::{select_model, Constraints};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use codesign_arch::{AcceleratorConfig, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{simulate_network, SimOptions};
+use codesign_sim::{SimOptions, Simulator};
 
 /// One model's position in the accuracy-vs-cost space.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +34,22 @@ impl fmt::Display for ModelPoint {
 
 /// Simulates each network and returns its spectrum point. Networks with
 /// no accuracy metadata are skipped (they cannot be placed in Figure 4).
+/// Routes through a transient memoizing simulator; use
+/// [`spectrum_with`] to share an engine handle across experiments.
 pub fn spectrum(
+    networks: &[Network],
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+) -> Vec<ModelPoint> {
+    spectrum_with(&Simulator::new(), networks, cfg, opts, energy_model)
+}
+
+/// [`spectrum`] through a caller-supplied engine handle, so repeated
+/// layer shapes across the model families (and across experiments
+/// sharing `sim`) are memoized once.
+pub fn spectrum_with(
+    sim: &Simulator,
     networks: &[Network],
     cfg: &AcceleratorConfig,
     opts: SimOptions,
@@ -44,7 +59,7 @@ pub fn spectrum(
         .iter()
         .filter_map(|net| {
             let accuracy = net.top1_accuracy()?;
-            let perf = simulate_network(net, cfg, DataflowPolicy::PerLayer, opts);
+            let perf = sim.simulate_network(net, cfg, DataflowPolicy::PerLayer, opts);
             Some(ModelPoint {
                 name: net.name().to_owned(),
                 accuracy,

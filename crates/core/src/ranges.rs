@@ -10,7 +10,7 @@
 
 use codesign_arch::{AcceleratorConfig, Dataflow};
 use codesign_dnn::{LayerClass, Network};
-use codesign_sim::{compare_dataflows, SimOptions};
+use codesign_sim::{SimOptions, Simulator};
 
 /// Observed WS-vs-OS advantage range for one layer class.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,8 +29,22 @@ pub struct AdvantageRange {
 
 /// Measures the `winner`-over-loser cycle ratio for every layer of
 /// `class` across `networks`, returning the observed range (or `None` if
-/// no such layer exists).
+/// no such layer exists). Routes through a transient memoizing
+/// simulator; use [`advantage_range_with`] to share an engine handle.
 pub fn advantage_range(
+    networks: &[Network],
+    class: LayerClass,
+    winner: Dataflow,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+) -> Option<AdvantageRange> {
+    advantage_range_with(&Simulator::new(), networks, class, winner, cfg, opts)
+}
+
+/// [`advantage_range`] through a caller-supplied engine handle, so the
+/// repeated layer shapes across the zoo resolve from the memo.
+pub fn advantage_range_with(
+    sim: &Simulator,
     networks: &[Network],
     class: LayerClass,
     winner: Dataflow,
@@ -45,7 +59,7 @@ pub fn advantage_range(
             if layer.class() != class || !layer.is_compute() {
                 continue;
             }
-            let (ws, os, _) = compare_dataflows(layer, cfg, opts);
+            let (ws, os, _) = sim.compare_dataflows(layer, cfg, opts);
             let ratio = match winner {
                 Dataflow::WeightStationary => os.total_cycles as f64 / ws.total_cycles as f64,
                 Dataflow::OutputStationary => ws.total_cycles as f64 / os.total_cycles as f64,

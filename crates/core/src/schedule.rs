@@ -8,7 +8,7 @@ use std::fmt;
 
 use codesign_arch::{AcceleratorConfig, Dataflow};
 use codesign_dnn::{LayerClass, Network};
-use codesign_sim::{compare_dataflows, SimOptions};
+use codesign_sim::{SimOptions, Simulator};
 
 /// One row of a per-layer schedule: both dataflows' costs plus the static
 /// choice.
@@ -58,11 +58,26 @@ pub struct NetworkSchedule {
 impl NetworkSchedule {
     /// Builds the schedule by simulating every layer under both dataflows.
     pub fn build(network: &Network, cfg: &AcceleratorConfig, opts: SimOptions) -> Self {
+        // A per-call memoizing simulator: repeated layer shapes (fire
+        // modules, depthwise ladders) simulate once. Cached and uncached
+        // runs are bit-identical, so the schedule is unchanged.
+        Self::build_with(&Simulator::new(), network, cfg, opts)
+    }
+
+    /// [`NetworkSchedule::build`] against a caller-provided simulator, so
+    /// sweeps over many option sets (e.g. the sparsity-robustness probes)
+    /// share one result cache.
+    pub fn build_with(
+        sim: &Simulator,
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+    ) -> Self {
         let entries = network
             .layers()
             .iter()
             .map(|layer| {
-                let (ws, os, best) = compare_dataflows(layer, cfg, opts);
+                let (ws, os, best) = sim.compare_dataflows(layer, cfg, opts);
                 let chosen = if layer.is_compute() { Some(best) } else { None };
                 let (hybrid_cycles, utilization) = match best {
                     Dataflow::WeightStationary => (ws.total_cycles, ws.utilization),
@@ -119,11 +134,27 @@ pub fn schedule_sparsity_robustness(
     baseline: codesign_sim::SparsityModel,
     probes: &[f64],
 ) -> Vec<(f64, usize)> {
+    // One simulator across the baseline and every probe: the WS walk and
+    // the tiling-search traffic are sparsity independent, so all probes
+    // hit their cache entries and only the OS walks re-run.
+    schedule_sparsity_robustness_with(&Simulator::new(), network, cfg, baseline, probes)
+}
+
+/// [`schedule_sparsity_robustness`] against a caller-provided simulator,
+/// so the probe schedules also share entries with any other work the
+/// caller has already simulated on it.
+pub fn schedule_sparsity_robustness_with(
+    sim: &Simulator,
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    baseline: codesign_sim::SparsityModel,
+    probes: &[f64],
+) -> Vec<(f64, usize)> {
     let base_opts = SimOptions {
         os: codesign_sim::OsModelOptions::paper_default().with_sparsity(baseline),
         ..SimOptions::paper_default()
     };
-    let base = NetworkSchedule::build(network, cfg, base_opts);
+    let base = NetworkSchedule::build_with(sim, network, cfg, base_opts);
     probes
         .iter()
         .map(|&z| {
@@ -132,7 +163,7 @@ pub fn schedule_sparsity_robustness(
                     .with_sparsity(codesign_sim::SparsityModel { zero_fraction: z, exploit: true }),
                 ..SimOptions::paper_default()
             };
-            let probe = NetworkSchedule::build(network, cfg, opts);
+            let probe = NetworkSchedule::build_with(sim, network, cfg, opts);
             let flips = base
                 .entries
                 .iter()

@@ -58,6 +58,23 @@ pub fn try_simulate_layer_batched(
     dataflow: Dataflow,
     batch: u64,
 ) -> SimResult<LayerPerf> {
+    try_layer_batched_memo(layer, cfg, opts, dataflow, batch, &mut TrafficMemo::new())
+}
+
+/// Per-run cache of the (dataflow-independent) tiling-search traffic:
+/// one search serves both dataflows of a layer and every repeat of its
+/// shape across the network. Purely an accelerator — hits return the
+/// exact bytes a fresh search would.
+type TrafficMemo = std::collections::HashMap<ConvWork, crate::dram::DramTraffic>;
+
+fn try_layer_batched_memo(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    opts: SimOptions,
+    dataflow: Dataflow,
+    batch: u64,
+    traffic_memo: &mut TrafficMemo,
+) -> SimResult<LayerPerf> {
     if batch == 0 {
         return Err(SimError::invalid("batch size must be positive").for_layer(&layer.name));
     }
@@ -84,7 +101,14 @@ pub fn try_simulate_layer_batched(
                 executed_macs: mul(single.executed_macs, batch)?,
                 accesses: scale_counts(single.accesses, batch)?,
             };
-            let traffic = opts.layer_traffic(&work, cfg)?;
+            let traffic = match traffic_memo.get(&work) {
+                Some(&t) => t,
+                None => {
+                    let t = opts.layer_traffic(&work, cfg)?;
+                    traffic_memo.insert(work, t);
+                    t
+                }
+            };
             // Weights once per batch; activations per image.
             let dram_bytes = traffic
                 .input
@@ -172,23 +196,28 @@ pub fn try_simulate_network_batched(
     batch: u64,
 ) -> SimResult<NetworkPerf> {
     let mut layers = Vec::with_capacity(network.layers().len());
+    let mut memo = TrafficMemo::new();
     for layer in network.layers() {
         let perf = match policy {
-            DataflowPolicy::Fixed(d) => try_simulate_layer_batched(layer, cfg, opts, d, batch)?,
+            DataflowPolicy::Fixed(d) => {
+                try_layer_batched_memo(layer, cfg, opts, d, batch, &mut memo)?
+            }
             DataflowPolicy::PerLayer => {
-                let ws = try_simulate_layer_batched(
+                let ws = try_layer_batched_memo(
                     layer,
                     cfg,
                     opts,
                     Dataflow::WeightStationary,
                     batch,
+                    &mut memo,
                 )?;
-                let os = try_simulate_layer_batched(
+                let os = try_layer_batched_memo(
                     layer,
                     cfg,
                     opts,
                     Dataflow::OutputStationary,
                     batch,
+                    &mut memo,
                 )?;
                 if os.total_cycles < ws.total_cycles {
                     os

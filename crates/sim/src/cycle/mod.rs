@@ -3,21 +3,28 @@
 //! An independent implementation of the two dataflow schedules as explicit
 //! state machines that advance phase segments (and can be expanded to
 //! single cycles): the machine walks the *actual* tile/pass/channel loop
-//! structure and emits one segment per schedule step, where the analytic
-//! models in [`crate::ws`]/[`crate::os`] sum closed forms. Agreement
-//! between the two is asserted by the validation tests — a bug in either
-//! loop structure breaks the equality.
+//! structure, where the analytic models in [`crate::ws`]/[`crate::os`]
+//! sum closed forms. Agreement between the two is asserted by the
+//! validation tests — a bug in either loop structure breaks the equality.
+//!
+//! Two implementations coexist. The public `trace_*` functions are the
+//! *fast-forward* machines: they compute each distinct schedule step's
+//! repeat count up front and emit O(distinct-tile-shapes) macro-segments
+//! ([`PhaseSegment::repeat`]). The [`spec`] module keeps the original
+//! step-by-step loop walks as the executable specification; the property
+//! suite holds the pair bit-identical on every aggregate.
 
 mod machine;
 mod os_machine;
 mod rs_machine;
+pub mod spec;
 pub mod vcd;
 mod ws_machine;
 
 pub use machine::{CycleState, MachineTrace, Phase, PhaseSegment};
 pub use os_machine::{trace_os, trace_os_recorded};
 pub use rs_machine::{trace_rs, trace_rs_recorded};
-pub use vcd::trace_to_vcd;
+pub use vcd::{trace_to_vcd, write_vcd, VcdGranularity};
 pub use ws_machine::{trace_ws, trace_ws_recorded};
 
 #[cfg(test)]
@@ -109,15 +116,71 @@ mod validation {
                         "OS phases diverge for {work:?} on {cfg} with {opts:?}"
                     );
                     // Broadcast quantization differs by at most one
-                    // pixel-tile worth of MACs per compute segment.
+                    // pixel-tile worth of MACs per expanded compute
+                    // step (repeats count as steps).
                     let diff = trace.macs().abs_diff(analytic.executed_macs);
-                    let bound =
-                        trace.segments().iter().filter(|s| s.phase == Phase::Compute).count()
-                            as u64
-                            * cfg.pe_count() as u64;
+                    let bound = trace
+                        .segments()
+                        .iter()
+                        .filter(|s| s.phase == Phase::Compute)
+                        .map(|s| s.repeat)
+                        .sum::<u64>()
+                        * cfg.pe_count() as u64;
                     assert!(
                         diff <= bound,
                         "OS MACs diverge beyond rounding for {work:?}: {diff} > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every aggregate the simulator consumes must agree between the
+    /// fast-forward machine and the step-by-step spec walk.
+    fn assert_fast_matches_spec(fast: &MachineTrace, spec: &MachineTrace, what: &str) {
+        assert_eq!(fast.cycles(), spec.cycles(), "{what}: total cycles");
+        assert_eq!(fast.phase_totals(), spec.phase_totals(), "{what}: per-phase cycles");
+        assert_eq!(fast.macs(), spec.macs(), "{what}: MACs");
+        assert_eq!(fast.active_pe_cycles(), spec.active_pe_cycles(), "{what}: busy-PE cycles");
+        assert_eq!(fast.steps(), spec.steps(), "{what}: expanded step count");
+        assert_eq!(
+            fast.iter_cycles().count() as u64,
+            spec.iter_cycles().count() as u64,
+            "{what}: expansion length"
+        );
+        assert_eq!(
+            fast.iter_cycles().map(|c| c.macs).sum::<u64>(),
+            spec.iter_cycles().map(|c| c.macs).sum::<u64>(),
+            "{what}: expansion MACs"
+        );
+    }
+
+    #[test]
+    fn fast_forward_matches_spec_on_the_corpus() {
+        for cfg in configs() {
+            for work in corpus() {
+                assert_fast_matches_spec(
+                    &trace_ws(&work, &cfg),
+                    &spec::trace_ws(&work, &cfg),
+                    "ws",
+                );
+                assert_fast_matches_spec(
+                    &trace_rs(&work, &cfg),
+                    &spec::trace_rs(&work, &cfg),
+                    "rs",
+                );
+                for opts in [
+                    OsModelOptions::paper_default(),
+                    OsModelOptions {
+                        sparsity: SparsityModel::dense(),
+                        preload_overlap: false,
+                        channel_packing: false,
+                    },
+                ] {
+                    assert_fast_matches_spec(
+                        &trace_os(&work, &cfg, opts),
+                        &spec::trace_os(&work, &cfg, opts),
+                        "os",
                     );
                 }
             }

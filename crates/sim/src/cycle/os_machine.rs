@@ -1,4 +1,13 @@
-//! Stepped output-stationary machine.
+//! Fast-forward output-stationary machine.
+//!
+//! Closed-form rewrite of the OS schedule walk. Every step of the
+//! step-by-step machine ([`super::spec::trace_os`]) is determined by its
+//! (output-tile shape, filter-pass size, channel position) alone:
+//! `split` caps the distinct tile shapes at four and the distinct pass
+//! sizes at two, and within a pass the per-channel budgets take exactly
+//! two values (the floor share and the last channel's share, see
+//! [`super::spec::distribute`]). So the whole walk collapses to a few
+//! macro-segments with repeat counts computed up front.
 
 use codesign_arch::AcceleratorConfig;
 
@@ -6,11 +15,11 @@ use crate::os::OsModelOptions;
 use crate::workload::{split, ConvWork, WorkKind};
 
 use super::machine::{MachineTrace, Phase};
+use super::ws_machine::run_lengths;
 
-/// Walks the OS schedule step by step: for each output tile and filter
-/// pass — preload the input tile (overlapped with broadcasts when
-/// enabled), broadcast the non-zero weights channel by channel, then
-/// drain the finished partial sums.
+/// Fast-forward OS trace: run-length aggregated over output tiles,
+/// filter passes, and channels. Bit-identical in aggregate to the spec
+/// walk.
 pub fn trace_os(work: &ConvWork, cfg: &AcceleratorConfig, opts: OsModelOptions) -> MachineTrace {
     match work.kind {
         WorkKind::FullyConnected => trace_os_fc(work, cfg),
@@ -19,19 +28,14 @@ pub fn trace_os(work: &ConvWork, cfg: &AcceleratorConfig, opts: OsModelOptions) 
     }
 }
 
-/// Splits `total` units over `parts` consumers: everyone gets the floor
-/// share and the last consumer absorbs the remainder — mirroring how the
-/// stream buffer's fractional per-channel broadcast quota materializes.
-fn distribute(total: u64, parts: u64) -> Vec<u64> {
+/// The two values [`super::spec::distribute`] hands out: `parts - 1`
+/// consumers get the floor share and the last absorbs the remainder.
+fn floor_and_last(total: u64, parts: u64) -> (u64, u64) {
     if parts == 0 {
-        return Vec::new();
+        return (0, 0);
     }
     let base = total / parts;
-    let mut v = vec![base; parts as usize];
-    if let Some(last) = v.last_mut() {
-        *last += total % parts;
-    }
-    v
+    (base, base + total % parts)
 }
 
 fn trace_os_conv(
@@ -43,58 +47,70 @@ fn trace_os_conv(
     let n = cfg.array_size();
     let eff = opts.sparsity.efficiency();
     let taps = work.taps() as u64;
-    let th_tiles = split(work.out_h, n);
-    let tw_tiles = split(work.out_w, n);
+    let groups = work.groups as u64;
+    let th_runs = run_lengths(&split(work.out_h, n));
+    let tw_runs = run_lengths(&split(work.out_w, n));
 
     let mut trace = MachineTrace::new();
-    for _group in 0..work.groups {
-        for &th in &th_tiles {
-            for &tw in &tw_tiles {
-                let rows = (th - 1) * work.stride + work.kernel_h;
-                let cols = (tw - 1) * work.stride + work.kernel_w;
-                let row_load = rows as u64 * (cols as u64).div_ceil(n as u64);
-                let pixels = (th * tw) as u64;
-                let c = work.in_channels as u64;
+    for &(th, hc) in &th_runs {
+        for &(tw, wc) in &tw_runs {
+            let tile_repeat = groups * hc * wc;
+            let rows = (th - 1) * work.stride + work.kernel_h;
+            let cols = (tw - 1) * work.stride + work.kernel_w;
+            let row_load = rows as u64 * (cols as u64).div_ceil(n as u64);
+            let pixels = (th * tw) as u64;
+            let c = work.in_channels as u64;
 
-                let kg_list: Vec<usize> = if depthwise {
-                    vec![0] // sentinel: one pass over all channels
+            let kg_runs: Vec<(usize, u64)> = if depthwise {
+                vec![(0, 1)] // sentinel: one pass over all channels
+            } else {
+                let packing =
+                    if opts.channel_packing { ((n * n) / (th * tw).max(1)).max(1) } else { 1 };
+                let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
+                run_lengths(&split(work.out_channels, resident))
+            };
+
+            // Per distinct pass size: a fill, two channel-budget rates,
+            // and a drain — at most seven macro-segments.
+            trace.reserve(kg_runs.len() * 7);
+            for &(kg, kc) in &kg_runs {
+                let repeat = tile_repeat * kc;
+                let per_channel =
+                    if depthwise { taps as f64 * eff } else { (kg as u64 * taps) as f64 * eff };
+                // Per-pass integer budgets, matching the analytic
+                // model's rounding.
+                let broadcasts = (per_channel * c as f64).ceil() as u64;
+                let stall_total = if opts.preload_overlap {
+                    ((row_load as f64 - per_channel).max(0.0) * c as f64).round() as u64
                 } else {
-                    let packing =
-                        if opts.channel_packing { ((n * n) / (th * tw).max(1)).max(1) } else { 1 };
-                    let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
-                    split(work.out_channels, resident)
+                    0
                 };
-
-                // Per filter pass: an optional pipeline fill, two pushes
-                // per channel, and a drain.
-                trace.reserve(kg_list.len() * (2 * c as usize + 2));
-                for kg in kg_list {
-                    let per_channel =
-                        if depthwise { taps as f64 * eff } else { (kg as u64 * taps) as f64 * eff };
-                    // Per-pass integer budgets, matching the analytic
-                    // model's rounding.
-                    let broadcasts = (per_channel * c as f64).ceil() as u64;
-                    let stall_total = if opts.preload_overlap {
-                        ((row_load as f64 - per_channel).max(0.0) * c as f64).round() as u64
-                    } else {
-                        0
-                    };
-                    if opts.preload_overlap {
-                        trace.push(Phase::Load, row_load, 0, 0); // pipeline fill
-                    }
-                    let stalls = distribute(stall_total, c);
-                    let casts = distribute(broadcasts, c);
-                    for ch in 0..c as usize {
-                        if opts.preload_overlap {
-                            trace.push(Phase::Load, stalls[ch], 0, 0);
-                        } else {
-                            trace.push(Phase::Load, row_load, 0, 0);
-                        }
-                        trace.push(Phase::Compute, casts[ch], pixels, pixels);
-                    }
-                    let produced = if depthwise { pixels * c } else { pixels * kg as u64 };
-                    trace.push(Phase::Drain, produced.div_ceil(n as u64), 0, 0);
+                if opts.preload_overlap {
+                    trace.push_repeated(Phase::Load, row_load, 0, 0, repeat); // pipeline fill
                 }
+                let (stall_floor, stall_last) = floor_and_last(stall_total, c);
+                let (cast_floor, cast_last) = floor_and_last(broadcasts, c);
+                // Channels 0..c-1 share the floor budgets; the last
+                // channel absorbs both remainders.
+                if c > 1 {
+                    let bulk = repeat * (c - 1);
+                    if opts.preload_overlap {
+                        trace.push_repeated(Phase::Load, stall_floor, 0, 0, bulk);
+                    } else {
+                        trace.push_repeated(Phase::Load, row_load, 0, 0, bulk);
+                    }
+                    trace.push_repeated(Phase::Compute, cast_floor, pixels, pixels, bulk);
+                }
+                if c > 0 {
+                    if opts.preload_overlap {
+                        trace.push_repeated(Phase::Load, stall_last, 0, 0, repeat);
+                    } else {
+                        trace.push_repeated(Phase::Load, row_load, 0, 0, repeat);
+                    }
+                    trace.push_repeated(Phase::Compute, cast_last, pixels, pixels, repeat);
+                }
+                let produced = if depthwise { pixels * c } else { pixels * kg as u64 };
+                trace.push_repeated(Phase::Drain, produced.div_ceil(n as u64), 0, 0, repeat);
             }
         }
     }
@@ -104,19 +120,21 @@ fn trace_os_conv(
 fn trace_os_fc(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     let n = cfg.array_size() as u64;
     let c = work.in_channels as u64;
-    let parts = split(work.out_channels, cfg.pe_count());
-    // Exactly three pushes (two compute rates + drain) per filter part.
-    let mut trace = MachineTrace::with_capacity(3 * parts.len());
-    for kp in parts {
+    let part_runs = run_lengths(&split(work.out_channels, cfg.pe_count()));
+    // Exactly three pushes (two compute rates + drain) per distinct
+    // filter-part size.
+    let mut trace = MachineTrace::with_capacity(3 * part_runs.len());
+    for &(kp, count) in &part_runs {
         let kp = kp as u64;
         let cycles = (c * kp).div_ceil(n).max(c);
         let macs = c * kp;
         // Two-rate split so the trace's MAC total is exact.
         let lo_rate = macs / cycles;
         let hi_cycles = macs - lo_rate * cycles;
-        trace.push(Phase::Compute, hi_cycles, lo_rate + 1, kp.min(cfg.pe_count() as u64));
-        trace.push(Phase::Compute, cycles - hi_cycles, lo_rate, kp.min(cfg.pe_count() as u64));
-        trace.push(Phase::Drain, kp.div_ceil(n), 0, 0);
+        let active = kp.min(cfg.pe_count() as u64);
+        trace.push_repeated(Phase::Compute, hi_cycles, lo_rate + 1, active, count);
+        trace.push_repeated(Phase::Compute, cycles - hi_cycles, lo_rate, active, count);
+        trace.push_repeated(Phase::Drain, kp.div_ceil(n), 0, 0, count);
     }
     trace
 }
@@ -143,11 +161,11 @@ mod tests {
     use crate::os::SparsityModel;
 
     #[test]
-    fn distribute_conserves_total() {
-        assert_eq!(distribute(10, 3), vec![3, 3, 4]);
-        assert_eq!(distribute(0, 2), vec![0, 0]);
-        assert_eq!(distribute(5, 1), vec![5]);
-        assert!(distribute(5, 0).is_empty());
+    fn floor_and_last_conserve_the_total() {
+        assert_eq!(floor_and_last(10, 3), (3, 4));
+        assert_eq!(floor_and_last(0, 2), (0, 0));
+        assert_eq!(floor_and_last(5, 1), (5, 5));
+        assert_eq!(floor_and_last(5, 0), (0, 0));
     }
 
     #[test]
@@ -197,5 +215,32 @@ mod tests {
         // Broadcasts: 8 filters * 9 taps per channel.
         assert_eq!(t.phase_totals().compute, 4 * 72);
         assert_eq!(t.macs(), work.macs());
+    }
+
+    #[test]
+    fn channel_walk_stays_aggregated() {
+        // A 512-channel pass emits two channel-budget rates, not 1024
+        // per-channel segments.
+        let cfg = AcceleratorConfig::paper_default();
+        let work = ConvWork {
+            kind: WorkKind::Dense,
+            groups: 1,
+            in_channels: 512,
+            out_channels: 64,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 15,
+            in_w: 15,
+            out_h: 13,
+            out_w: 13,
+        };
+        let t = trace_os(&work, &cfg, OsModelOptions::paper_default());
+        let spec = super::super::spec::trace_os(&work, &cfg, OsModelOptions::paper_default());
+        assert!(t.segments().len() < 64, "{} macro-segments", t.segments().len());
+        assert_eq!(t.steps(), spec.steps());
+        assert_eq!(t.cycles(), spec.cycles());
+        assert_eq!(t.phase_totals(), spec.phase_totals());
+        assert_eq!(t.macs(), spec.macs());
     }
 }

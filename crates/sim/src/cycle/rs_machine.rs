@@ -1,5 +1,15 @@
-//! Stepped row-stationary machine, validating [`crate::rs`] the same way
-//! the WS/OS machines validate their analytic models.
+//! Fast-forward row-stationary machine.
+//!
+//! Closed-form rewrite of the RS schedule walk
+//! ([`super::spec::trace_rs`]). The spec walk streams one wave at a time
+//! and splits each wave's MAC quota with a running two-rate Bresenham
+//! accumulator: after wave `j` the cumulative quota is
+//! `floor(total_macs · j / total_waves)`, so each wave receives either
+//! `q = total_macs / total_waves` or `q + 1` MACs. Over any contiguous
+//! run of waves the number of `q + 1` waves is a difference of two
+//! cumulative quotas — no per-wave iteration needed. Each (group, strip)
+//! run therefore collapses to at most six macro-segments: one preload,
+//! two compute rates per quota class, and one drain.
 
 use codesign_arch::AcceleratorConfig;
 
@@ -7,9 +17,9 @@ use crate::workload::{split, ConvWork, WorkKind};
 
 use super::machine::{MachineTrace, Phase};
 
-/// Walks the RS schedule step by step: for each group and output-row
-/// strip — per folded pair wave, preload the filter rows, stream the
-/// `W'·Fw` broadcast walk, then drain the finished output rows.
+/// Fast-forward RS trace: per (group, output-row strip), the folded pair
+/// waves are aggregated by their Bresenham MAC-quota class instead of
+/// being enumerated. Bit-identical in aggregate to the spec walk.
 pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     let n = cfg.array_size();
     let fh = work.kernel_h.min(n);
@@ -21,37 +31,68 @@ pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
         _ => (work.in_channels * work.out_channels) as u64,
     };
     let pair_waves = pairs_per_group.div_ceil(fold as u64);
-    // Useful MACs, distributed uniformly over the streamed cycles so the
-    // trace total matches the analytic model's dense count exactly.
+    let strips = split(work.out_h, n);
     let total_macs = work.macs();
-    let stream_cycles_total =
-        work.groups as u64 * split(work.out_h, n).len() as u64 * pair_waves * ow * fw;
+    let stream = ow * fw;
+    // The spec accumulator divides by total *stream cycles*; the stream
+    // length is constant per wave, so the quota reduces to MACs over
+    // wave counts (u128 guards the intermediate product).
+    let total_waves = work.groups as u64 * strips.len() as u64 * pair_waves;
+    let quota = |waves: u64| -> u64 {
+        if total_waves == 0 || stream == 0 {
+            return 0;
+        }
+        ((total_macs as u128 * waves as u128) / total_waves as u128) as u64
+    };
+    let q = quota_step(total_macs, total_waves, stream);
 
-    let mut trace = MachineTrace::new();
-    let mut emitted_macs = 0u64;
-    let mut emitted_stream = 0u64;
+    let mut trace = MachineTrace::with_capacity(work.groups * strips.len() * 6);
+    let mut done_waves = 0u64;
     for _group in 0..work.groups {
-        for &strip in &split(work.out_h, n) {
-            for _wave in 0..pair_waves {
-                trace.push(Phase::Load, fh as u64, 0, 0);
-                let stream = ow * fw;
-                // Two-rate split keeps the integer MAC total exact.
-                let target = (total_macs * (emitted_stream + stream))
-                    .checked_div(stream_cycles_total)
-                    .unwrap_or(0);
-                let macs_this = target - emitted_macs;
-                let lo = macs_this / stream.max(1);
-                let hi_cycles = macs_this - lo * stream;
-                let active = (fh * strip * fold) as u64;
-                trace.push(Phase::Compute, hi_cycles, lo + 1, active);
-                trace.push(Phase::Compute, stream - hi_cycles, lo, active);
-                emitted_macs = target;
-                emitted_stream += stream;
-                trace.push(Phase::Drain, (strip as u64 * ow).div_ceil(n as u64), 0, 0);
-            }
+        for &strip in &strips {
+            let t0 = quota(done_waves);
+            done_waves += pair_waves;
+            let t1 = quota(done_waves);
+            // Waves in this run carrying q+1 MACs (the rest carry q).
+            let hi_waves = (t1 - t0) - q * pair_waves;
+            let lo_waves = pair_waves - hi_waves;
+            let active = (fh * strip * fold) as u64;
+
+            trace.push_repeated(Phase::Load, fh as u64, 0, 0, pair_waves);
+            emit_wave_class(&mut trace, q, stream, active, lo_waves);
+            emit_wave_class(&mut trace, q + 1, stream, active, hi_waves);
+            trace.push_repeated(
+                Phase::Drain,
+                (strip as u64 * ow).div_ceil(n as u64),
+                0,
+                0,
+                pair_waves,
+            );
         }
     }
     trace
+}
+
+/// Per-wave MAC quota floor: what the spec's running accumulator hands
+/// every wave before the Bresenham remainder tops some of them up.
+fn quota_step(total_macs: u64, total_waves: u64, stream: u64) -> u64 {
+    if total_waves == 0 || stream == 0 {
+        0
+    } else {
+        total_macs / total_waves
+    }
+}
+
+/// The spec's two-rate compute split for one quota class, repeated for
+/// every wave in the class.
+fn emit_wave_class(trace: &mut MachineTrace, macs: u64, stream: u64, active: u64, waves: u64) {
+    if waves == 0 || stream == 0 {
+        return;
+    }
+    let lo = macs / stream;
+    let hi_cycles = macs % stream;
+    trace.push_repeated(Phase::Compute, hi_cycles, lo + 1, active, waves);
+    trace.push_repeated(Phase::Compute, stream - hi_cycles, lo, active, waves);
 }
 
 /// [`trace_rs`], additionally publishing the machine trace as one
@@ -120,7 +161,34 @@ mod tests {
         let cfg = AcceleratorConfig::builder().array_size(8).build().unwrap();
         let work = corpus()[0];
         let trace = trace_rs(&work, &cfg);
-        let drains = trace.segments().iter().filter(|s| s.phase == Phase::Drain).count();
+        let drains: u64 = trace
+            .segments()
+            .iter()
+            .filter(|s| s.phase == Phase::Drain)
+            .map(|s| s.repeat)
+            .sum();
+        let waves: u64 = trace
+            .segments()
+            .iter()
+            .filter(|s| s.phase == Phase::Load)
+            .map(|s| s.repeat)
+            .sum();
         assert!(drains > 0);
+        assert_eq!(drains, waves, "one drain per wave");
+    }
+
+    #[test]
+    fn wave_walk_stays_aggregated() {
+        // 512×64 pairs fold into thousands of waves; the macro trace
+        // stays at a handful of segments per strip.
+        let cfg = AcceleratorConfig::paper_default();
+        let work = corpus()[1];
+        let trace = trace_rs(&work, &cfg);
+        let spec = super::super::spec::trace_rs(&work, &cfg);
+        assert!(trace.segments().len() < 16, "{} macro-segments", trace.segments().len());
+        assert_eq!(trace.cycles(), spec.cycles());
+        assert_eq!(trace.phase_totals(), spec.phase_totals());
+        assert_eq!(trace.macs(), spec.macs());
+        assert_eq!(trace.active_pe_cycles(), spec.active_pe_cycles());
     }
 }

@@ -1,0 +1,224 @@
+//! Executable specification of the stepped machines.
+//!
+//! These are the original loop machines: they walk every (group ×
+//! col-tile × row-tile × tap) schedule step — or, for OS, every (tile ×
+//! filter pass × channel) step — and emit one segment per step. The
+//! public `trace_ws`/`trace_os`/`trace_rs` functions in this crate are
+//! closed-form fast-forward rewrites that emit run-length macro-segments
+//! instead; the property suite asserts the two agree bit-for-bit on
+//! total cycles, per-phase cycles, MACs, busy-PE integrals, and the
+//! `iter_cycles` expansion's per-state cycle counts. The spec machines
+//! additionally fix the exact step *order*, which the fast machines
+//! canonicalize (identical steps are grouped), so order-sensitive
+//! consumers that need the literal schedule walk should trace here.
+//!
+//! Keep these loops dumb: their value is being obviously equivalent to
+//! the schedule described in the paper, not being fast.
+
+use codesign_arch::AcceleratorConfig;
+
+use crate::os::OsModelOptions;
+use crate::workload::{split, ConvWork, WorkKind};
+
+use super::machine::{MachineTrace, Phase};
+
+/// Step-by-step WS schedule walk: for each group, column tile, row tile,
+/// and filter tap — preload the weight tile one row per cycle, then
+/// stream every output pixel, one per cycle.
+pub fn trace_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
+    let n = cfg.array_size();
+    let out_plane = work.out_plane() as u64;
+    let taps = work.taps() as u64;
+    let row_tiles = split(work.in_channels, n);
+    let col_tiles = split(work.out_channels, n);
+
+    // Exactly two pushes (preload + stream) per (group, col, row, tap).
+    let mut trace = MachineTrace::with_capacity(
+        work.groups * col_tiles.len() * row_tiles.len() * taps as usize * 2,
+    );
+    for _group in 0..work.groups {
+        for (ci, &ct) in col_tiles.iter().enumerate() {
+            for (ri, &rt) in row_tiles.iter().enumerate() {
+                // Useful MACs per streamed cycle: the whole tile for dense
+                // layers; for depthwise only diagonal tiles carry the
+                // diagonal's worth of useful work.
+                let useful_per_cycle = match work.kind {
+                    WorkKind::Depthwise => {
+                        if ri == ci {
+                            rt.min(ct) as u64
+                        } else {
+                            0
+                        }
+                    }
+                    _ => (rt * ct) as u64,
+                };
+                for _tap in 0..taps {
+                    trace.push(Phase::Load, rt as u64, 0, 0);
+                    trace.push(Phase::Compute, out_plane, useful_per_cycle, (rt * ct) as u64);
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Step-by-step OS schedule walk: for each output tile and filter pass —
+/// preload the input tile (overlapped with broadcasts when enabled),
+/// broadcast the non-zero weights channel by channel, then drain the
+/// finished partial sums.
+pub fn trace_os(work: &ConvWork, cfg: &AcceleratorConfig, opts: OsModelOptions) -> MachineTrace {
+    match work.kind {
+        WorkKind::FullyConnected => trace_os_fc(work, cfg),
+        WorkKind::Dense => trace_os_conv(work, cfg, opts, false),
+        WorkKind::Depthwise => trace_os_conv(work, cfg, opts, true),
+    }
+}
+
+/// Splits `total` units over `parts` consumers: everyone gets the floor
+/// share and the last consumer absorbs the remainder — mirroring how the
+/// stream buffer's fractional per-channel broadcast quota materializes.
+pub(super) fn distribute(total: u64, parts: u64) -> Vec<u64> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let mut v = vec![base; parts as usize];
+    if let Some(last) = v.last_mut() {
+        *last += total % parts;
+    }
+    v
+}
+
+fn trace_os_conv(
+    work: &ConvWork,
+    cfg: &AcceleratorConfig,
+    opts: OsModelOptions,
+    depthwise: bool,
+) -> MachineTrace {
+    let n = cfg.array_size();
+    let eff = opts.sparsity.efficiency();
+    let taps = work.taps() as u64;
+    let th_tiles = split(work.out_h, n);
+    let tw_tiles = split(work.out_w, n);
+
+    let mut trace = MachineTrace::new();
+    for _group in 0..work.groups {
+        for &th in &th_tiles {
+            for &tw in &tw_tiles {
+                let rows = (th - 1) * work.stride + work.kernel_h;
+                let cols = (tw - 1) * work.stride + work.kernel_w;
+                let row_load = rows as u64 * (cols as u64).div_ceil(n as u64);
+                let pixels = (th * tw) as u64;
+                let c = work.in_channels as u64;
+
+                let kg_list: Vec<usize> = if depthwise {
+                    vec![0] // sentinel: one pass over all channels
+                } else {
+                    let packing =
+                        if opts.channel_packing { ((n * n) / (th * tw).max(1)).max(1) } else { 1 };
+                    let resident = (cfg.rf_depth() * packing).min(work.out_channels.max(1));
+                    split(work.out_channels, resident)
+                };
+
+                // Per filter pass: an optional pipeline fill, two pushes
+                // per channel, and a drain.
+                trace.reserve(kg_list.len() * (2 * c as usize + 2));
+                for kg in kg_list {
+                    let per_channel =
+                        if depthwise { taps as f64 * eff } else { (kg as u64 * taps) as f64 * eff };
+                    // Per-pass integer budgets, matching the analytic
+                    // model's rounding.
+                    let broadcasts = (per_channel * c as f64).ceil() as u64;
+                    let stall_total = if opts.preload_overlap {
+                        ((row_load as f64 - per_channel).max(0.0) * c as f64).round() as u64
+                    } else {
+                        0
+                    };
+                    if opts.preload_overlap {
+                        trace.push(Phase::Load, row_load, 0, 0); // pipeline fill
+                    }
+                    let stalls = distribute(stall_total, c);
+                    let casts = distribute(broadcasts, c);
+                    for ch in 0..c as usize {
+                        if opts.preload_overlap {
+                            trace.push(Phase::Load, stalls[ch], 0, 0);
+                        } else {
+                            trace.push(Phase::Load, row_load, 0, 0);
+                        }
+                        trace.push(Phase::Compute, casts[ch], pixels, pixels);
+                    }
+                    let produced = if depthwise { pixels * c } else { pixels * kg as u64 };
+                    trace.push(Phase::Drain, produced.div_ceil(n as u64), 0, 0);
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn trace_os_fc(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
+    let n = cfg.array_size() as u64;
+    let c = work.in_channels as u64;
+    let parts = split(work.out_channels, cfg.pe_count());
+    // Exactly three pushes (two compute rates + drain) per filter part.
+    let mut trace = MachineTrace::with_capacity(3 * parts.len());
+    for kp in parts {
+        let kp = kp as u64;
+        let cycles = (c * kp).div_ceil(n).max(c);
+        let macs = c * kp;
+        // Two-rate split so the trace's MAC total is exact.
+        let lo_rate = macs / cycles;
+        let hi_cycles = macs - lo_rate * cycles;
+        trace.push(Phase::Compute, hi_cycles, lo_rate + 1, kp.min(cfg.pe_count() as u64));
+        trace.push(Phase::Compute, cycles - hi_cycles, lo_rate, kp.min(cfg.pe_count() as u64));
+        trace.push(Phase::Drain, kp.div_ceil(n), 0, 0);
+    }
+    trace
+}
+
+/// Step-by-step RS schedule walk: for each group and output-row strip —
+/// per folded pair wave, preload the filter rows, stream the `W'·Fw`
+/// broadcast walk, then drain the finished output rows.
+pub fn trace_rs(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
+    let n = cfg.array_size();
+    let fh = work.kernel_h.min(n);
+    let fw = work.kernel_w as u64;
+    let ow = work.out_w as u64;
+    let fold = (n / fh).max(1);
+    let pairs_per_group = match work.kind {
+        WorkKind::Depthwise => work.in_channels as u64,
+        _ => (work.in_channels * work.out_channels) as u64,
+    };
+    let pair_waves = pairs_per_group.div_ceil(fold as u64);
+    // Useful MACs, distributed uniformly over the streamed cycles so the
+    // trace total matches the analytic model's dense count exactly.
+    let total_macs = work.macs();
+    let stream_cycles_total =
+        work.groups as u64 * split(work.out_h, n).len() as u64 * pair_waves * ow * fw;
+
+    let mut trace = MachineTrace::new();
+    let mut emitted_macs = 0u64;
+    let mut emitted_stream = 0u64;
+    for _group in 0..work.groups {
+        for &strip in &split(work.out_h, n) {
+            for _wave in 0..pair_waves {
+                trace.push(Phase::Load, fh as u64, 0, 0);
+                let stream = ow * fw;
+                // Two-rate split keeps the integer MAC total exact.
+                let target = (total_macs * (emitted_stream + stream))
+                    .checked_div(stream_cycles_total)
+                    .unwrap_or(0);
+                let macs_this = target - emitted_macs;
+                let lo = macs_this / stream.max(1);
+                let hi_cycles = macs_this - lo * stream;
+                let active = (fh * strip * fold) as u64;
+                trace.push(Phase::Compute, hi_cycles, lo + 1, active);
+                trace.push(Phase::Compute, stream - hi_cycles, lo, active);
+                emitted_macs = target;
+                emitted_stream += stream;
+                trace.push(Phase::Drain, (strip as u64 * ow).div_ceil(n as u64), 0, 0);
+            }
+        }
+    }
+    trace
+}

@@ -4,10 +4,28 @@
 //! signals — the phase, the busy-PE count, and the per-cycle MAC rate —
 //! so a layer's execution can be inspected in GTKWave or any other
 //! waveform viewer next to RTL simulations of a real implementation.
+//!
+//! The writer streams through a [`BufWriter`] and defaults to
+//! *segment granularity*: one value-change record per macro-segment
+//! state change, so dumping a layer never re-expands the run-length
+//! aggregated trace to single cycles. [`VcdGranularity::Cycle`] keeps
+//! the old exhaustive per-cycle dump for viewers that want every
+//! timestep spelled out.
 
-use std::fmt::Write as _;
+use std::io::{self, BufWriter, Write};
 
 use super::machine::{MachineTrace, Phase};
+
+/// How densely the waveform samples the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VcdGranularity {
+    /// One value-change record per macro-segment state change; repeats
+    /// stay folded. The dump size is O(segments), not O(cycles).
+    #[default]
+    Segment,
+    /// One timestamp per machine cycle (exhaustive expansion).
+    Cycle,
+}
 
 fn phase_code(p: Phase) -> &'static str {
     match p {
@@ -21,40 +39,88 @@ fn binary(v: u64, width: usize) -> String {
     format!("b{v:0width$b}")
 }
 
-/// Renders the trace as a VCD document. `module` names the enclosing
-/// scope (e.g. the layer); the timescale is one cycle = 1 ns nominal.
+fn write_header<W: Write>(out: &mut W, module: &str) -> io::Result<()> {
+    writeln!(out, "$date codesign-sim $end")?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module {} $end", module.replace(char::is_whitespace, "_"))?;
+    writeln!(out, "$var wire 2 p phase[1:0] $end")?;
+    writeln!(out, "$var wire 16 a active_pes[15:0] $end")?;
+    writeln!(out, "$var wire 16 m macs_per_cycle[15:0] $end")?;
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")
+}
+
+fn write_state<W: Write>(
+    out: &mut W,
+    time: u64,
+    phase: Phase,
+    pes: u64,
+    macs: u64,
+) -> io::Result<()> {
+    writeln!(out, "#{time}")?;
+    writeln!(out, "{} p", phase_code(phase))?;
+    writeln!(out, "{} a", binary(pes.min(0xffff), 16))?;
+    writeln!(out, "{} m", binary(macs.min(0xffff), 16))
+}
+
+/// Streams the trace as a VCD document into `sink` (wrapped in a
+/// [`BufWriter`], so handing a raw [`File`](std::fs::File) or stdout
+/// lock is fine). `module` names the enclosing scope (e.g. the layer);
+/// the timescale is one cycle = 1 ns nominal.
 ///
 /// Signals:
 ///
 /// * `phase[1:0]` — 00 load, 01 compute, 10 drain;
 /// * `active_pes[15:0]` — PEs busy this segment;
 /// * `macs_per_cycle[15:0]` — useful MACs per cycle.
-pub fn trace_to_vcd(trace: &MachineTrace, module: &str) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "$date codesign-sim $end");
-    let _ = writeln!(out, "$timescale 1ns $end");
-    let _ = writeln!(out, "$scope module {} $end", module.replace(char::is_whitespace, "_"));
-    let _ = writeln!(out, "$var wire 2 p phase[1:0] $end");
-    let _ = writeln!(out, "$var wire 16 a active_pes[15:0] $end");
-    let _ = writeln!(out, "$var wire 16 m macs_per_cycle[15:0] $end");
-    let _ = writeln!(out, "$upscope $end");
-    let _ = writeln!(out, "$enddefinitions $end");
-
-    let mut time = 0u64;
-    let mut last: Option<(Phase, u64, u64)> = None;
-    for seg in trace.segments() {
-        let state = (seg.phase, seg.active_pes, seg.macs_per_cycle);
-        if last != Some(state) {
-            let _ = writeln!(out, "#{time}");
-            let _ = writeln!(out, "{} p", phase_code(seg.phase));
-            let _ = writeln!(out, "{} a", binary(seg.active_pes.min(0xffff), 16));
-            let _ = writeln!(out, "{} m", binary(seg.macs_per_cycle.min(0xffff), 16));
-            last = Some(state);
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub fn write_vcd<W: Write>(
+    trace: &MachineTrace,
+    module: &str,
+    granularity: VcdGranularity,
+    sink: W,
+) -> io::Result<()> {
+    let mut out = BufWriter::new(sink);
+    write_header(&mut out, module)?;
+    match granularity {
+        VcdGranularity::Segment => {
+            let mut time = 0u64;
+            let mut last: Option<(Phase, u64, u64)> = None;
+            for seg in trace.segments() {
+                let state = (seg.phase, seg.active_pes, seg.macs_per_cycle);
+                if last != Some(state) {
+                    write_state(&mut out, time, seg.phase, seg.active_pes, seg.macs_per_cycle)?;
+                    last = Some(state);
+                }
+                time += seg.total_cycles();
+            }
+            writeln!(out, "#{time}")?;
         }
-        time += seg.cycles;
+        VcdGranularity::Cycle => {
+            let mut time = 0u64;
+            for c in trace.iter_cycles() {
+                write_state(&mut out, c.cycle, c.phase, c.active_pes, c.macs)?;
+                time = c.cycle + 1;
+            }
+            writeln!(out, "#{time}")?;
+        }
     }
-    let _ = writeln!(out, "#{time}");
-    out
+    out.flush()
+}
+
+/// Renders the trace as a VCD document at segment granularity.
+/// Convenience wrapper over [`write_vcd`] for in-memory consumers.
+pub fn trace_to_vcd(trace: &MachineTrace, module: &str) -> String {
+    let mut buf = Vec::new();
+    // Writing into a Vec cannot fail; an I/O error here would mean a
+    // formatter bug, surfaced as an empty document.
+    if write_vcd(trace, module, VcdGranularity::Segment, &mut buf).is_err() {
+        return String::new();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
 #[cfg(test)]
@@ -88,7 +154,7 @@ mod tests {
         let vcd = trace_to_vcd(&t, "conv demo");
         assert!(vcd.contains("$scope module conv_demo $end"));
         assert!(vcd.contains("$enddefinitions $end"));
-        // Final timestamp equals total cycles.
+        // Final timestamp equals total cycles, repeats included.
         let last_ts = vcd
             .lines()
             .filter_map(|l| l.strip_prefix('#'))
@@ -107,7 +173,7 @@ mod tests {
             .map(|v| v.parse().expect("numeric timestamp"))
             .collect();
         assert!(ts.windows(2).all(|w| w[0] < w[1]), "{ts:?}");
-        assert!(ts.len() > 2, "expect multiple change points");
+        assert!(ts.len() >= 2, "expect change points plus the final stamp");
     }
 
     #[test]
@@ -122,10 +188,37 @@ mod tests {
     }
 
     #[test]
+    fn segment_mode_never_expands_repeats() {
+        let t = trace();
+        let vcd = trace_to_vcd(&t, "m");
+        let timestamps = vcd.lines().filter(|l| l.starts_with('#')).count() as u64;
+        assert!(timestamps <= t.segments().len() as u64 + 1);
+        assert!(timestamps < t.cycles());
+    }
+
+    #[test]
+    fn cycle_mode_expands_every_cycle() {
+        let t = trace();
+        let mut buf = Vec::new();
+        write_vcd(&t, "m", VcdGranularity::Cycle, &mut buf).expect("vec sink");
+        let vcd = String::from_utf8_lossy(&buf);
+        let timestamps = vcd.lines().filter(|l| l.starts_with('#')).count() as u64;
+        assert_eq!(timestamps, t.cycles() + 1);
+        // Both modes agree on the final timestamp.
+        let last_ts = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .next_back()
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("final timestamp");
+        assert_eq!(last_ts, t.cycles());
+    }
+
+    #[test]
     fn phase_codes_are_two_bit() {
         assert_eq!(phase_code(Phase::Load), "b00");
-        assert_eq!(phase_code(Phase::Compute), "b01");
         assert_eq!(phase_code(Phase::Drain), "b10");
+        assert_eq!(phase_code(Phase::Compute), "b01");
         assert_eq!(binary(5, 4), "b0101");
     }
 }

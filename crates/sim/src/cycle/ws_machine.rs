@@ -1,4 +1,13 @@
-//! Stepped weight-stationary machine.
+//! Fast-forward weight-stationary machine.
+//!
+//! Closed-form rewrite of the WS schedule walk: every (group, col-tile,
+//! row-tile, tap) step emits the same (preload, stream) pair for a given
+//! tile shape, so instead of enumerating the steps we count them. `split`
+//! produces at most two distinct tile extents per axis (the full tile
+//! and one remainder), which bounds the trace at O(distinct-tile-shapes)
+//! macro-segments regardless of channel count. The original loop walk
+//! lives on as [`super::spec::trace_ws`]; the property suite keeps the
+//! two bit-identical on every aggregate.
 
 use codesign_arch::AcceleratorConfig;
 
@@ -6,44 +15,76 @@ use crate::workload::{split, ConvWork, WorkKind};
 
 use super::machine::{MachineTrace, Phase};
 
-/// Walks the WS schedule step by step: for each group, column tile, row
-/// tile, and filter tap — preload the weight tile one row per cycle, then
-/// stream every output pixel, one per cycle.
+/// Run-length encodes a tile list: `[(extent, count)]` in first-seen
+/// order. `split` yields runs of the full chunk followed by at most one
+/// remainder, so this is at most two entries.
+pub(super) fn run_lengths(tiles: &[usize]) -> Vec<(usize, u64)> {
+    let mut runs: Vec<(usize, u64)> = Vec::with_capacity(2);
+    for &t in tiles {
+        match runs.last_mut() {
+            Some((v, c)) if *v == t => *c += 1,
+            _ => runs.push((t, 1)),
+        }
+    }
+    runs
+}
+
+/// Fast-forward WS trace: one macro (preload, stream) pair per distinct
+/// (col-tile, row-tile) shape, repeated `groups × count × taps` times.
+///
+/// Depthwise layers split each shape into the diagonal bucket (useful
+/// MACs flow) and the off-diagonal bucket (the array burns the cycles
+/// with zero useful MACs). The off-diagonal steps — O(tiles²) dead
+/// segments per tap in the step-by-step walk, MobileNet's worst case —
+/// collapse to a single macro-segment here.
 pub fn trace_ws(work: &ConvWork, cfg: &AcceleratorConfig) -> MachineTrace {
     let n = cfg.array_size();
     let out_plane = work.out_plane() as u64;
     let taps = work.taps() as u64;
+    let groups = work.groups as u64;
     let row_tiles = split(work.in_channels, n);
     let col_tiles = split(work.out_channels, n);
+    let row_runs = run_lengths(&row_tiles);
+    let col_runs = run_lengths(&col_tiles);
 
-    // Exactly two pushes (preload + stream) per (group, col, row, tap).
-    let mut trace = MachineTrace::with_capacity(
-        work.groups * col_tiles.len() * row_tiles.len() * taps as usize * 2,
-    );
-    for _group in 0..work.groups {
-        for (ci, &ct) in col_tiles.iter().enumerate() {
-            for (ri, &rt) in row_tiles.iter().enumerate() {
-                // Useful MACs per streamed cycle: the whole tile for dense
-                // layers; for depthwise only diagonal tiles carry the
-                // diagonal's worth of useful work.
-                let useful_per_cycle = match work.kind {
-                    WorkKind::Depthwise => {
-                        if ri == ci {
-                            rt.min(ct) as u64
-                        } else {
-                            0
-                        }
-                    }
-                    _ => (rt * ct) as u64,
-                };
-                for _tap in 0..taps {
-                    trace.push(Phase::Load, rt as u64, 0, 0);
-                    trace.push(Phase::Compute, out_plane, useful_per_cycle, (rt * ct) as u64);
+    // At most two macro-segments per (col-run, row-run) bucket, doubled
+    // for the depthwise diagonal/off-diagonal split.
+    let mut trace = MachineTrace::with_capacity(col_runs.len() * row_runs.len() * 4);
+    for &(ct, cc) in &col_runs {
+        for &(rt, rc) in &row_runs {
+            let pairs = cc * rc;
+            match work.kind {
+                WorkKind::Depthwise => {
+                    // Diagonal pairs need positional agreement (ri == ci),
+                    // an O(tiles) count over the shorter tile list.
+                    let diag = row_tiles
+                        .iter()
+                        .zip(&col_tiles)
+                        .filter(|&(&r, &c)| r == rt && c == ct)
+                        .count() as u64;
+                    emit(&mut trace, out_plane, rt, ct, rt.min(ct) as u64, diag * taps * groups);
+                    emit(&mut trace, out_plane, rt, ct, 0, (pairs - diag) * taps * groups);
+                }
+                _ => {
+                    emit(&mut trace, out_plane, rt, ct, (rt * ct) as u64, pairs * taps * groups);
                 }
             }
         }
     }
     trace
+}
+
+/// One (preload, stream) macro pair for a tile-shape bucket.
+fn emit(
+    trace: &mut MachineTrace,
+    out_plane: u64,
+    rt: usize,
+    ct: usize,
+    useful_per_cycle: u64,
+    repeat: u64,
+) {
+    trace.push_repeated(Phase::Load, rt as u64, 0, 0, repeat);
+    trace.push_repeated(Phase::Compute, out_plane, useful_per_cycle, (rt * ct) as u64, repeat);
 }
 
 /// [`trace_ws`], additionally publishing the machine trace as one
@@ -83,8 +124,10 @@ mod tests {
             out_w: 4,
         };
         let t = trace_ws(&work, &cfg);
-        // 2 row tiles x 1 col tile x 1 tap: 2 preloads + 2 streams.
-        assert_eq!(t.segments().len(), 4);
+        // 2 row tiles x 1 col tile x 1 tap collapse to one macro pair
+        // (both row tiles are full 8-channel tiles).
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.steps(), 4);
         assert_eq!(t.phase_totals().load, 16);
         assert_eq!(t.phase_totals().compute, 32);
         assert_eq!(t.macs(), work.macs());
@@ -111,5 +154,40 @@ mod tests {
         assert_eq!(t.macs(), (16 * 9 * 16) as u64);
         // But the array burns 2x2 tiles worth of cycles.
         assert_eq!(t.phase_totals().compute, 4 * 9 * 16);
+    }
+
+    #[test]
+    fn depthwise_dead_steps_stay_aggregated() {
+        // MobileNet-style depthwise layer: 512 channels on a 16-wide
+        // array is 32×32 tile pairs × 9 taps = 9216 steps in the spec
+        // walk, 992 of them off-diagonal dead pairs per tap. The
+        // fast-forward trace keeps them as a handful of macro-segments.
+        let cfg = AcceleratorConfig::builder().array_size(16).build().unwrap();
+        let work = ConvWork {
+            kind: WorkKind::Depthwise,
+            groups: 1,
+            in_channels: 512,
+            out_channels: 512,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            in_h: 9,
+            in_w: 9,
+            out_h: 7,
+            out_w: 7,
+        };
+        let t = trace_ws(&work, &cfg);
+        assert!(t.segments().len() <= 8, "{} macro-segments", t.segments().len());
+        assert_eq!(t.steps(), 2 * 32 * 32 * 9);
+        let spec = super::super::spec::trace_ws(&work, &cfg);
+        assert_eq!(t.cycles(), spec.cycles());
+        assert_eq!(t.macs(), spec.macs());
+    }
+
+    #[test]
+    fn run_lengths_encode_split_lists() {
+        assert_eq!(run_lengths(&[8, 8, 8, 5]), vec![(8, 3), (5, 1)]);
+        assert_eq!(run_lengths(&[4]), vec![(4, 1)]);
+        assert!(run_lengths(&[]).is_empty());
     }
 }

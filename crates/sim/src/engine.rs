@@ -3,6 +3,7 @@
 //! results.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
@@ -73,7 +74,20 @@ impl SimOptions {
             }
             TrafficModel::TilingSearch => optimize_tiling(work, cfg)?.traffic,
         };
-        Ok(match self.weight_compression {
+        Ok(self.finish_traffic(raw, work, cfg))
+    }
+
+    /// Applies the optional weight compression to already-derived raw
+    /// traffic. Lets consumers that have run the tiling search themselves
+    /// (e.g. the event model's tile lowering) reuse its traffic without a
+    /// second search.
+    pub(crate) fn finish_traffic(
+        &self,
+        raw: crate::dram::DramTraffic,
+        work: &ConvWork,
+        cfg: &AcceleratorConfig,
+    ) -> crate::dram::DramTraffic {
+        match self.weight_compression {
             Some(c) => c.apply(
                 raw,
                 work.weight_elements(),
@@ -81,7 +95,7 @@ impl SimOptions {
                 cfg.bytes_per_element() as u64,
             ),
             None => raw,
-        })
+        }
     }
 }
 
@@ -217,18 +231,42 @@ fn conv_layer_parts(
 pub struct Simulator {
     cache: Option<Arc<SimCache>>,
     tracer: Tracer,
+    cycles: Arc<AtomicU64>,
 }
 
 impl Simulator {
     /// A simulator with memoization enabled (an empty cache).
     pub fn new() -> Self {
-        Self { cache: Some(Arc::new(SimCache::new())), tracer: Tracer::disabled() }
+        Self {
+            cache: Some(Arc::new(SimCache::new())),
+            tracer: Tracer::disabled(),
+            cycles: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// A simulator that always recomputes — the baseline the determinism
     /// tests compare cached runs against.
     pub fn uncached() -> Self {
-        Self { cache: None, tracer: Tracer::disabled() }
+        Self { cache: None, tracer: Tracer::disabled(), cycles: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A handle sharing this simulator's cache and tracer but carrying a
+    /// fresh simulated-cycles odometer — the bench report forks one per
+    /// experiment so per-experiment throughput can be attributed while
+    /// memo entries stay shared.
+    pub fn fork_counter(&self) -> Self {
+        Self {
+            cache: self.cache.clone(),
+            tracer: self.tracer.clone(),
+            cycles: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Total simulated cycles delivered through this handle (and its
+    /// plain clones): the sum of `total_cycles` over every per-layer
+    /// result returned, whether computed or answered from a memo.
+    pub fn cycles_simulated(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
     }
 
     /// Attaches a tracer; simulation spans and counters are recorded
@@ -368,6 +406,7 @@ impl Simulator {
             }),
         };
         let (perf, answered) = result.map_err(|e| self.note_error(e.for_layer(&layer.name)))?;
+        self.cycles.fetch_add(perf.total_cycles, Ordering::Relaxed);
         if self.tracer.is_enabled() {
             // Global counters. Note the cache.* triple is
             // schedule-dependent under parallel misses and lock timing

@@ -13,19 +13,49 @@
 //! input load — fall out of the event order instead of being assumed
 //! away, so the event totals run a documented few tens of percent above
 //! the analytic estimate on networks dominated by small layers.
+//!
+//! # Time skipping
+//!
+//! The scheduler is a next-event queue over the two units: each step
+//! jumps straight to the earliest completion time instead of advancing
+//! cycle by cycle. On top of that, steady-state runs of identical tiles
+//! are advanced in one arithmetic step: once two consecutive identical
+//! tiles finish with the same uniform clock advance Δ (every unit clock
+//! moved by exactly Δ and no constant clamp — layer start, pending
+//! weights — was active), every following identical tile must repeat the
+//! same pattern shifted by Δ, because the unit update rules only compare
+//! clocks against each other. The remaining run then collapses to
+//! `k · Δ` ([`units::DmaUnit::fast_forward`]). [`TimeSkip::Disabled`]
+//! keeps the tile-by-tile walk as the executable baseline; the test
+//! suite holds the two bit-identical across the zoo.
 
 pub mod units;
+
+use std::collections::HashMap;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy};
 use codesign_dnn::{Layer, Network};
 
-use crate::engine::{try_simulate_conv, SimOptions};
+use crate::dram::conv_traffic;
+use crate::engine::{try_simulate_conv, SimOptions, Simulator, TrafficModel};
 use crate::error::{SimError, SimResult};
 use crate::simd::simulate_simd;
 use crate::tiling::optimize_tiling;
 use crate::workload::ConvWork;
 
 use units::{ArrayUnit, Cycle, DmaUnit};
+
+/// Whether steady-state runs of identical tiles are advanced in one
+/// arithmetic step or played tile by tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSkip {
+    /// Fast-forward identical-tile runs (the default).
+    #[default]
+    Enabled,
+    /// Walk every tile — the executable baseline the fast path is
+    /// property-tested against.
+    Disabled,
+}
 
 /// One layer's outcome under the event model.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +111,9 @@ struct LayerTxns {
 
 /// Builds a layer's tile sequence: the tiling plan fixes the tile count
 /// and total traffic; the analytic model fixes total compute. Both are
-/// spread evenly across tiles (remainders on the last tile).
+/// spread evenly across tiles (remainders on the last tile). The single
+/// `optimize_tiling` search serves both the tile count and the traffic
+/// totals — the lowering never runs the §4.1.3 search twice.
 fn tile_sequence(
     work: &ConvWork,
     cfg: &AcceleratorConfig,
@@ -95,7 +127,14 @@ fn tile_sequence(
         * work.in_channels.div_ceil(plan.tiling.in_channels)
         * work.groups) as u64;
     let tiles = tiles.max(1);
-    let traffic = opts.layer_traffic(work, cfg)?;
+    let raw = match opts.traffic {
+        TrafficModel::ClosedForm => {
+            work.validate()?;
+            conv_traffic(work, cfg)
+        }
+        TrafficModel::TilingSearch => plan.traffic,
+    };
+    let traffic = opts.finish_traffic(raw, work, cfg);
     let spread = |total: u64, i: u64| {
         let base = total / tiles;
         if i == tiles - 1 {
@@ -132,6 +171,75 @@ struct PipelineState {
     finished: Cycle,
 }
 
+/// End-of-iteration snapshot used to detect the steady state: all unit
+/// clocks plus the accumulated counters, and whether a constant clamp
+/// (pending weights) still shaped this iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IterSnap {
+    loaded: Cycle,
+    dma_free: Cycle,
+    array_free: Cycle,
+    finish: Cycle,
+    stalls: Cycle,
+    dma_busy: Cycle,
+    dma_bursts: u64,
+    array_busy: Cycle,
+    weights_pending: bool,
+}
+
+/// Per-iteration advance once the pipeline is periodic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IterDelta {
+    dt: Cycle,
+    stalls: Cycle,
+    dma_busy: Cycle,
+    dma_bursts: u64,
+    array_busy: Cycle,
+}
+
+/// Detects the steady state from three consecutive snapshots: the two
+/// iteration deltas must match field for field, every clock must have
+/// advanced by the same Δ (a uniform time translation), and no constant
+/// clamp may have been active. Under those conditions the unit update
+/// rules — which only compare clocks against each other — commute with
+/// the translation, so every later identical tile repeats the pattern.
+fn steady_delta(a: &IterSnap, b: &IterSnap, c: &IterSnap) -> Option<IterDelta> {
+    if b.weights_pending || c.weights_pending {
+        return None;
+    }
+    let delta = |x: &IterSnap, y: &IterSnap| {
+        Some(IterDelta {
+            dt: y.loaded.checked_sub(x.loaded)?,
+            stalls: y.stalls.checked_sub(x.stalls)?,
+            dma_busy: y.dma_busy.checked_sub(x.dma_busy)?,
+            dma_bursts: y.dma_bursts.checked_sub(x.dma_bursts)?,
+            array_busy: y.array_busy.checked_sub(x.array_busy)?,
+        })
+    };
+    let d1 = delta(a, b)?;
+    let d2 = delta(b, c)?;
+    let uniform = c.dma_free.checked_sub(b.dma_free) == Some(d2.dt)
+        && c.array_free.checked_sub(b.array_free) == Some(d2.dt)
+        && c.finish.checked_sub(b.finish) == Some(d2.dt)
+        && b.dma_free.checked_sub(a.dma_free) == Some(d1.dt)
+        && b.array_free.checked_sub(a.array_free) == Some(d1.dt)
+        && b.finish.checked_sub(a.finish) == Some(d1.dt);
+    (d1 == d2 && uniform).then_some(d2)
+}
+
+/// The longest run of leading identical tiles that a steady-state jump
+/// may cover: iteration `i` both consumes `tiles[i]` and (when double
+/// buffering) prefetches `tiles[i + 1]`, so both must equal the base
+/// tile for the iteration to be periodic.
+fn steady_window_end(tiles: &[TileTxn]) -> Option<usize> {
+    let base = tiles.first()?;
+    let prefix = tiles.iter().take_while(|t| *t == base).count();
+    if prefix < 3 {
+        return None; // nothing beyond the detection iterations
+    }
+    Some((prefix - 2).min(tiles.len() - 2))
+}
+
 /// Plays one layer's transactions through the units; returns the updated
 /// pipeline state plus `(stall cycles, tile count)`.
 fn play_layer(
@@ -140,11 +248,18 @@ fn play_layer(
     array: &mut ArrayUnit,
     state: PipelineState,
     double_buffering: bool,
+    skip: TimeSkip,
 ) -> (PipelineState, Cycle, u64) {
     let now = state.finished;
     let mut stalls = 0;
     let mut finish = now;
     let mut first_compute_start = now;
+    let n = txns.tiles.len();
+    let window_end = match skip {
+        TimeSkip::Enabled => steady_window_end(&txns.tiles),
+        TimeSkip::Disabled => None,
+    };
+    let mut prev_snaps: (Option<IterSnap>, Option<IterSnap>) = (None, None);
     if double_buffering {
         // Weights have no data dependency: stream them as soon as the
         // previous layer's compute frees a buffer half.
@@ -154,7 +269,9 @@ fn play_layer(
         // half frees), so it runs under that compute; stores ride the
         // DMA afterwards and may themselves overlap later tiles.
         let mut loaded = dma.transfer(now, txns.tiles[0].input_bytes);
-        for (i, t) in txns.tiles.iter().enumerate() {
+        let mut i = 0usize;
+        while i < n {
+            let t = txns.tiles[i];
             let ready = loaded.max(weights_done);
             let start = ready.max(array.free_at()).max(now);
             stalls += start.saturating_sub(array.free_at().max(now));
@@ -166,11 +283,44 @@ fn play_layer(
             }
             let done = array.run(start, t.compute_cycles);
             finish = dma.transfer(done, t.store_bytes).max(done);
+
+            if let Some(we) = window_end.filter(|&we| i <= we) {
+                let cur = IterSnap {
+                    loaded,
+                    dma_free: dma.free_at(),
+                    array_free: array.free_at(),
+                    finish,
+                    stalls,
+                    dma_busy: dma.busy_cycles(),
+                    dma_bursts: dma.bursts(),
+                    array_busy: array.busy_cycles(),
+                    weights_pending: weights_done > loaded,
+                };
+                if let (Some(a), Some(b)) = (prev_snaps.0, prev_snaps.1) {
+                    if let Some(d) = steady_delta(&a, &b, &cur) {
+                        let k = (we - i) as u64;
+                        if k > 0 {
+                            loaded += k * d.dt;
+                            finish += k * d.dt;
+                            stalls += k * d.stalls;
+                            dma.fast_forward(k * d.dt, k * d.dma_busy, k * d.dma_bursts);
+                            array.fast_forward(k * d.dt, k * d.array_busy);
+                            prev_snaps = (None, None);
+                            i = we + 1;
+                            continue;
+                        }
+                    }
+                }
+                prev_snaps = (prev_snaps.1, Some(cur));
+            }
+            i += 1;
         }
     } else {
         let weights_done = dma.transfer(now, txns.weight_bytes);
         finish = finish.max(weights_done);
-        for (i, t) in txns.tiles.iter().enumerate() {
+        let mut i = 0usize;
+        while i < n {
+            let t = txns.tiles[i];
             let loaded = dma.transfer(finish, t.input_bytes);
             let start = loaded.max(array.free_at());
             if i == 0 {
@@ -178,6 +328,35 @@ fn play_layer(
             }
             let done = array.run(start, t.compute_cycles);
             finish = dma.transfer(done, t.store_bytes).max(done);
+
+            if let Some(we) = window_end.filter(|&we| i <= we) {
+                let cur = IterSnap {
+                    loaded,
+                    dma_free: dma.free_at(),
+                    array_free: array.free_at(),
+                    finish,
+                    stalls,
+                    dma_busy: dma.busy_cycles(),
+                    dma_bursts: dma.bursts(),
+                    array_busy: array.busy_cycles(),
+                    weights_pending: false,
+                };
+                if let (Some(a), Some(b)) = (prev_snaps.0, prev_snaps.1) {
+                    if let Some(d) = steady_delta(&a, &b, &cur) {
+                        let k = (we - i) as u64;
+                        if k > 0 {
+                            finish += k * d.dt;
+                            dma.fast_forward(k * d.dt, k * d.dma_busy, k * d.dma_bursts);
+                            array.fast_forward(k * d.dt, k * d.array_busy);
+                            prev_snaps = (None, None);
+                            i = we + 1;
+                            continue;
+                        }
+                    }
+                }
+                prev_snaps = (prev_snaps.1, Some(cur));
+            }
+            i += 1;
         }
     }
     (
@@ -187,28 +366,90 @@ fn play_layer(
     )
 }
 
-/// Runs a whole network through the event model. Layers execute back to
-/// back (the paper's layer-by-layer operation), each with its own tile
-/// pipeline.
+/// Per-network lowering context: a memoizing [`Simulator`] for the
+/// dataflow decision plus a shape-keyed cache of lowered tile sequences,
+/// so repeated layer shapes (fire modules, depthwise ladders) lower
+/// once.
+struct Lowering {
+    sim: Simulator,
+    txns: HashMap<(ConvWork, Dataflow), LayerTxns>,
+    best: HashMap<ConvWork, Dataflow>,
+}
+
+impl Lowering {
+    fn new() -> Self {
+        Self { sim: Simulator::new(), txns: HashMap::new(), best: HashMap::new() }
+    }
+
+    fn lower_layer(
+        &mut self,
+        layer: &Layer,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        policy: DataflowPolicy,
+    ) -> SimResult<LayerTxns> {
+        let lowered = match ConvWork::from_layer(layer) {
+            Some(work) => {
+                let dataflow = match policy {
+                    DataflowPolicy::Fixed(d) => d,
+                    DataflowPolicy::PerLayer => match self.best.get(&work) {
+                        Some(&d) => d,
+                        None => {
+                            let d = self.sim.try_compare_dataflows(layer, cfg, opts)?.2;
+                            self.best.insert(work, d);
+                            d
+                        }
+                    },
+                };
+                match self.txns.get(&(work, dataflow)) {
+                    Some(t) => Ok(t.clone()),
+                    None => {
+                        let t = tile_sequence(&work, cfg, opts, dataflow)?;
+                        self.txns.insert((work, dataflow), t.clone());
+                        Ok(t)
+                    }
+                }
+            }
+            None => simulate_simd(layer, cfg).map(|perf| {
+                let e = cfg.bytes_per_element() as u64;
+                LayerTxns {
+                    weight_bytes: 0,
+                    tiles: vec![TileTxn {
+                        input_bytes: layer.input.elements() as u64 * e,
+                        compute_cycles: perf.cycles(),
+                        store_bytes: layer.output.elements() as u64 * e,
+                    }],
+                }
+            }),
+        };
+        lowered.map_err(|e: SimError| e.for_layer(&layer.name))
+    }
+}
+
+/// Runs a whole network through the event model with an explicit
+/// [`TimeSkip`] mode. Layers execute back to back (the paper's
+/// layer-by-layer operation), each with its own tile pipeline.
 ///
 /// # Errors
 ///
 /// The first [`SimError`] any layer surfaces, attributed to that layer.
-pub fn try_simulate_network_event(
+pub fn try_simulate_network_event_mode(
     network: &Network,
     cfg: &AcceleratorConfig,
     policy: DataflowPolicy,
     opts: SimOptions,
+    skip: TimeSkip,
 ) -> SimResult<EventResult> {
+    let mut lowering = Lowering::new();
     let mut dma = DmaUnit::new(cfg.dram());
     let mut array = ArrayUnit::new();
     let mut state = PipelineState { prev_compute_start: 0, finished: 0 };
     let mut layers = Vec::with_capacity(network.layers().len());
     for layer in network.layers() {
         let start = state.finished;
-        let txns = lower_layer(layer, cfg, opts, policy)?;
+        let txns = lowering.lower_layer(layer, cfg, opts, policy)?;
         let (next, stalls, tiles) =
-            play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering());
+            play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering(), skip);
         layers.push(EventLayerResult {
             name: layer.name.clone(),
             cycles: next.finished - start,
@@ -220,6 +461,20 @@ pub fn try_simulate_network_event(
     Ok(EventResult { network: network.name().to_owned(), layers })
 }
 
+/// Runs a whole network through the event model (time skipping on).
+///
+/// # Errors
+///
+/// The first [`SimError`] any layer surfaces, attributed to that layer.
+pub fn try_simulate_network_event(
+    network: &Network,
+    cfg: &AcceleratorConfig,
+    policy: DataflowPolicy,
+    opts: SimOptions,
+) -> SimResult<EventResult> {
+    try_simulate_network_event_mode(network, cfg, policy, opts, TimeSkip::Enabled)
+}
+
 /// Runs a whole network through the event model. Infallible wrapper
 /// over [`try_simulate_network_event`].
 pub fn simulate_network_event(
@@ -229,37 +484,6 @@ pub fn simulate_network_event(
     opts: SimOptions,
 ) -> EventResult {
     try_simulate_network_event(network, cfg, policy, opts).unwrap_or_else(|e| e.raise())
-}
-
-fn lower_layer(
-    layer: &Layer,
-    cfg: &AcceleratorConfig,
-    opts: SimOptions,
-    policy: DataflowPolicy,
-) -> SimResult<LayerTxns> {
-    let lowered = match ConvWork::from_layer(layer) {
-        Some(work) => {
-            let dataflow = match policy {
-                DataflowPolicy::Fixed(d) => d,
-                DataflowPolicy::PerLayer => {
-                    crate::engine::try_compare_dataflows(layer, cfg, opts)?.2
-                }
-            };
-            tile_sequence(&work, cfg, opts, dataflow)
-        }
-        None => simulate_simd(layer, cfg).map(|perf| {
-            let e = cfg.bytes_per_element() as u64;
-            LayerTxns {
-                weight_bytes: 0,
-                tiles: vec![TileTxn {
-                    input_bytes: layer.input.elements() as u64 * e,
-                    compute_cycles: perf.cycles(),
-                    store_bytes: layer.output.elements() as u64 * e,
-                }],
-            }
-        }),
-    };
-    lowered.map_err(|e: SimError| e.for_layer(&layer.name))
 }
 
 /// Helper for one standalone layer (unit tests, calibration).
@@ -275,10 +499,11 @@ pub fn try_simulate_layer_event(
 ) -> SimResult<EventLayerResult> {
     let mut dma = DmaUnit::new(cfg.dram());
     let mut array = ArrayUnit::new();
-    let txns = lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow))?;
+    let txns =
+        Lowering::new().lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow))?;
     let state = PipelineState { prev_compute_start: 0, finished: 0 };
     let (next, stalls, tiles) =
-        play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering());
+        play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering(), TimeSkip::Enabled);
     Ok(EventLayerResult {
         name: layer.name.clone(),
         cycles: next.finished,
@@ -324,6 +549,58 @@ mod tests {
                 .total_cycles() as f64;
             let ratio = event / analytic;
             assert!((0.8..1.4).contains(&ratio), "{}: event/analytic = {ratio:.3}", net.name());
+        }
+    }
+
+    #[test]
+    fn time_skip_matches_the_tile_by_tile_baseline_on_the_zoo() {
+        // The fast-forward jump must be invisible: identical per-layer
+        // cycles, stalls, and tile counts on every zoo network, under
+        // both dataflow policies.
+        let (cfg, opts) = setup();
+        for net in zoo::table_networks() {
+            for policy in [
+                DataflowPolicy::PerLayer,
+                DataflowPolicy::Fixed(Dataflow::WeightStationary),
+                DataflowPolicy::Fixed(Dataflow::OutputStationary),
+            ] {
+                let fast =
+                    try_simulate_network_event_mode(&net, &cfg, policy, opts, TimeSkip::Enabled)
+                        .expect("fast event sim");
+                let spec =
+                    try_simulate_network_event_mode(&net, &cfg, policy, opts, TimeSkip::Disabled)
+                        .expect("baseline event sim");
+                assert_eq!(fast, spec, "{} under {policy}", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn time_skip_matches_baseline_without_double_buffering() {
+        let opts = SimOptions::paper_default();
+        let cfg = AcceleratorConfig::builder()
+            .double_buffering(false)
+            .global_buffer_bytes(64 * 1024)
+            .build()
+            .unwrap();
+        for net in [zoo::squeezenet_v1_1(), zoo::alexnet()] {
+            let fast = try_simulate_network_event_mode(
+                &net,
+                &cfg,
+                DataflowPolicy::PerLayer,
+                opts,
+                TimeSkip::Enabled,
+            )
+            .expect("fast event sim");
+            let spec = try_simulate_network_event_mode(
+                &net,
+                &cfg,
+                DataflowPolicy::PerLayer,
+                opts,
+                TimeSkip::Disabled,
+            )
+            .expect("baseline event sim");
+            assert_eq!(fast, spec, "{}", net.name());
         }
     }
 

@@ -58,6 +58,17 @@ impl DmaUnit {
     pub fn bursts(&self) -> u64 {
         self.bursts
     }
+
+    /// Advances the unit over a steady-state run in one step: the
+    /// busy-until clock shifts by `dt` while the accumulated busy time
+    /// and burst count grow by the run's per-iteration totals. Sound
+    /// only when the skipped iterations are exact time translations of
+    /// an observed one ([`crate::event::TimeSkip`]).
+    pub fn fast_forward(&mut self, dt: Cycle, busy: Cycle, bursts: u64) {
+        self.free_at += dt;
+        self.busy_cycles += busy;
+        self.bursts += bursts;
+    }
 }
 
 /// The PE array (or SIMD unit): executes compute quanta serially.
@@ -90,6 +101,13 @@ impl ArrayUnit {
     /// Total busy cycles.
     pub fn busy_cycles(&self) -> Cycle {
         self.busy_cycles
+    }
+
+    /// Advances the unit over a steady-state run in one step; see
+    /// [`DmaUnit::fast_forward`].
+    pub fn fast_forward(&mut self, dt: Cycle, busy: Cycle) {
+        self.free_at += dt;
+        self.busy_cycles += busy;
     }
 }
 

@@ -76,7 +76,8 @@ pub use engine::{
 pub use error::{SimError, SimResult};
 pub use event::{
     simulate_layer_event, simulate_network_event, try_simulate_layer_event,
-    try_simulate_network_event, EventLayerResult, EventResult,
+    try_simulate_network_event, try_simulate_network_event_mode, EventLayerResult, EventResult,
+    TimeSkip,
 };
 pub use faultinject::{run_corpus, CaseOutcome, FaultCase, FaultReport};
 pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};

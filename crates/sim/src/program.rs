@@ -183,10 +183,11 @@ impl Program {
                 };
                 // Merge consecutive same-phase segments into one
                 // command each (the listing stays readable for
-                // thousand-segment layers).
+                // thousand-segment layers). Macro-segments fold their
+                // whole repeat run into the command.
                 for seg in trace.segments() {
-                    let cycles = seg.cycles;
-                    let macs = seg.cycles * seg.macs_per_cycle;
+                    let cycles = seg.total_cycles();
+                    let macs = seg.total_macs();
                     match (seg.phase, commands.last_mut()) {
                         (Phase::Load, Some(Command::Preload { cycles: c })) => *c += cycles,
                         (Phase::Compute, Some(Command::Compute { cycles: c, macs: m })) => {

@@ -62,35 +62,46 @@ impl fmt::Display for TaxonomyDataflow {
     }
 }
 
-fn layer_cycles(
+/// Cycles for one layer under all four dataflows at once. Traffic is
+/// dataflow independent, so the (expensive) tiling search runs once per
+/// distinct [`ConvWork`] shape and its DRAM cycles are combined with all
+/// four compute walks; repeated shapes (fire modules, depthwise ladders)
+/// hit the `memo` instead of re-deriving anything.
+fn layer_cycles_all(
     layer: &Layer,
     cfg: &AcceleratorConfig,
     opts: SimOptions,
-    dataflow: TaxonomyDataflow,
-) -> SimResult<u64> {
-    let compute: ComputePerf = match ConvWork::from_layer(layer) {
+    memo: &mut std::collections::HashMap<ConvWork, [u64; 4]>,
+) -> SimResult<[u64; 4]> {
+    match ConvWork::from_layer(layer) {
         Some(work) => {
+            if let Some(&per) = memo.get(&work) {
+                return Ok(per);
+            }
             // Validation precedes the cycle models (RS and NLR assume
             // well-formed work, just like WS and OS).
             work.validate().map_err(|e| e.for_layer(&layer.name))?;
-            let perf = match dataflow {
-                TaxonomyDataflow::Ws => simulate_ws(&work, cfg),
-                TaxonomyDataflow::Os => simulate_os(&work, cfg, opts.os),
-                TaxonomyDataflow::Rs => simulate_rs(&work, cfg),
-                TaxonomyDataflow::Nlr => simulate_nlr(&work, cfg),
-            };
             let traffic = opts.layer_traffic(&work, cfg).map_err(|e| e.for_layer(&layer.name))?;
-            return Ok(combine_cycles(
-                perf.cycles(),
-                cfg.dram().transfer_cycles(traffic.total()),
-                cfg,
-            ));
+            let dram = cfg.dram().transfer_cycles(traffic.total());
+            let per = [
+                simulate_ws(&work, cfg),
+                simulate_os(&work, cfg, opts.os),
+                simulate_rs(&work, cfg),
+                simulate_nlr(&work, cfg),
+            ]
+            .map(|perf| combine_cycles(perf.cycles(), dram, cfg));
+            memo.insert(work, per);
+            Ok(per)
         }
-        None => simulate_simd(layer, cfg).map_err(|e: SimError| e.for_layer(&layer.name))?,
-    };
-    let bytes =
-        (layer.input.elements() + layer.output.elements()) as u64 * cfg.bytes_per_element() as u64;
-    Ok(combine_cycles(compute.cycles(), cfg.dram().transfer_cycles(bytes), cfg))
+        None => {
+            let compute: ComputePerf =
+                simulate_simd(layer, cfg).map_err(|e: SimError| e.for_layer(&layer.name))?;
+            let bytes = (layer.input.elements() + layer.output.elements()) as u64
+                * cfg.bytes_per_element() as u64;
+            let cycles = combine_cycles(compute.cycles(), cfg.dram().transfer_cycles(bytes), cfg);
+            Ok([cycles; 4])
+        }
+    }
 }
 
 /// Whole-network cycles under each fixed dataflow plus the two- and
@@ -143,11 +154,9 @@ pub fn try_compare_taxonomy(
     let mut hybrid2 = 0u64;
     let mut hybrid4 = 0u64;
     let mut extra_choices = 0usize;
+    let mut memo = std::collections::HashMap::new();
     for layer in network.layers() {
-        let mut per = [0u64; 4];
-        for (slot, d) in per.iter_mut().zip(TaxonomyDataflow::ALL) {
-            *slot = layer_cycles(layer, cfg, opts, d)?;
-        }
+        let per = layer_cycles_all(layer, cfg, opts, &mut memo)?;
         for (f, c) in fixed.iter_mut().zip(&per) {
             *f += c;
         }

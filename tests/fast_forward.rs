@@ -1,0 +1,214 @@
+//! Property tests for the fast-forward execution layer.
+//!
+//! The run-length WS/OS/RS machines (`codesign::sim::cycle`) must be
+//! bit-identical to the step-by-step loop walks kept in `cycle::spec` on
+//! every aggregate the simulator consumes — total cycles, per-phase
+//! cycles, MACs, busy-PE cycles, step counts, and the per-cycle
+//! expansion. Likewise the event model's steady-state time skip must
+//! reproduce the tile-by-tile baseline exactly. These invariants are the
+//! licence to ship the fast paths as the defaults.
+
+use codesign::arch::{AcceleratorConfig, DataflowPolicy};
+use codesign::dnn::zoo;
+use codesign::sim::cycle::{self, spec, MachineTrace};
+use codesign::sim::{
+    try_simulate_network_event_mode, ConvWork, OsModelOptions, SimOptions, SparsityModel, TimeSkip,
+    WorkKind,
+};
+use proptest::prelude::*;
+
+/// Every aggregate a consumer can observe must agree between the
+/// fast-forward machine and the executable spec.
+fn assert_fast_matches_spec(fast: &MachineTrace, spec: &MachineTrace, what: &str) {
+    assert_eq!(fast.cycles(), spec.cycles(), "{what}: total cycles");
+    assert_eq!(fast.phase_totals(), spec.phase_totals(), "{what}: per-phase cycles");
+    assert_eq!(fast.macs(), spec.macs(), "{what}: MACs");
+    assert_eq!(fast.active_pe_cycles(), spec.active_pe_cycles(), "{what}: busy-PE cycles");
+    assert_eq!(fast.steps(), spec.steps(), "{what}: expanded step count");
+    // The per-cycle expansion walk is O(total cycles); cap it so huge
+    // random shapes don't dominate the suite (the aggregate equalities
+    // above already pin every total unconditionally).
+    if fast.cycles() < 2_000_000 {
+        assert_eq!(
+            fast.iter_cycles().count() as u64,
+            spec.iter_cycles().count() as u64,
+            "{what}: expansion length"
+        );
+        assert_eq!(
+            fast.iter_cycles().map(|c| c.macs).sum::<u64>(),
+            spec.iter_cycles().map(|c| c.macs).sum::<u64>(),
+            "{what}: expansion MACs"
+        );
+    }
+}
+
+fn check_all_machines(work: &ConvWork, cfg: &AcceleratorConfig, os_opts: OsModelOptions) {
+    assert_fast_matches_spec(
+        &cycle::trace_ws(work, cfg),
+        &spec::trace_ws(work, cfg),
+        &format!("ws {work:?} on {cfg}"),
+    );
+    assert_fast_matches_spec(
+        &cycle::trace_os(work, cfg, os_opts),
+        &spec::trace_os(work, cfg, os_opts),
+        &format!("os {work:?} on {cfg} with {os_opts:?}"),
+    );
+    assert_fast_matches_spec(
+        &cycle::trace_rs(work, cfg),
+        &spec::trace_rs(work, cfg),
+        &format!("rs {work:?} on {cfg}"),
+    );
+}
+
+/// A random but well-formed accelerator configuration.
+fn config() -> impl Strategy<Value = AcceleratorConfig> {
+    (
+        prop_oneof![Just(8usize), Just(16), Just(32)],
+        prop_oneof![Just(4usize), Just(8), Just(16), Just(32)],
+        prop_oneof![Just(64usize), Just(128), Just(256)],
+        any::<bool>(),
+    )
+        .prop_map(|(n, rf, kb, db)| {
+            AcceleratorConfig::builder()
+                .array_size(n)
+                .rf_depth(rf)
+                .global_buffer_bytes(kb * 1024)
+                .double_buffering(db)
+                .build()
+                .expect("generated configurations are valid")
+        })
+}
+
+/// A random convolution workload covering dense, grouped, depthwise,
+/// and fully-connected shapes.
+fn work() -> impl Strategy<Value = ConvWork> {
+    (
+        prop_oneof![
+            Just(WorkKind::Dense),
+            Just(WorkKind::Depthwise),
+            Just(WorkKind::FullyConnected),
+        ],
+        1usize..=96, // channels (per group)
+        1usize..=96, // filters (per group)
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        1usize..=2,  // stride
+        1usize..=32, // output extent
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+    )
+        .prop_map(|(kind, c, k, f, stride, oh, g)| {
+            let (groups, cin, cout, f, stride, oh) = match kind {
+                WorkKind::Depthwise => (1, c, c, f, stride, oh),
+                WorkKind::FullyConnected => (1, c * 16, k * 8, 1, 1, 1),
+                _ => (g, c * g, k * g, f, stride, oh),
+            };
+            ConvWork {
+                kind,
+                groups,
+                in_channels: cin,
+                out_channels: cout,
+                kernel_h: f,
+                kernel_w: f,
+                stride,
+                in_h: (oh - 1) * stride + f,
+                in_w: (oh - 1) * stride + f,
+                out_h: oh,
+                out_w: oh,
+            }
+        })
+}
+
+/// Random OS datapath model switches.
+fn os_opts() -> impl Strategy<Value = OsModelOptions> {
+    (prop_oneof![Just(0.0f64), Just(0.25), Just(0.4)], any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_map(|(zero_fraction, exploit, preload_overlap, channel_packing)| OsModelOptions {
+            sparsity: SparsityModel { zero_fraction, exploit },
+            preload_overlap,
+            channel_packing,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole contract: fast-forward == spec, bit for bit, over
+    /// arbitrary `ConvWork` × `AcceleratorConfig` × OS model options.
+    #[test]
+    fn fast_forward_machines_match_the_spec(
+        work in work(),
+        cfg in config(),
+        os_opts in os_opts(),
+    ) {
+        work.validate().expect("generated workloads are well-formed");
+        check_all_machines(&work, &cfg, os_opts);
+    }
+}
+
+fn pinned(kind: WorkKind, groups: usize, c: usize, k: usize, f: usize, s: usize, oh: usize) -> ConvWork {
+    ConvWork {
+        kind,
+        groups,
+        in_channels: c,
+        out_channels: k,
+        kernel_h: f,
+        kernel_w: f,
+        stride: s,
+        in_h: (oh - 1) * s + f,
+        in_w: (oh - 1) * s + f,
+        out_h: oh,
+        out_w: oh,
+    }
+}
+
+/// Shapes that have historically exercised distinct aggregation paths:
+/// depthwise (off-diagonal dead tiles), grouped dense, 1×1 pointwise,
+/// and a single-tile layer whose whole schedule is one repeat block.
+#[test]
+fn pinned_regressions_match_the_spec() {
+    let cases = [
+        pinned(WorkKind::Depthwise, 1, 32, 32, 3, 1, 112), // MobileNet stem block
+        pinned(WorkKind::Depthwise, 1, 512, 512, 3, 2, 7),
+        pinned(WorkKind::Dense, 2, 48, 128, 5, 1, 27),     // AlexNet-style grouped conv
+        pinned(WorkKind::Dense, 4, 64, 64, 3, 1, 14),
+        pinned(WorkKind::Dense, 1, 96, 16, 1, 1, 55),      // fire-module squeeze (1×1)
+        pinned(WorkKind::Dense, 1, 8, 8, 3, 1, 4),         // single tile on every array size
+        pinned(WorkKind::FullyConnected, 1, 4096, 1000, 1, 1, 1),
+    ];
+    let cfgs = [
+        AcceleratorConfig::paper_default(),
+        AcceleratorConfig::builder().array_size(8).rf_depth(32).build().expect("valid config"),
+    ];
+    for cfg in &cfgs {
+        for work in &cases {
+            work.validate().expect("pinned workloads are well-formed");
+            check_all_machines(work, cfg, OsModelOptions::paper_default());
+        }
+    }
+}
+
+/// The event pipeline's steady-state time skip must reproduce the
+/// tile-by-tile baseline exactly — totals, per-layer results, stall and
+/// utilization accounting — across the whole six-network zoo.
+#[test]
+fn event_time_skip_matches_the_interleaved_baseline_on_the_zoo() {
+    let cfg = AcceleratorConfig::paper_default();
+    let opts = SimOptions::paper_default();
+    for net in zoo::table_networks() {
+        let fast = try_simulate_network_event_mode(
+            &net,
+            &cfg,
+            DataflowPolicy::PerLayer,
+            opts,
+            TimeSkip::Enabled,
+        )
+        .expect("zoo networks simulate");
+        let baseline = try_simulate_network_event_mode(
+            &net,
+            &cfg,
+            DataflowPolicy::PerLayer,
+            opts,
+            TimeSkip::Disabled,
+        )
+        .expect("zoo networks simulate");
+        assert_eq!(fast, baseline, "{}", net.name());
+    }
+}
