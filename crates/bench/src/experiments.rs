@@ -6,8 +6,8 @@
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_core::{
-    advantage_range_with, compare_all, machine_balance, pareto_front, roofline, spectrum_with, CodesignStudy,
-    CostAxis, NetworkSchedule, SweepSpace,
+    advantage_range_with, compare_all, machine_balance, pareto_front, roofline, spectrum_with,
+    CodesignStudy, CostAxis, NetworkSchedule, SweepSpace,
 };
 use codesign_dnn::{zoo, LayerClass, MacBreakdown, Network};
 use codesign_sim::{

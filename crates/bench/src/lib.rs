@@ -20,6 +20,7 @@
 pub mod chart;
 pub mod experiments;
 pub mod report_json;
+pub mod serve_bench;
 pub mod stopwatch;
 pub mod svg;
 pub mod table;
@@ -30,5 +31,6 @@ pub use report_json::{
     BenchReport, ExperimentTiming, NetworkHeadline, SweepBench, BENCH_REPORT_SCHEMA,
     SWEEP_BASELINE_WALL_MS,
 };
+pub use serve_bench::ServeBench;
 pub use svg::{bars_svg, scatter_svg, ScatterPoint};
 pub use table::Table;

@@ -15,12 +15,15 @@ use codesign_sim::{resolve_jobs, CacheStats, SimOptions, Simulator};
 use codesign_trace::json::{number, quote};
 
 use crate::experiments::Context;
+use crate::serve_bench::ServeBench;
 
 /// Schema identifier written into every report. Bump the suffix when the
 /// document shape changes incompatibly. `/2` added the `contended` cache
 /// counter and the `sweep_bench` section; `/3` added per-experiment
-/// `sim_cycles` and `sim_cycles_per_sec` throughput.
-pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/3";
+/// `sim_cycles` and `sim_cycles_per_sec` throughput; `/4` added the
+/// `serve_bench` section (concurrent-client cache sharing and snapshot
+/// warm-start speedup).
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/4";
 
 /// Pre-overhaul reference wall time for [`SweepBench`]: the
 /// paper-default sweep over the six table networks took ~206 ms at
@@ -167,6 +170,9 @@ pub struct BenchReport {
     pub cache: CacheStats,
     /// Timed cold-cache sweep over the full zoo.
     pub sweep_bench: SweepBench,
+    /// Serve-mode load bench: concurrent-client cache sharing and
+    /// snapshot warm-start speedup.
+    pub serve_bench: ServeBench,
     /// Per-network headlines for the paper's table networks.
     pub networks: Vec<NetworkHeadline>,
 }
@@ -214,6 +220,7 @@ impl BenchReport {
             experiments,
             cache: ctx.sim.stats(),
             sweep_bench: SweepBench::measure(ctx.jobs),
+            serve_bench: ServeBench::measure(ctx.jobs),
             networks,
         }
     }
@@ -271,15 +278,35 @@ impl BenchReport {
             number(sb.speedup_vs_baseline()),
             cache_json(&sb.cache),
         );
+        let vb = &self.serve_bench;
+        let serve_bench = format!(
+            "{{\"clients\":{},\"points\":{},\"wall_ms\":{},\"points_per_sec\":{},\
+             \"concurrent_misses\":{},\"serial_misses\":{},\"miss_reduction\":{},\
+             \"snapshot_cold_ms\":{},\"snapshot_warm_ms\":{},\"warm_speedup\":{},\
+             \"snapshot_bytes\":{},\"outputs_identical\":{}}}",
+            vb.clients,
+            vb.points,
+            number(vb.wall_ms),
+            number(vb.points_per_sec()),
+            vb.concurrent_misses,
+            vb.serial_misses,
+            number(vb.miss_reduction()),
+            number(vb.snapshot_cold_ms),
+            number(vb.snapshot_warm_ms),
+            number(vb.warm_speedup()),
+            vb.snapshot_bytes,
+            vb.outputs_identical,
+        );
         format!(
             "{{\n  \"schema\": {},\n  \"wall_ms\": {},\n  \"experiments\": [\n{}\n  ],\n  \
-             \"cache\": {},\n  \"sweep_bench\": {},\n  \
+             \"cache\": {},\n  \"sweep_bench\": {},\n  \"serve_bench\": {},\n  \
              \"networks\": [\n{}\n  ]\n}}\n",
             quote(BENCH_REPORT_SCHEMA),
             number(self.wall_ms),
             experiments.join(",\n"),
             cache_json(&self.cache),
             sweep_bench,
+            serve_bench,
             networks.join(",\n"),
         )
     }
@@ -333,6 +360,9 @@ mod tests {
         assert!(sb.jobs >= 1, "jobs are resolved");
         assert!(sb.wall_ms > 0.0 && sb.speedup_vs_baseline() > 0.0);
         assert!(sb.cache.hits > 0, "the sweep shares cache entries across points");
+        let vb = &report.serve_bench;
+        assert!(vb.concurrent_misses < vb.serial_misses, "shared cache dedups overlap");
+        assert!(vb.outputs_identical, "warm sweeps match cold bit-for-bit");
     }
 
     #[test]
@@ -344,7 +374,7 @@ mod tests {
             2.0,
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"codesign-bench-report/3\""));
+        assert!(json.contains("\"schema\": \"codesign-bench-report/4\""));
         assert!(json.contains("\"sim_cycles\":42"));
         assert!(json.contains("\"sim_cycles_per_sec\":42000"));
         assert!(json.contains("\"hybrid_cycles\""));
@@ -352,6 +382,15 @@ mod tests {
         assert!(json.contains("\"contended\""));
         assert!(json.contains("\"sweep_bench\""));
         assert!(json.contains("\"baseline_wall_ms\""));
+        assert!(json.contains("\"serve_bench\""));
+        for field in [
+            "\"points_per_sec\":",
+            "\"warm_speedup\":",
+            "\"miss_reduction\":",
+            "\"snapshot_bytes\":",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
         json_is_balanced(&json);
     }
 }

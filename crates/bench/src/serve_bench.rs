@@ -1,0 +1,203 @@
+//! Serve-mode load bench: quantifies the two payoffs `codesign serve`
+//! exists for — concurrent clients sharing one memoizing engine do less
+//! simulation than the same clients running serially cold, and a cache
+//! snapshot warm-starts a sweep to a fraction of its cold wall time.
+
+use std::time::Instant;
+
+use codesign_arch::EnergyModel;
+use codesign_core::{sweep_full_with, SweepOutcome, SweepSpace};
+use codesign_dnn::zoo;
+use codesign_sim::{SimOptions, Simulator};
+
+/// Measured serve-mode economics: concurrent-client cache sharing and
+/// snapshot warm-start speedup, over the paper-default sweep space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// Concurrent clients simulated (each on a `fork_counter` of one
+    /// shared engine, like server connection threads).
+    pub clients: usize,
+    /// Design points evaluated across all concurrent clients.
+    pub points: usize,
+    /// Wall time of the concurrent phase in milliseconds (best rep).
+    pub wall_ms: f64,
+    /// Cache misses (= simulations actually run) of the shared-cache
+    /// concurrent phase.
+    pub concurrent_misses: u64,
+    /// Summed cache misses of the same client workloads run serially,
+    /// each from a cold cache — the no-server reference.
+    pub serial_misses: u64,
+    /// Cold paper-default zoo sweep wall time in milliseconds (best rep).
+    pub snapshot_cold_ms: f64,
+    /// The same sweep warm-started from a snapshot (best rep).
+    pub snapshot_warm_ms: f64,
+    /// Size of the snapshot the cold sweep produced.
+    pub snapshot_bytes: usize,
+    /// Whether the warm-started sweep reproduced the cold outcomes
+    /// bit-for-bit (it must; the bench records rather than asserts so a
+    /// violation shows up in the committed report).
+    pub outputs_identical: bool,
+}
+
+impl ServeBench {
+    /// Concurrent clients in the sharing phase.
+    pub const CLIENTS: usize = 4;
+    /// Networks each client sweeps (overlapping slices of the zoo).
+    pub const NETS_PER_CLIENT: usize = 3;
+    /// Repetitions per timed phase; the reported wall time is the
+    /// minimum, which filters scheduler noise out of the CI gate.
+    pub const REPS: usize = 3;
+
+    /// Runs the bench. Client `i` sweeps table networks `{i..i+3}`, so
+    /// adjacent clients overlap in two of their three networks — the
+    /// overlapping-query shape the server's shared cache deduplicates.
+    pub fn measure(jobs: usize) -> Self {
+        let space = SweepSpace::paper_default();
+        let opts = SimOptions::paper_default();
+        let energy = EnergyModel::default();
+        let nets = zoo::table_networks();
+        let slice = |i: usize| {
+            (i..i + Self::NETS_PER_CLIENT).map(|j| &nets[j % nets.len()]).collect::<Vec<_>>()
+        };
+
+        // Reference: every client from a cold cache, serially. Misses
+        // are deterministic, so one pass suffices.
+        let mut serial_misses = 0u64;
+        for i in 0..Self::CLIENTS {
+            let cold = Simulator::new();
+            for net in slice(i) {
+                let _ = sweep_full_with(&cold, net, &space, opts, &energy, jobs);
+            }
+            serial_misses += cold.stats().misses;
+        }
+
+        // Concurrent phase: the same four workloads through one shared
+        // engine, one thread per client, like server connections.
+        let mut wall_ms = f64::INFINITY;
+        let mut points = 0usize;
+        let mut concurrent_misses = 0u64;
+        for _ in 0..Self::REPS {
+            let shared = Simulator::new();
+            let started = Instant::now();
+            let rep_points: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..Self::CLIENTS)
+                    .map(|i| {
+                        let worker = shared.fork_counter();
+                        let nets = slice(i);
+                        let space = &space;
+                        let energy = &energy;
+                        scope.spawn(move || {
+                            let mut n = 0usize;
+                            for net in nets {
+                                if let Ok(out) =
+                                    sweep_full_with(&worker, net, space, opts, energy, jobs)
+                                {
+                                    n += out.points.len();
+                                }
+                            }
+                            n
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+            });
+            wall_ms = wall_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            points = rep_points;
+            concurrent_misses = shared.stats().misses;
+        }
+
+        // Snapshot phase: cold zoo sweep vs the same sweep warm-started
+        // from the cold run's snapshot.
+        let mut snapshot_cold_ms = f64::INFINITY;
+        let mut snapshot = Vec::new();
+        let mut cold_outcomes: Vec<SweepOutcome> = Vec::new();
+        for _ in 0..Self::REPS {
+            let sim = Simulator::new();
+            let started = Instant::now();
+            let outcomes = sweep_zoo(&sim, &nets, &space, opts, &energy, jobs);
+            snapshot_cold_ms = snapshot_cold_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            snapshot = sim.cache_snapshot().unwrap_or_default();
+            cold_outcomes = outcomes;
+        }
+        let mut snapshot_warm_ms = f64::INFINITY;
+        let mut outputs_identical = true;
+        for _ in 0..Self::REPS {
+            let sim = Simulator::new();
+            let loaded = sim.load_cache_snapshot(&snapshot).is_ok();
+            let started = Instant::now();
+            let outcomes = sweep_zoo(&sim, &nets, &space, opts, &energy, jobs);
+            snapshot_warm_ms = snapshot_warm_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            outputs_identical &= loaded && outcomes == cold_outcomes;
+        }
+
+        Self {
+            clients: Self::CLIENTS,
+            points,
+            wall_ms,
+            concurrent_misses,
+            serial_misses,
+            snapshot_cold_ms,
+            snapshot_warm_ms,
+            snapshot_bytes: snapshot.len(),
+            outputs_identical,
+        }
+    }
+
+    /// Design points delivered per wall-second in the concurrent phase.
+    pub fn points_per_sec(&self) -> f64 {
+        self.points as f64 / (self.wall_ms.max(f64::MIN_POSITIVE) / 1e3)
+    }
+
+    /// How much faster the warm-started sweep ran than the cold one.
+    pub fn warm_speedup(&self) -> f64 {
+        self.snapshot_cold_ms / self.snapshot_warm_ms.max(f64::MIN_POSITIVE)
+    }
+
+    /// Fraction of serial-cold simulations the shared cache eliminated.
+    pub fn miss_reduction(&self) -> f64 {
+        if self.serial_misses == 0 {
+            return 0.0;
+        }
+        1.0 - self.concurrent_misses as f64 / self.serial_misses as f64
+    }
+}
+
+fn sweep_zoo(
+    sim: &Simulator,
+    nets: &[codesign_dnn::Network],
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy: &EnergyModel,
+    jobs: usize,
+) -> Vec<SweepOutcome> {
+    nets.iter()
+        .filter_map(|net| sweep_full_with(sim, net, space, opts, energy, jobs).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_shows_the_serve_mode_payoffs() {
+        let b = ServeBench::measure(2);
+        assert_eq!(b.clients, ServeBench::CLIENTS);
+        assert!(b.points > 0 && b.points_per_sec() > 0.0);
+        assert!(
+            b.concurrent_misses < b.serial_misses,
+            "shared cache must do strictly fewer simulations: {} vs {}",
+            b.concurrent_misses,
+            b.serial_misses
+        );
+        assert!(b.miss_reduction() > 0.0);
+        assert!(b.snapshot_bytes > 0, "the cold sweep leaves a non-empty snapshot");
+        assert!(b.outputs_identical, "warm-started sweeps are bit-identical to cold");
+        assert!(
+            b.warm_speedup() >= 2.0,
+            "snapshot warm-start must be at least 2x faster: cold {:.1} ms, warm {:.1} ms",
+            b.snapshot_cold_ms,
+            b.snapshot_warm_ms
+        );
+    }
+}

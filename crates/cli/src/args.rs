@@ -23,6 +23,8 @@ pub enum Action {
     List,
     /// Run the fault-injection corpus against the simulator.
     Faultinject,
+    /// Run the line-delimited-JSON co-design server.
+    Serve,
 }
 
 /// Fully parsed invocation.
@@ -52,6 +54,12 @@ pub struct Invocation {
     pub trace: Option<String>,
     /// Write an aggregated metrics JSON of the run to this path.
     pub metrics: Option<String>,
+    /// TCP port for `serve` (`0` = ephemeral, printed at startup).
+    pub port: u16,
+    /// Warm-start the simulation cache from this snapshot file.
+    pub cache_load: Option<String>,
+    /// Save the simulation cache to this snapshot file at the end.
+    pub cache_save: Option<String>,
 }
 
 impl Invocation {
@@ -100,6 +108,7 @@ commands:
   wave     <net> <layer>  layer waveform as VCD (stdout; pipe to a file)
   list             list the model zoo
   faultinject      run the hostile-input corpus against the simulator
+  serve            run the line-delimited-JSON co-design server
 
 <net> is a zoo name (try `codesign list`) or a path to a .net file.
 
@@ -120,6 +129,11 @@ options:
   --trace PATH           write a Chrome-trace JSON (about:tracing /
                          ui.perfetto.dev) of the simulated run
   --metrics PATH         write an aggregated metrics JSON snapshot
+  --port N               serve: TCP port, 0 = ephemeral (default 7227)
+  --cache-load PATH      sweep/compare/serve: warm-start the simulation
+                         cache from a snapshot file
+  --cache-save PATH      sweep/compare/serve: save the simulation cache
+                         to a snapshot file at the end
 ";
 
 fn parse_value<T: std::str::FromStr>(
@@ -149,6 +163,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         Some("wave") => Action::Wave,
         Some("list") => Action::List,
         Some("faultinject") => Action::Faultinject,
+        Some("serve") => Action::Serve,
         Some(other) => return Err(ParseArgsError(format!("unknown command `{other}`"))),
         None => return Err(ParseArgsError("missing command".to_owned())),
     };
@@ -165,6 +180,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         layer: None,
         trace: None,
         metrics: None,
+        port: 7227,
+        cache_load: None,
+        cache_save: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -189,6 +207,9 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             "--jobs" => inv.jobs = parse_value("--jobs", it.next())?,
             "--trace" => inv.trace = Some(parse_value("--trace", it.next())?),
             "--metrics" => inv.metrics = Some(parse_value("--metrics", it.next())?),
+            "--port" => inv.port = parse_value("--port", it.next())?,
+            "--cache-load" => inv.cache_load = Some(parse_value("--cache-load", it.next())?),
+            "--cache-save" => inv.cache_save = Some(parse_value("--cache-save", it.next())?),
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError(format!("unknown option `{flag}`")));
             }
@@ -199,8 +220,17 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             extra => return Err(ParseArgsError(format!("unexpected argument `{extra}`"))),
         }
     }
-    if inv.network.is_none() && !matches!(inv.action, Action::List | Action::Faultinject) {
+    if inv.network.is_none()
+        && !matches!(inv.action, Action::List | Action::Faultinject | Action::Serve)
+    {
         return Err(ParseArgsError("this command needs a network".to_owned()));
+    }
+    if (inv.cache_load.is_some() || inv.cache_save.is_some())
+        && !matches!(inv.action, Action::Sweep | Action::Compare | Action::Serve)
+    {
+        return Err(ParseArgsError(
+            "--cache-load/--cache-save apply to sweep, compare, and serve".to_owned(),
+        ));
     }
     if inv.action == Action::Wave && inv.layer.is_none() {
         return Err(ParseArgsError("`wave` needs a layer name (see `schedule`)".to_owned()));
@@ -278,6 +308,27 @@ mod tests {
         assert_eq!((inv.trace, inv.metrics), (None, None));
         assert!(parse("simulate squeezenet --trace").is_err());
         assert!(parse("simulate squeezenet --metrics").is_err());
+    }
+
+    #[test]
+    fn serve_takes_port_and_cache_flags_without_a_network() {
+        let inv = parse("serve --port 0 --jobs 2 --cache-load a.snap --cache-save b.snap").unwrap();
+        assert_eq!(inv.action, Action::Serve);
+        assert_eq!(inv.port, 0);
+        assert_eq!(inv.cache_load.as_deref(), Some("a.snap"));
+        assert_eq!(inv.cache_save.as_deref(), Some("b.snap"));
+        assert_eq!(parse("serve").unwrap().port, 7227, "default port");
+        assert!(parse("serve --port").is_err());
+        assert!(parse("serve --port nine").is_err());
+        assert!(parse("serve --port 99999").is_err(), "port must fit u16");
+    }
+
+    #[test]
+    fn cache_flags_apply_to_sweep_compare_and_serve_only() {
+        assert!(parse("sweep tiny-darknet --cache-save s.snap").is_ok());
+        assert!(parse("compare tiny-darknet --cache-load s.snap").is_ok());
+        assert!(parse("simulate tiny-darknet --cache-load s.snap").is_err());
+        assert!(parse("list --cache-save s.snap").is_err());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! ```
 
 mod args;
+mod jsonval;
+mod serve;
 
 use std::fs;
 use std::process::ExitCode;
@@ -87,6 +89,31 @@ fn load_network(spec: &str) -> Result<Network, RunError> {
     )))
 }
 
+/// Warm-starts `sim` from `--cache-load`, if given. A missing file is a
+/// usage error (exit 1); a refused snapshot — wrong magic, version, or
+/// checksum — is a rejection (exit 2), like any other invalid input.
+fn preload_cache(sim: &Simulator, inv: &Invocation) -> Result<(), RunError> {
+    if let Some(path) = &inv.cache_load {
+        let bytes =
+            fs::read(path).map_err(|e| RunError::Usage(format!("cannot read {path}: {e}")))?;
+        let stats = sim
+            .load_cache_snapshot(&bytes)
+            .map_err(|e| RunError::Rejected(format!("{path}: {e}")))?;
+        eprintln!("; warm-started from {path} ({} cache entries)", stats.entries());
+    }
+    Ok(())
+}
+
+/// Saves `sim`'s cache to `--cache-save`, if given.
+fn save_cache(sim: &Simulator, inv: &Invocation) -> Result<(), RunError> {
+    if let Some(path) = &inv.cache_save {
+        let snap = sim.cache_snapshot().map_err(|e| RunError::Rejected(e.to_string()))?;
+        fs::write(path, &snap).map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
+        eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
+    }
+    Ok(())
+}
+
 /// Writes the requested trace/metrics sinks at the end of a run.
 fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), RunError> {
     if !tracer.is_enabled() {
@@ -127,6 +154,10 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
         }
         println!("  {}", zoo::squeezedet_trunk());
         return Ok(());
+    }
+
+    if inv.action == Action::Serve {
+        return serve::run_serve(inv);
     }
 
     if inv.action == Action::Faultinject {
@@ -199,11 +230,14 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
         }
         Action::Compare => {
             let sim = Simulator::new().with_tracer(tracer.clone());
+            preload_cache(&sim, inv)?;
             let c = ArchitectureComparison::evaluate_with(&sim, &net, &cfg, opts, energy);
             println!("{c}");
+            save_cache(&sim, inv)?;
         }
         Action::Sweep => {
             let sim = Simulator::new().with_tracer(tracer.clone());
+            preload_cache(&sim, inv)?;
             let started = std::time::Instant::now();
             let outcome = codesign_core::sweep_full_with(
                 &sim,
@@ -244,6 +278,7 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
                 codesign_sim::resolve_jobs(inv.jobs),
                 sim.stats()
             );
+            save_cache(&sim, inv)?;
         }
         Action::Wave => {
             let Some(layer_name) = inv.layer.as_deref() else {
@@ -281,7 +316,7 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
                 trace.steps()
             );
         }
-        Action::List | Action::Faultinject => unreachable!("handled above"),
+        Action::List | Action::Faultinject | Action::Serve => unreachable!("handled above"),
     }
     write_sinks(inv, &tracer)
 }

@@ -1,0 +1,551 @@
+//! `codesign serve` — co-design as a service.
+//!
+//! A dependency-free TCP server speaking line-delimited JSON: one
+//! request object per line in, one or more response objects per line
+//! out, every response echoing the request's `id`. All connections
+//! share one memoizing [`Simulator`], so overlapping queries from
+//! different clients hit the same cache, and *identical* in-flight
+//! queries are deduplicated: the first request computes, concurrent
+//! duplicates subscribe to its (streamed) output instead of simulating
+//! again.
+//!
+//! ## Protocol
+//!
+//! Requests (`id` is echoed verbatim and may be any JSON value):
+//!
+//! ```text
+//! {"id":1,"cmd":"sweep","network":"tiny-darknet","arrays":[8,16],"rfs":[8],"buffers_kib":[64]}
+//! {"id":2,"cmd":"simulate","network":"squeezenet-v1.1","arch":"ws","array":16}
+//! {"id":3,"cmd":"codesign","network":"mobilenet"}
+//! {"id":4,"cmd":"stats"}   {"id":5,"cmd":"ping"}   {"id":6,"cmd":"shutdown"}
+//! ```
+//!
+//! Responses: `sweep` streams `"event":"frontier"` lines — Pareto-
+//! frontier *deltas*, emitted the moment a completed point enters the
+//! running (cycles, energy, area) frontier — then one `"event":"done"`
+//! summary. Every other command answers with a single `done` (or
+//! `error`) line. Errors carry `"code":"usage"` or `"code":"rejected"`,
+//! mirroring the one-shot CLI's exit codes 1 and 2.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
+use codesign_core::{
+    best_by_energy_delay, sweep_streaming_with, ArchitectureComparison, DesignPoint, SweepEvent,
+    SweepSpace,
+};
+use codesign_dnn::Network;
+use codesign_sim::{
+    aggregate_cache_stats, pool_size, resolve_jobs, validate_network, SimOptions, Simulator,
+};
+use codesign_trace::Tracer;
+
+use crate::args::Invocation;
+use crate::jsonval::{escape, Value};
+use crate::{load_network, RunError};
+
+/// Mutex lock that shrugs off poisoning: the guarded state is always
+/// internally consistent between operations.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The output buffer of one in-flight (or just-finished) computation.
+/// The leader pushes response fragments as they are produced; followers
+/// replay the buffer and wait on the condvar for more.
+#[derive(Default)]
+struct Inflight {
+    state: Mutex<InflightBuffer>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InflightBuffer {
+    /// Response bodies (JSON object innards, without the `id` field):
+    /// each subscriber wraps them with its own request id.
+    fragments: Vec<String>,
+    done: bool,
+}
+
+impl Inflight {
+    fn push(&self, body: String) {
+        lock(&self.state).fragments.push(body);
+        self.cv.notify_all();
+    }
+
+    fn finish(&self) {
+        lock(&self.state).done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by every connection thread.
+struct ServerState {
+    sim: Simulator,
+    tracer: Tracer,
+    jobs: usize,
+    addr: SocketAddr,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    requests: AtomicU64,
+    deduped: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Runs the server until a `shutdown` request arrives.
+pub fn run_serve(inv: &Invocation) -> Result<(), RunError> {
+    let sim = Simulator::new();
+    if let Some(path) = &inv.cache_load {
+        let bytes =
+            std::fs::read(path).map_err(|e| RunError::Usage(format!("cannot read {path}: {e}")))?;
+        let stats = sim
+            .load_cache_snapshot(&bytes)
+            .map_err(|e| RunError::Rejected(format!("{path}: {e}")))?;
+        eprintln!("; warm-started from {path} ({} cache entries)", stats.entries());
+    }
+    let listener = TcpListener::bind(("127.0.0.1", inv.port))
+        .map_err(|e| RunError::Usage(format!("cannot bind 127.0.0.1:{}: {e}", inv.port)))?;
+    let addr =
+        listener.local_addr().map_err(|e| RunError::Usage(format!("cannot resolve port: {e}")))?;
+    // The port line is the startup handshake: clients (and the CI smoke
+    // test) parse it to learn an ephemeral port, so print-and-flush
+    // before accepting.
+    println!("codesign serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let state = Arc::new(ServerState {
+        sim,
+        tracer: Tracer::enabled(),
+        jobs: inv.jobs,
+        addr,
+        inflight: Mutex::new(HashMap::new()),
+        requests: AtomicU64::new(0),
+        deduped: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut handles = Vec::new();
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(&state);
+        handles.push(std::thread::spawn(move || handle_connection(stream, &state)));
+    }
+    // Connection reads time out periodically and re-check the shutdown
+    // flag, so this join is bounded even with idle clients attached.
+    for h in handles {
+        let _ = h.join();
+    }
+
+    if let Some(path) = &inv.cache_save {
+        let snap = state.sim.cache_snapshot().map_err(|e| RunError::Rejected(e.to_string()))?;
+        std::fs::write(path, &snap)
+            .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
+        eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
+    }
+    Ok(())
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // Periodic read timeouts keep the thread responsive to shutdown even
+    // when the client goes quiet with the connection open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let text = line.trim().to_owned();
+                line.clear();
+                if !text.is_empty() && handle_request(&text, &mut writer, state) {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A partial line (no newline yet) stays accumulated in
+                // `line`; just re-check the shutdown flag.
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One response line: the subscriber's `id` wrapped around a shared
+/// body. Write errors are ignored — a vanished client must not abort
+/// the computation other subscribers are waiting on.
+fn send(writer: &mut TcpStream, id_json: &str, body: &str) {
+    let _ = writeln!(writer, "{{\"id\":{id_json},{body}}}");
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    format!("\"event\":\"error\",\"code\":{},\"message\":{}", escape(code), escape(message))
+}
+
+/// Handles one request line. Returns `true` when the connection should
+/// close (shutdown).
+fn handle_request(text: &str, writer: &mut TcpStream, state: &ServerState) -> bool {
+    let req = match Value::parse(text) {
+        Ok(v @ Value::Obj(_)) => v,
+        Ok(_) => {
+            send(writer, "null", &error_body("usage", "request must be a JSON object"));
+            return false;
+        }
+        Err(e) => {
+            send(writer, "null", &error_body("usage", &e.to_string()));
+            return false;
+        }
+    };
+    let id_json = req.get("id").map_or_else(|| "null".to_owned(), Value::to_json);
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    let cmd = req.get("cmd").and_then(Value::as_str).unwrap_or("").to_owned();
+    state
+        .tracer
+        .add_counter(&format!("serve.requests.{}", if cmd.is_empty() { "?" } else { &cmd }), 1);
+    match cmd.as_str() {
+        "ping" => {
+            send(writer, &id_json, "\"event\":\"done\",\"cmd\":\"ping\",\"ok\":true");
+            false
+        }
+        "stats" => {
+            send(writer, &id_json, &stats_body(state));
+            false
+        }
+        "shutdown" => {
+            send(writer, &id_json, "\"event\":\"done\",\"cmd\":\"shutdown\",\"ok\":true");
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(state.addr);
+            true
+        }
+        "sweep" | "simulate" | "codesign" => {
+            match Compute::parse(&cmd, &req) {
+                Ok(compute) => run_compute(compute, &id_json, writer, state),
+                Err((code, message)) => send(writer, &id_json, &error_body(&code, &message)),
+            }
+            false
+        }
+        other => {
+            send(
+                writer,
+                &id_json,
+                &error_body(
+                    "usage",
+                    &format!(
+                        "unknown cmd `{other}` (sweep, simulate, codesign, stats, ping, shutdown)"
+                    ),
+                ),
+            );
+            false
+        }
+    }
+}
+
+fn stats_body(state: &ServerState) -> String {
+    let cache = aggregate_cache_stats([&state.sim]);
+    let inflight = lock(&state.inflight).len();
+    let counters = state.tracer.snapshot().counters;
+    let counters_json: Vec<String> =
+        counters.iter().map(|(name, v)| format!("{}:{v}", escape(name))).collect();
+    format!(
+        "\"event\":\"done\",\"cmd\":\"stats\",\"requests\":{},\"deduped\":{},\"inflight\":{inflight},\"pool_size\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"contended\":{}}},\"counters\":{{{}}}",
+        state.requests.load(Ordering::SeqCst),
+        state.deduped.load(Ordering::SeqCst),
+        pool_size(),
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.contended,
+        counters_json.join(",")
+    )
+}
+
+/// A fully-validated compute request, normalized enough that two
+/// textually different but semantically identical requests produce the
+/// same dedup key.
+enum Compute {
+    Sweep { spec: String, network: Network, space: SweepSpace },
+    Simulate { spec: String, network: Network, policy: DataflowPolicy, cfg: AcceleratorConfig },
+    Codesign { spec: String, network: Network, cfg: AcceleratorConfig },
+}
+
+impl Compute {
+    /// Parses and validates the request. Errors are `(code, message)`
+    /// with the same usage/rejected split as the one-shot CLI.
+    fn parse(cmd: &str, req: &Value) -> Result<Compute, (String, String)> {
+        let usage = |m: String| ("usage".to_owned(), m);
+        let spec = req
+            .get("network")
+            .and_then(Value::as_str)
+            .ok_or_else(|| usage("`network` is required".to_owned()))?
+            .to_owned();
+        let network = load_network(&spec).map_err(|e| match e {
+            RunError::Usage(m) => ("usage".to_owned(), m),
+            RunError::Rejected(m) => ("rejected".to_owned(), m),
+        })?;
+        if cmd == "sweep" {
+            let default = SweepSpace::paper_default();
+            let axis = |key: &str, default: Vec<usize>, scale: usize| match req.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_arr()
+                    .and_then(|items| {
+                        items.iter().map(|x| x.as_usize().map(|n| n * scale)).collect()
+                    })
+                    .filter(|axis: &Vec<usize>| !axis.is_empty())
+                    .ok_or_else(|| {
+                        usage(format!("`{key}` must be a non-empty array of whole numbers"))
+                    }),
+            };
+            let space = SweepSpace {
+                array_sizes: axis("arrays", default.array_sizes.clone(), 1)?,
+                rf_depths: axis("rfs", default.rf_depths.clone(), 1)?,
+                buffer_bytes: axis("buffers_kib", default.buffer_bytes.clone(), 1024)?,
+            };
+            return Ok(Compute::Sweep { spec, network, space });
+        }
+        let policy = match req.get("arch").and_then(Value::as_str) {
+            None | Some("hybrid") => DataflowPolicy::PerLayer,
+            Some("ws") => DataflowPolicy::Fixed(Dataflow::WeightStationary),
+            Some("os") => DataflowPolicy::Fixed(Dataflow::OutputStationary),
+            Some(other) => {
+                return Err(usage(format!("`arch` must be ws, os, or hybrid (got `{other}`)")))
+            }
+        };
+        let mut b = AcceleratorConfig::builder();
+        let dim = |key: &str| match req.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| usage(format!("`{key}` must be a whole number"))),
+        };
+        if let Some(n) = dim("array")? {
+            b.array_size(n);
+        }
+        if let Some(r) = dim("rf")? {
+            b.rf_depth(r);
+        }
+        if let Some(kib) = dim("buffer_kib")? {
+            b.global_buffer_bytes(kib * 1024);
+        }
+        let cfg = b.build().map_err(|e| usage(e.to_string()))?;
+        // Same pre-flight as the one-shot CLI: a workload the cycle
+        // models cannot represent is `rejected`, named layer and all.
+        validate_network(&network, &cfg).map_err(|e| ("rejected".to_owned(), e.to_string()))?;
+        if cmd == "simulate" {
+            Ok(Compute::Simulate { spec, network, policy, cfg })
+        } else {
+            Ok(Compute::Codesign { spec, network, cfg })
+        }
+    }
+
+    /// The dedup key: identical in-flight computations share one run.
+    fn key(&self) -> String {
+        match self {
+            Compute::Sweep { spec, space, .. } => format!(
+                "sweep|{spec}|{:?}|{:?}|{:?}",
+                space.array_sizes, space.rf_depths, space.buffer_bytes
+            ),
+            Compute::Simulate { spec, policy, cfg, .. } => {
+                format!("simulate|{spec}|{policy:?}|{cfg}")
+            }
+            Compute::Codesign { spec, cfg, .. } => format!("codesign|{spec}|{cfg}"),
+        }
+    }
+}
+
+/// Leader-or-follower dispatch: the first request for a key computes
+/// and publishes; concurrent identical requests replay its stream.
+fn run_compute(compute: Compute, id_json: &str, writer: &mut TcpStream, state: &ServerState) {
+    let key = compute.key();
+    let (inflight, leader) = {
+        let mut map = lock(&state.inflight);
+        match map.get(&key) {
+            Some(inf) => (Arc::clone(inf), false),
+            None => {
+                let inf = Arc::new(Inflight::default());
+                map.insert(key.clone(), Arc::clone(&inf));
+                (inf, true)
+            }
+        }
+    };
+    if leader {
+        compute_and_publish(&compute, &inflight, id_json, writer, state);
+        inflight.finish();
+        lock(&state.inflight).remove(&key);
+    } else {
+        state.deduped.fetch_add(1, Ordering::SeqCst);
+        state.tracer.add_counter("serve.dedup", 1);
+        replay(&inflight, id_json, writer);
+    }
+}
+
+/// Streams a finished-or-in-progress computation's fragments to one
+/// follower, wrapped in its own request id.
+fn replay(inflight: &Inflight, id_json: &str, writer: &mut TcpStream) {
+    let mut cursor = 0;
+    loop {
+        let (new, done) = {
+            let mut st = lock(&inflight.state);
+            while st.fragments.len() == cursor && !st.done {
+                st = inflight.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            (st.fragments[cursor..].to_vec(), st.done)
+        };
+        for body in &new {
+            send(writer, id_json, body);
+        }
+        cursor += new.len();
+        if done {
+            return;
+        }
+    }
+}
+
+fn compute_and_publish(
+    compute: &Compute,
+    inflight: &Inflight,
+    id_json: &str,
+    writer: &mut TcpStream,
+    state: &ServerState,
+) {
+    // Per-request observability: the worker fork shares the server's
+    // cache but records spans/counters into a request-local tracer,
+    // whose counters are folded into the server tracer at the end.
+    let request_tracer = Tracer::enabled();
+    let worker = state.sim.fork_counter().with_tracer(request_tracer.clone());
+    let opts = SimOptions::paper_default();
+    let energy = EnergyModel::default();
+    // Publish to the shared buffer (for followers) and this connection
+    // in one step, so the leader streams exactly what followers replay.
+    let mut emit = |body: String| {
+        send(writer, id_json, &body);
+        inflight.push(body);
+    };
+    match compute {
+        Compute::Sweep { network, space, .. } => {
+            let mut frontier: Vec<DesignPoint> = Vec::new();
+            // Chunk = one scheduling round: each batch of workers
+            // flushes its frontier deltas before the next starts.
+            let chunk = resolve_jobs(state.jobs).max(1);
+            let result = sweep_streaming_with(
+                &worker,
+                network,
+                space,
+                opts,
+                &energy,
+                state.jobs,
+                chunk,
+                |event| {
+                    if let SweepEvent::Point { index, point } = event {
+                        if frontier_insert(&mut frontier, point) {
+                            emit(format!(
+                                "\"event\":\"frontier\",\"index\":{index},\"design\":{},\"cycles\":{},\"energy\":{},\"utilization\":{},\"area\":{}",
+                                escape(&point.params.to_string()),
+                                point.cycles,
+                                point.energy,
+                                point.utilization,
+                                point.area
+                            ));
+                        }
+                    }
+                },
+            );
+            match result {
+                Ok(outcome) => {
+                    let best = best_by_energy_delay(&outcome.points)
+                        .map_or("null".to_owned(), |p| escape(&p.params.to_string()));
+                    emit(format!(
+                        "\"event\":\"done\",\"cmd\":\"sweep\",\"points\":{},\"failures\":{},\"frontier\":{},\"best\":{best}",
+                        outcome.points.len(),
+                        outcome.failures.len(),
+                        frontier.len()
+                    ));
+                }
+                Err(e) => emit(error_body("usage", &e.to_string())),
+            }
+        }
+        Compute::Simulate { network, policy, cfg, .. } => {
+            match worker.try_simulate_network(network, cfg, *policy, opts) {
+                Ok(perf) => emit(format!(
+                    "\"event\":\"done\",\"cmd\":\"simulate\",\"cycles\":{},\"energy\":{},\"utilization\":{}",
+                    perf.total_cycles(),
+                    perf.total_energy(&energy),
+                    perf.average_utilization(cfg.pe_count())
+                )),
+                Err(e) => emit(error_body("rejected", &e.to_string())),
+            }
+        }
+        Compute::Codesign { network, cfg, .. } => {
+            let c = ArchitectureComparison::evaluate_with(&worker, network, cfg, opts, energy);
+            emit(format!(
+                "\"event\":\"done\",\"cmd\":\"codesign\",\"network\":{},\"hybrid_cycles\":{},\"ws_cycles\":{},\"os_cycles\":{},\"speedup_vs_ws\":{},\"speedup_vs_os\":{},\"energy_reduction_vs_ws\":{},\"energy_reduction_vs_os\":{}",
+                escape(&c.network),
+                c.hybrid.total_cycles(),
+                c.ws.total_cycles(),
+                c.os.total_cycles(),
+                c.speedup_vs_ws(),
+                c.speedup_vs_os(),
+                c.energy_reduction_vs_ws(),
+                c.energy_reduction_vs_os()
+            ));
+        }
+    }
+    state.tracer.absorb_counters(&request_tracer.snapshot());
+}
+
+/// Inserts `p` into the running (cycles, energy, area) Pareto frontier.
+/// Returns whether `p` is a frontier delta — not dominated by (or
+/// duplicating) any current member. Dominated members are evicted, same
+/// dominance as `pareto_designs`.
+fn frontier_insert(frontier: &mut Vec<DesignPoint>, p: &DesignPoint) -> bool {
+    let covered = |a: &DesignPoint, b: &DesignPoint| {
+        a.cycles <= b.cycles && a.energy <= b.energy && a.area <= b.area
+    };
+    if frontier.iter().any(|q| covered(q, p)) {
+        return false;
+    }
+    frontier.retain(|q| !covered(p, q));
+    frontier.push(p.clone());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codesign_core::DesignParams;
+
+    fn pt(cycles: u64, energy: f64, area: f64) -> DesignPoint {
+        let params = DesignParams { array_size: 8, rf_depth: 8, global_buffer_bytes: 64 * 1024 };
+        DesignPoint { params, cycles, energy, utilization: 0.5, area }
+    }
+
+    #[test]
+    fn frontier_deltas_match_dominance() {
+        let mut frontier = Vec::new();
+        assert!(frontier_insert(&mut frontier, &pt(100, 10.0, 1.0)), "first point always enters");
+        assert!(!frontier_insert(&mut frontier, &pt(100, 10.0, 1.0)), "duplicates are not deltas");
+        assert!(!frontier_insert(&mut frontier, &pt(200, 20.0, 2.0)), "dominated point");
+        assert!(frontier_insert(&mut frontier, &pt(50, 20.0, 1.0)), "cycles trade-off enters");
+        assert!(frontier_insert(&mut frontier, &pt(40, 5.0, 0.5)), "dominating point enters");
+        // The dominating point evicted both earlier members.
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].cycles, 40);
+    }
+}

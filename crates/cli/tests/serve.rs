@@ -1,0 +1,309 @@
+//! End-to-end tests of `codesign serve`: a real server process on an
+//! ephemeral port, real TCP clients, real line-delimited JSON.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running server process, killed on drop so a failing test can't
+/// leak a listener.
+struct Server {
+    child: Child,
+    port: u16,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(extra: &[&str]) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .args(["serve", "--port", "0", "--jobs", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let port = read_port_line(stdout);
+    Server { child, port }
+}
+
+/// Parses the startup handshake: `codesign serve listening on 127.0.0.1:PORT`.
+fn read_port_line(stdout: ChildStdout) -> u16 {
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("port line");
+    let addr = line.trim().rsplit(' ').next().expect("address in port line");
+    addr.rsplit(':').next().expect("port in address").parse().expect("numeric port")
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("client connects");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout set");
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Client { writer: stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("request sends");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response arrives");
+        assert!(!line.is_empty(), "server closed mid-response");
+        line.trim().to_owned()
+    }
+
+    /// Reads lines until the `done`/`error` terminator, inclusive.
+    fn recv_until_done(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let line = self.recv();
+            let done = line.contains("\"event\":\"done\"") || line.contains("\"event\":\"error\"");
+            lines.push(line);
+            if done {
+                return lines;
+            }
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Vec<String> {
+        self.send(line);
+        self.recv_until_done()
+    }
+}
+
+/// Polls `stats` until `pred` holds (or panics after ~10s): the dedup
+/// tests need to know the leader's sweep is registered in-flight before
+/// sending the duplicate.
+fn wait_for_stats(port: u16, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut probe = Client::connect(port);
+        let stats = probe.request(r#"{"id":"probe","cmd":"stats"}"#).pop().expect("stats line");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for stats; last: {stats}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Extracts a `"field":123` integer from a response line.
+fn field_u64(line: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let at = line.find(&key).unwrap_or_else(|| panic!("no {field} in {line}"));
+    line[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {field} in {line}"))
+}
+
+#[test]
+fn ping_stats_and_errors_speak_the_protocol() {
+    let server = spawn_server(&[]);
+    let mut c = Client::connect(server.port);
+
+    let pong = c.request(r#"{"id":41,"cmd":"ping"}"#);
+    assert_eq!(pong, vec![r#"{"id":41,"event":"done","cmd":"ping","ok":true}"#.to_owned()]);
+
+    // Unknown command and bad JSON are usage errors, not disconnects.
+    let err = c.request(r#"{"id":"x","cmd":"explode"}"#).pop().unwrap();
+    assert!(err.contains(r#""event":"error""#) && err.contains(r#""code":"usage""#), "{err}");
+    let err = c.request("this is not json").pop().unwrap();
+    assert!(err.contains(r#""code":"usage""#), "{err}");
+    let err = c.request(r#"{"id":7,"cmd":"simulate","network":"no-such-net"}"#).pop().unwrap();
+    assert!(err.contains(r#""code":"usage""#) && err.contains("no-such-net"), "{err}");
+
+    let stats = c.request(r#"{"id":"s","cmd":"stats"}"#).pop().unwrap();
+    assert!(field_u64(&stats, "requests") >= 4, "{stats}");
+    assert_eq!(field_u64(&stats, "deduped"), 0, "{stats}");
+    assert!(stats.contains("\"cache\":"), "{stats}");
+}
+
+#[test]
+fn sweep_streams_frontier_deltas_then_a_summary() {
+    let server = spawn_server(&[]);
+    let mut c = Client::connect(server.port);
+    let lines = c.request(
+        r#"{"id":"sw","cmd":"sweep","network":"tiny-darknet","arrays":[8,16],"rfs":[8,16],"buffers_kib":[64]}"#,
+    );
+    let done = lines.last().unwrap();
+    assert!(done.contains(r#""event":"done","cmd":"sweep""#), "{done}");
+    assert_eq!(field_u64(done, "points"), 4, "{done}");
+    let frontier: Vec<&String> =
+        lines.iter().filter(|l| l.contains(r#""event":"frontier""#)).collect();
+    assert_eq!(frontier.len() as u64, field_u64(done, "frontier"), "{done}");
+    assert!(!frontier.is_empty(), "a non-empty sweep has a non-empty frontier");
+    for line in &frontier {
+        for field in ["\"design\":", "\"cycles\":", "\"energy\":", "\"index\":"] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+    assert!(done.contains("\"best\":\""), "{done}");
+
+    // simulate and codesign answer over the same warmed cache.
+    let sim = c.request(
+        r#"{"id":1,"cmd":"simulate","network":"tiny-darknet","array":8,"rf":8,"buffer_kib":64}"#,
+    );
+    assert_eq!(sim.len(), 1);
+    assert!(field_u64(&sim[0], "cycles") > 0, "{}", sim[0]);
+    let cd = c.request(r#"{"id":2,"cmd":"codesign","network":"tiny-darknet"}"#).pop().unwrap();
+    assert!(cd.contains("\"hybrid_cycles\":") && cd.contains("\"speedup_vs_ws\":"), "{cd}");
+}
+
+#[test]
+fn identical_inflight_sweeps_are_deduplicated() {
+    let server = spawn_server(&[]);
+    let sweep = r#"{"id":"ID","cmd":"sweep","network":"squeezenet-v1.1","arrays":[8,16],"rfs":[8,16],"buffers_kib":[64,128]}"#;
+
+    let mut leader = Client::connect(server.port);
+    leader.send(&sweep.replace("ID", "a"));
+    // Deterministic overlap: wait until the leader's sweep is registered
+    // in-flight before sending the identical request.
+    wait_for_stats(server.port, |s| field_u64(s, "inflight") >= 1);
+    let mut follower = Client::connect(server.port);
+    follower.send(&sweep.replace("ID", "b"));
+
+    let leader_lines = leader.recv_until_done();
+    let follower_lines = follower.recv_until_done();
+    // Both streams carry the same bodies, each under its own id.
+    let strip = |lines: &[String], id: &str| -> Vec<String> {
+        let prefix = format!("{{\"id\":\"{id}\",");
+        lines
+            .iter()
+            .map(|l| {
+                assert!(l.starts_with(&prefix), "{l}");
+                l[prefix.len()..].to_owned()
+            })
+            .collect()
+    };
+    assert_eq!(strip(&leader_lines, "a"), strip(&follower_lines, "b"));
+
+    let stats = wait_for_stats(server.port, |s| field_u64(s, "inflight") == 0);
+    assert_eq!(field_u64(&stats, "deduped"), 1, "{stats}");
+    assert!(stats.contains(r#""serve.dedup":1"#), "dedup counter fired: {stats}");
+}
+
+#[test]
+fn concurrent_distinct_clients_share_the_cache() {
+    let server = spawn_server(&[]);
+    // Two clients, overlapping-but-distinct spaces: no request-level
+    // dedup possible, but the shared cache still removes repeated work.
+    let mut a = Client::connect(server.port);
+    let mut b = Client::connect(server.port);
+    a.send(r#"{"id":"a","cmd":"sweep","network":"tiny-darknet","arrays":[8,16],"rfs":[8],"buffers_kib":[64]}"#);
+    b.send(r#"{"id":"b","cmd":"sweep","network":"tiny-darknet","arrays":[16,32],"rfs":[8],"buffers_kib":[64]}"#);
+    let da = a.recv_until_done().pop().unwrap();
+    let db = b.recv_until_done().pop().unwrap();
+    assert_eq!(field_u64(&da, "points"), 2, "{da}");
+    assert_eq!(field_u64(&db, "points"), 2, "{db}");
+
+    let stats = wait_for_stats(server.port, |s| field_u64(s, "inflight") == 0);
+    assert_eq!(field_u64(&stats, "deduped"), 0, "distinct requests never dedup: {stats}");
+    assert!(field_u64(&stats, "hits") > 0, "overlap resolves from the shared cache: {stats}");
+}
+
+#[test]
+fn shutdown_saves_a_snapshot_a_new_server_warm_starts_from() {
+    let dir = std::env::temp_dir().join(format!("codesign-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("cache.snap");
+    let snap_str = snap.to_str().expect("utf-8 temp path");
+
+    {
+        let mut server = spawn_server(&["--cache-save", snap_str]);
+        let mut c = Client::connect(server.port);
+        let done =
+            c.request(r#"{"id":1,"cmd":"simulate","network":"tiny-darknet"}"#).pop().unwrap();
+        let cold_cycles = field_u64(&done, "cycles");
+        assert!(cold_cycles > 0);
+        let bye = c.request(r#"{"id":2,"cmd":"shutdown"}"#).pop().unwrap();
+        assert!(bye.contains(r#""cmd":"shutdown""#), "{bye}");
+        drop(c); // disconnect so the server can finish joining
+        let status = server.child.wait().expect("server exits");
+        assert!(status.success(), "clean shutdown exits 0");
+        assert!(snap.exists(), "snapshot written on shutdown");
+    }
+
+    // Warm boot: the same request must be answered entirely from the
+    // loaded snapshot — hits, no misses.
+    let server = spawn_server(&["--cache-load", snap_str]);
+    let mut c = Client::connect(server.port);
+    let warm = c.request(r#"{"id":3,"cmd":"simulate","network":"tiny-darknet"}"#).pop().unwrap();
+    assert!(field_u64(&warm, "cycles") > 0);
+    let stats = c.request(r#"{"id":4,"cmd":"stats"}"#).pop().unwrap();
+    assert_eq!(field_u64(&stats, "misses"), 0, "warm start answers from snapshot: {stats}");
+    assert!(field_u64(&stats, "hits") > 0, "{stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_shot_cache_flags_round_trip_and_reject_damage() {
+    let dir = std::env::temp_dir().join(format!("codesign-oneshot-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("sweep.snap");
+    let snap_str = snap.to_str().expect("utf-8 temp path");
+    let run = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_codesign")).args(args).output().expect("binary runs")
+    };
+
+    let cold = run(&["sweep", "tiny-darknet", "--cache-save", snap_str]);
+    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    assert!(snap.exists());
+    let warm = run(&["sweep", "tiny-darknet", "--cache-load", snap_str]);
+    assert!(warm.status.success());
+    // Byte-identical stdout: the cache changes wall-time, never results.
+    assert_eq!(cold.stdout, warm.stdout, "warm sweep output must match cold");
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(warm_err.contains("warm-started"), "{warm_err}");
+
+    // A corrupted snapshot is a rejected input: exit 2, named error.
+    let mut bytes = std::fs::read(&snap).expect("snapshot readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("snapshot writable");
+    let bad = run(&["sweep", "tiny-darknet", "--cache-load", snap_str]);
+    assert_eq!(bad.status.code(), Some(2), "{}", String::from_utf8_lossy(&bad.stderr));
+
+    // A missing snapshot is a usage error: exit 1.
+    let missing = run(&["sweep", "tiny-darknet", "--cache-load", "/no/such/file.snap"]);
+    assert_eq!(missing.status.code(), Some(1));
+    // Cache flags on a non-caching command are usage errors too.
+    let misuse = run(&["simulate", "tiny-darknet", "--cache-load", snap_str]);
+    assert_eq!(misuse.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reader_interleaves_requests_without_blocking() {
+    // One connection, two requests back to back before reading: the
+    // server must answer both in order (the protocol is pipelined).
+    let server = spawn_server(&[]);
+    let mut c = Client::connect(server.port);
+    c.send(r#"{"id":1,"cmd":"ping"}"#);
+    c.send(r#"{"id":2,"cmd":"ping"}"#);
+    assert!(c.recv().starts_with(r#"{"id":1,"#));
+    assert!(c.recv().starts_with(r#"{"id":2,"#));
+    // Half a line then the rest: framing survives write fragmentation.
+    write!(c.writer, r#"{{"id":3,"cmd":"#).expect("half line");
+    c.writer.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(50));
+    writeln!(c.writer, r#""ping"}}"#).expect("rest of line");
+    assert!(c.recv().starts_with(r#"{"id":3,"#));
+}

@@ -297,35 +297,123 @@ pub fn sweep_full_with(
     energy_model: &EnergyModel,
     jobs: usize,
 ) -> Result<SweepOutcome, SweepError> {
+    // One chunk covering the whole grid, no observer: the batch sweep is
+    // the streaming sweep with nobody watching.
+    sweep_streaming_with(sim, network, space, opts, energy_model, jobs, usize::MAX, |_| {})
+}
+
+/// One completed evaluation of a streaming sweep, delivered to the
+/// observer in deterministic grid order (chunk by chunk).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEvent<'a> {
+    /// The grid point at flat index `index` evaluated successfully.
+    Point {
+        /// Flat grid index (row-major, see [`SweepSpace::point`]).
+        index: usize,
+        /// The evaluated design point.
+        point: &'a DesignPoint,
+    },
+    /// The grid point was invalid or degenerate and was skipped.
+    Skipped {
+        /// Flat grid index.
+        index: usize,
+        /// The skipped parameters.
+        params: DesignParams,
+    },
+    /// The grid point failed with a diagnostic.
+    Failure {
+        /// Flat grid index.
+        index: usize,
+        /// The per-point diagnostic.
+        failure: &'a PointFailure,
+    },
+}
+
+/// [`sweep_full_with`] with partial-result streaming: the grid is
+/// evaluated in chunks of `chunk` points (still `jobs`-wide inside each
+/// chunk), and after each chunk completes `on_event` observes every
+/// point of that chunk in deterministic grid order. `codesign serve`
+/// sits Pareto-frontier delta streaming on top of this; smaller chunks
+/// trade a little fan-out efficiency for earlier partial results.
+///
+/// The returned outcome is bit-identical to [`sweep_full_with`] on the
+/// same inputs, whatever `chunk` or `jobs` — chunking changes only
+/// *when* results become observable, never what they are.
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpace`] when any sweep axis is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_streaming_with(
+    sim: &Simulator,
+    network: &Network,
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+    jobs: usize,
+    chunk: usize,
+    mut on_event: impl FnMut(SweepEvent<'_>),
+) -> Result<SweepOutcome, SweepError> {
     space.check_non_empty()?;
-    // Range-based fan-out: workers decode grid points from their flat
-    // index, so the grid is never materialized ahead of the sweep.
-    let evals = par_map_catch_range(jobs, space.len(), |i| {
-        // Test-only fault injection: a magic network name poisons the
-        // worker evaluating grid point 0, proving a panicking worker
-        // degrades to a `PointFailure` instead of hanging the pool.
-        #[cfg(test)]
-        #[allow(clippy::panic)]
-        if network.name() == "__poison_point_0__" && i == 0 {
-            panic!("injected worker poison");
-        }
-        match space.point(i) {
-            Some(params) => evaluate_point(sim, network, params, opts, energy_model),
-            // Unreachable once `check_non_empty` passed: every i < len()
-            // decodes. Treated as a skipped point rather than a panic.
-            None => Ok(None),
-        }
-    });
+    let len = space.len();
+    let chunk = chunk.max(1);
     let mut points = Vec::new();
     let mut failures = Vec::new();
-    for (params, eval) in space.grid().zip(evals) {
-        match eval {
-            Ok(Ok(Some(point))) => points.push(point),
-            Ok(Ok(None)) => {} // invalid or degenerate config: skipped
-            Ok(Err(e)) => failures.push(PointFailure { params, reason: e.to_string() }),
-            Err(panic_msg) => failures
-                .push(PointFailure { params, reason: format!("worker panicked: {panic_msg}") }),
+    let mut start = 0usize;
+    while start < len {
+        let count = chunk.min(len - start);
+        // Range-based fan-out: workers decode grid points from their
+        // flat index, so the grid is never materialized ahead of the
+        // sweep.
+        let evals = par_map_catch_range(jobs, count, |j| {
+            let i = start + j;
+            // Test-only fault injection: a magic network name poisons the
+            // worker evaluating grid point 0, proving a panicking worker
+            // degrades to a `PointFailure` instead of hanging the pool.
+            #[cfg(test)]
+            #[allow(clippy::panic)]
+            if network.name() == "__poison_point_0__" && i == 0 {
+                panic!("injected worker poison");
+            }
+            match space.point(i) {
+                Some(params) => evaluate_point(sim, network, params, opts, energy_model),
+                // Unreachable once `check_non_empty` passed: every
+                // i < len() decodes. Treated as a skipped point rather
+                // than a panic.
+                None => Ok(None),
+            }
+        });
+        for (j, eval) in evals.into_iter().enumerate() {
+            let i = start + j;
+            let Some(params) = space.point(i) else { continue };
+            match eval {
+                Ok(Ok(Some(point))) => {
+                    points.push(point);
+                    if let Some(point) = points.last() {
+                        on_event(SweepEvent::Point { index: i, point });
+                    }
+                }
+                // Invalid or degenerate config: skipped from the
+                // outcome, but still observable as an event.
+                Ok(Ok(None)) => on_event(SweepEvent::Skipped { index: i, params }),
+                Ok(Err(e)) => {
+                    failures.push(PointFailure { params, reason: e.to_string() });
+                    if let Some(failure) = failures.last() {
+                        on_event(SweepEvent::Failure { index: i, failure });
+                    }
+                }
+                Err(panic_msg) => {
+                    failures.push(PointFailure {
+                        params,
+                        reason: format!("worker panicked: {panic_msg}"),
+                    });
+                    if let Some(failure) = failures.last() {
+                        on_event(SweepEvent::Failure { index: i, failure });
+                    }
+                }
+            }
         }
+        start += count;
     }
     Ok(SweepOutcome { points, failures })
 }
@@ -716,6 +804,83 @@ mod tests {
         assert_eq!(runs[0], runs[1]);
         assert_eq!(runs[0], runs[2]);
         assert!(runs[0].failures.is_empty());
+    }
+
+    #[test]
+    fn streaming_sweep_is_chunk_and_jobs_invariant() {
+        // Chunking changes when results become observable, never what
+        // they are: every (chunk, jobs) combination reproduces the batch
+        // outcome bit-for-bit and fires exactly one event per grid
+        // point, in grid order — including a failure event for the
+        // infeasible 256-byte-buffer point.
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![16],
+            buffer_bytes: vec![256, 64 * 1024, 128 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let batch =
+            sweep_full_with(&Simulator::new(), &net, &space, opts, &EnergyModel::default(), 1)
+                .unwrap();
+        assert!(!batch.failures.is_empty(), "space includes an infeasible point");
+        for chunk in [0usize, 1, 3, usize::MAX] {
+            for jobs in [1usize, 4] {
+                let mut indices = Vec::new();
+                let mut seen_points = Vec::new();
+                let mut seen_failures = Vec::new();
+                let outcome = sweep_streaming_with(
+                    &Simulator::new(),
+                    &net,
+                    &space,
+                    opts,
+                    &em,
+                    jobs,
+                    chunk,
+                    |event| match event {
+                        SweepEvent::Point { index, point } => {
+                            indices.push(index);
+                            seen_points.push(point.clone());
+                        }
+                        SweepEvent::Skipped { index, .. } => indices.push(index),
+                        SweepEvent::Failure { index, failure } => {
+                            indices.push(index);
+                            seen_failures.push(failure.clone());
+                        }
+                    },
+                )
+                .unwrap();
+                assert_eq!(outcome, batch, "chunk={chunk} jobs={jobs}");
+                assert_eq!(
+                    indices,
+                    (0..space.len()).collect::<Vec<_>>(),
+                    "one event per grid point, in grid order (chunk={chunk} jobs={jobs})"
+                );
+                assert_eq!(seen_points, outcome.points);
+                assert_eq!(seen_failures, outcome.failures);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_rejects_empty_spaces_before_any_event() {
+        let mut space = SweepSpace::paper_default();
+        space.rf_depths.clear();
+        let mut fired = 0usize;
+        let err = sweep_streaming_with(
+            &Simulator::new(),
+            &zoo::tiny_darknet(),
+            &space,
+            SimOptions::default(),
+            &EnergyModel::default(),
+            1,
+            1,
+            |_| fired += 1,
+        )
+        .unwrap_err();
+        assert_eq!(err, SweepError::EmptySpace("rf-depth"));
+        assert_eq!(fired, 0, "no events before validation");
     }
 
     #[test]

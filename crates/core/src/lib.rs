@@ -44,8 +44,9 @@ pub use codesign::{
     evaluate_variant, evaluate_variant_with, CodesignStudy, ModelTransform, VariantResult,
 };
 pub use dse::{
-    best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, sweep_full_with, sweep_with,
-    DesignParams, DesignPoint, PointFailure, SweepError, SweepOutcome, SweepSpace,
+    best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, sweep_full_with,
+    sweep_streaming_with, sweep_with, DesignParams, DesignPoint, PointFailure, SweepError,
+    SweepEvent, SweepOutcome, SweepSpace,
 };
 pub use evaluate::{
     compare_all, compare_networks, compare_networks_with, ArchitectureComparison, RelativeResult,

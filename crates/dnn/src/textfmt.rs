@@ -104,18 +104,32 @@ pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
         let mut it = content.split_whitespace();
         let Some(directive) = it.next() else { continue };
         let toks: Vec<&str> = it.collect();
-        let need = |n: usize| {
-            if toks.len() < n {
+        // Both bounds are enforced: too few operands is obviously
+        // malformed, but so is too many — a silently ignored trailing
+        // token (a typo'd flag, a forgotten `#`) would give the user a
+        // different network than the one they wrote down.
+        let arity = |min: usize, max: usize| {
+            if toks.len() < min {
                 Err(ParseNetworkError::new(
                     line,
-                    format!("`{directive}` needs {n} operands, got {}", toks.len()),
+                    format!("`{directive}` needs {min} operands, got {}", toks.len()),
+                ))
+            } else if toks.len() > max {
+                Err(ParseNetworkError::new(
+                    line,
+                    format!(
+                        "`{directive}` takes at most {max} operands, got {}: surplus `{}` (use `#` for comments)",
+                        toks.len(),
+                        toks[max]
+                    ),
                 ))
             } else {
                 Ok(())
             }
         };
         if directive == "network" {
-            need(2)?;
+            // No upper bound: the network name may contain spaces.
+            arity(2, usize::MAX)?;
             // The shape is the last token; everything before it is the
             // (possibly space-containing) network name.
             let dims = parse_dims(toks[toks.len() - 1], line)?;
@@ -131,7 +145,7 @@ pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
             .ok_or_else(|| ParseNetworkError::new(line, "`network` must come first"))?;
         match directive {
             "conv" => {
-                need(4)?;
+                arity(4, 6)?;
                 let out: usize = parse_num(toks[1], "channel count", line)?;
                 let k = parse_dims(toks[2], line)?;
                 let stride = parse_prefixed(toks[3], 's', line)?;
@@ -157,26 +171,26 @@ pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
                 }
             }
             "pointwise" => {
-                need(2)?;
+                arity(2, 2)?;
                 let out = parse_num(toks[1], "channel count", line)?;
                 b.pointwise_conv(toks[0], out);
             }
             "depthwise" => {
-                need(3)?;
+                arity(3, 4)?;
                 let k = parse_num(toks[1], "kernel", line)?;
                 let stride = parse_prefixed(toks[2], 's', line)?;
                 let pad = if toks.len() > 3 { parse_prefixed(toks[3], 'p', line)? } else { 0 };
                 b.depthwise_conv(toks[0], k, stride, pad);
             }
             "fire" => {
-                need(4)?;
+                arity(4, 4)?;
                 let s = parse_num(toks[1], "squeeze width", line)?;
                 let e1 = parse_num(toks[2], "expand1x1 width", line)?;
                 let e3 = parse_num(toks[3], "expand3x3 width", line)?;
                 b.fire(toks[0], s, e1, e3);
             }
             "maxpool" | "avgpool" => {
-                need(3)?;
+                arity(3, 3)?;
                 let k = parse_num(toks[1], "kernel", line)?;
                 let stride = parse_prefixed(toks[2], 's', line)?;
                 if directive == "maxpool" {
@@ -186,16 +200,16 @@ pub fn parse_network(text: &str) -> Result<Network, ParseNetworkError> {
                 }
             }
             "gap" => {
-                need(1)?;
+                arity(1, 1)?;
                 b.global_avg_pool(toks[0]);
             }
             "fc" => {
-                need(2)?;
+                arity(2, 2)?;
                 let out = parse_num(toks[1], "feature count", line)?;
                 b.fully_connected(toks[0], out);
             }
             "accuracy" => {
-                need(1)?;
+                arity(1, 1)?;
                 let acc: f64 = parse_num(toks[0], "accuracy", line)?;
                 b.top1_accuracy(acc);
             }
@@ -373,6 +387,46 @@ accuracy  61.5
         assert!(err.to_string().contains("missing `network`"));
         let err = parse_network("network t 3x8x8\nwarp w\n").unwrap_err();
         assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn surplus_operands_are_rejected_not_ignored() {
+        // Regression: trailing operands used to be silently dropped, so
+        // a typo'd flag produced a *different* network than written.
+        let err = parse_network("network t 3x8x8\nconv c 8 3 s1 p1 g1 extra\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 2: `conv` takes at most 6 operands, got 7: surplus `extra` (use `#` for comments)"
+        );
+        let err = parse_network("network t 3x8x8\ngap g bogus\n").unwrap_err();
+        assert!(err.to_string().contains("surplus `bogus`"), "{err}");
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+        let err = parse_network("network t 3x8x8\nconv c 8 3 s1\nfc out 10 20\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+        let err = parse_network("network t 3x8x8\nmaxpool p 3 s2 p1\n").unwrap_err();
+        assert!(err.to_string().contains("`maxpool` takes at most 3"), "{err}");
+        let err = parse_network("network t 3x8x8\ndepthwise d 3 s1 p1 p2\n").unwrap_err();
+        assert!(err.to_string().contains("surplus `p2`"), "{err}");
+        let err = parse_network("network t 3x8x8\npointwise p 8 s1\n").unwrap_err();
+        assert!(err.to_string().contains("surplus `s1`"), "{err}");
+        let err = parse_network("network t 3x8x8\nfire f 8 16 16 16\n").unwrap_err();
+        assert!(err.to_string().contains("`fire` takes at most 4"), "{err}");
+        let err = parse_network("network t 3x8x8\nconv c 8 3 s1\naccuracy 61.5 60\n").unwrap_err();
+        assert!(err.to_string().contains("`accuracy` takes at most 1"), "{err}");
+    }
+
+    #[test]
+    fn trailing_comments_are_not_surplus_operands() {
+        // The `#` comment path must survive the arity tightening: words
+        // after a `#` never count as operands.
+        let net = parse_network(
+            "network t 3x8x8\nconv c 8 3 s1 p1 # five words of commentary here\ngap g # done\n",
+        )
+        .unwrap();
+        assert_eq!(net.layers().len(), 2);
+        // Network names may still contain spaces (no upper bound).
+        let net = parse_network("network spaced out name 3x8x8\nconv c 8 3 s1\n").unwrap();
+        assert_eq!(net.name(), "spaced out name");
     }
 
     #[test]

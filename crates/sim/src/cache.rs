@@ -49,7 +49,7 @@ const SHARD_COUNT: usize = 16;
 /// key (the simulator never produces NaN configuration fields, and bitwise
 /// equality is exactly the determinism contract the cache needs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-struct Bits(u64);
+pub(crate) struct Bits(pub(crate) u64);
 
 impl From<f64> for Bits {
     fn from(v: f64) -> Self {
@@ -59,11 +59,11 @@ impl From<f64> for Bits {
 
 /// The OS-datapath option fields that influence the OS cycle model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-struct OsOptsKey {
-    zero_fraction: Bits,
-    exploit_sparsity: bool,
-    preload_overlap: bool,
-    channel_packing: bool,
+pub(crate) struct OsOptsKey {
+    pub(crate) zero_fraction: Bits,
+    pub(crate) exploit_sparsity: bool,
+    pub(crate) preload_overlap: bool,
+    pub(crate) channel_packing: bool,
 }
 
 impl OsOptsKey {
@@ -81,11 +81,11 @@ impl OsOptsKey {
 /// [`crate::ws::simulate_ws`] / [`crate::os::simulate_os`] read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ComputeKey {
-    work: ConvWork,
-    dataflow: Dataflow,
-    array_size: usize,
-    rf_depth: usize,
-    os: OsOptsKey,
+    pub(crate) work: ConvWork,
+    pub(crate) dataflow: Dataflow,
+    pub(crate) array_size: usize,
+    pub(crate) rf_depth: usize,
+    pub(crate) os: OsOptsKey,
 }
 
 impl ComputeKey {
@@ -112,14 +112,14 @@ impl ComputeKey {
 /// traffic derivation reads none of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct TrafficKey {
-    work: ConvWork,
-    model: TrafficModel,
-    bytes_per_element: usize,
-    working_buffer_bytes: usize,
+    pub(crate) work: ConvWork,
+    pub(crate) model: TrafficModel,
+    pub(crate) bytes_per_element: usize,
+    pub(crate) working_buffer_bytes: usize,
     /// `(data_bits, index_bits, zero_fraction)` — the zero fraction only
     /// affects traffic through compression, so it is folded in here and
     /// uncompressed runs share entries across sparsity settings.
-    compression: Option<(u32, u32, Bits)>,
+    pub(crate) compression: Option<(u32, u32, Bits)>,
 }
 
 impl TrafficKey {
@@ -260,6 +260,22 @@ impl<K: Eq + Hash + Copy, V: Copy> ShardedMap<K, V> {
         self.shards.iter().map(|s| lock_counting(s).0.len()).sum()
     }
 
+    /// Copies out every resident entry, in unspecified order (one shard
+    /// at a time, so concurrent writers are never blocked for long).
+    fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(lock_counting(shard).0.iter().map(|(k, v)| (*k, *v)));
+        }
+        out
+    }
+
+    /// Inserts an entry directly — the snapshot preload path, which must
+    /// not perturb the hit/miss accounting a lookup would.
+    fn insert(&self, key: K, value: V) {
+        lock_counting(self.shard(&key)).0.insert(key, value);
+    }
+
     fn clear(&self) {
         for shard in &self.shards {
             lock_counting(shard).0.clear();
@@ -344,6 +360,28 @@ impl SimCache {
             entries: self.compute.len() + self.traffic.len(),
             contended: self.contended.load(Ordering::Relaxed),
         }
+    }
+
+    /// Copies out every resident compute entry (snapshot export).
+    pub(crate) fn export_compute(&self) -> Vec<(ComputeKey, ComputePerf)> {
+        self.compute.entries()
+    }
+
+    /// Copies out every resident traffic entry (snapshot export).
+    pub(crate) fn export_traffic(&self) -> Vec<(TrafficKey, u64)> {
+        self.traffic.entries()
+    }
+
+    /// Inserts a compute entry without touching the hit/miss counters
+    /// (snapshot preload).
+    pub(crate) fn preload_compute(&self, key: ComputeKey, value: ComputePerf) {
+        self.compute.insert(key, value);
+    }
+
+    /// Inserts a traffic entry without touching the hit/miss counters
+    /// (snapshot preload).
+    pub(crate) fn preload_traffic(&self, key: TrafficKey, value: u64) {
+        self.traffic.insert(key, value);
     }
 
     /// Drops all entries and resets the counters.

@@ -184,11 +184,7 @@ impl MachineTrace {
                 s.phase.tag(),
                 codesign_trace::Category::Phase,
                 s.total_cycles(),
-                &[
-                    ("macs", s.total_macs()),
-                    ("active_pes", s.active_pes),
-                    ("repeat", s.repeat),
-                ],
+                &[("macs", s.total_macs()), ("active_pes", s.active_pes), ("repeat", s.repeat)],
             );
         }
     }
@@ -196,16 +192,14 @@ impl MachineTrace {
     /// Expands the trace to one [`CycleState`] per machine cycle,
     /// repeats included.
     pub fn iter_cycles(&self) -> impl Iterator<Item = CycleState> + '_ {
-        self.segments
-            .iter()
-            .flat_map(|s| (0..s.total_cycles()).map(move |_| s))
-            .enumerate()
-            .map(|(i, s)| CycleState {
+        self.segments.iter().flat_map(|s| (0..s.total_cycles()).map(move |_| s)).enumerate().map(
+            |(i, s)| CycleState {
                 cycle: i as u64,
                 phase: s.phase,
                 macs: s.macs_per_cycle,
                 active_pes: s.active_pes,
-            })
+            },
+        )
     }
 }
 

@@ -161,18 +161,10 @@ mod tests {
         let cfg = AcceleratorConfig::builder().array_size(8).build().unwrap();
         let work = corpus()[0];
         let trace = trace_rs(&work, &cfg);
-        let drains: u64 = trace
-            .segments()
-            .iter()
-            .filter(|s| s.phase == Phase::Drain)
-            .map(|s| s.repeat)
-            .sum();
-        let waves: u64 = trace
-            .segments()
-            .iter()
-            .filter(|s| s.phase == Phase::Load)
-            .map(|s| s.repeat)
-            .sum();
+        let drains: u64 =
+            trace.segments().iter().filter(|s| s.phase == Phase::Drain).map(|s| s.repeat).sum();
+        let waves: u64 =
+            trace.segments().iter().filter(|s| s.phase == Phase::Load).map(|s| s.repeat).sum();
         assert!(drains > 0);
         assert_eq!(drains, waves, "one drain per wave");
     }

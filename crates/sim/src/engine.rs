@@ -17,6 +17,7 @@ use crate::error::{SimError, SimResult};
 use crate::os::{simulate_os, OsModelOptions};
 use crate::perf::{ComputePerf, LayerPerf, NetworkPerf};
 use crate::simd::simulate_simd;
+use crate::snapshot::{SnapshotError, SnapshotStats};
 use crate::tiling::optimize_tiling;
 use crate::workload::ConvWork;
 use crate::ws::simulate_ws;
@@ -300,6 +301,42 @@ impl Simulator {
         }
     }
 
+    /// Whether this handle and `other` memoize through the same shared
+    /// [`SimCache`] — true for clones and [`Simulator::fork_counter`]
+    /// forks of one another, false for independently-built simulators
+    /// (and for any uncached handle).
+    pub fn shares_cache_with(&self, other: &Simulator) -> bool {
+        match (&self.cache, &other.cache) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Serializes the shared cache into a snapshot (see
+    /// [`crate::snapshot`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Uncached`] when this handle does not memoize.
+    pub fn cache_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.cache.as_deref().map(SimCache::to_snapshot).ok_or(SnapshotError::Uncached)
+    }
+
+    /// Warm-starts the shared cache from snapshot bytes. Preloaded
+    /// entries do not touch the hit/miss counters, so subsequent runs
+    /// report pure hits — exactly as if an earlier run in this process
+    /// had populated the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Uncached`] when this handle does not memoize;
+    /// otherwise any validation error from [`SimCache::load_snapshot`]
+    /// (the cache is untouched on error).
+    pub fn load_cache_snapshot(&self, bytes: &[u8]) -> Result<SnapshotStats, SnapshotError> {
+        let cache = self.cache.as_deref().ok_or(SnapshotError::Uncached)?;
+        cache.load_snapshot(bytes)
+    }
+
     /// Bumps the `sim.error.<kind>` counter for a surfaced error, so
     /// traced sweeps expose *what kinds* of failures their space
     /// produced. Returns the error for `map_err` chaining.
@@ -538,6 +575,36 @@ impl Simulator {
     ) -> NetworkPerf {
         self.try_simulate_network(network, cfg, policy, opts).unwrap_or_else(|e| e.raise())
     }
+}
+
+/// Aggregates cache counters across simulator handles *without double
+/// counting*: handles that share one [`SimCache`] (clones and
+/// [`Simulator::fork_counter`] forks) contribute that cache's counters
+/// exactly once, because the counters live on the shared cache — each
+/// fork's `stats()` already reports the whole cache, not a per-fork
+/// share. Summing `stats()` over forks would multiply hits, misses, and
+/// contention by the fork count; this dedups by cache identity instead.
+///
+/// Uncached handles contribute nothing. The result is what a serve-mode
+/// metrics endpoint should report for a set of per-request forks.
+pub fn aggregate_cache_stats<'a>(sims: impl IntoIterator<Item = &'a Simulator>) -> CacheStats {
+    let mut seen: Vec<*const SimCache> = Vec::new();
+    let mut total = CacheStats::default();
+    for sim in sims {
+        if let Some(cache) = sim.cache.as_deref() {
+            let ptr: *const SimCache = cache;
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+            total.contended += s.contended;
+        }
+    }
+    total
 }
 
 fn policy_tag(policy: DataflowPolicy) -> &'static str {
@@ -843,6 +910,54 @@ mod tests {
             assert!(perf.total_cycles() > 0);
             assert!(perf.layers.iter().all(|l| l.dataflow.is_some()));
         }
+    }
+
+    #[test]
+    fn fork_stats_aggregate_without_double_counting() {
+        // Serve-mode metrics fold per-request fork odometers together.
+        // Forks share one cache, and each fork's `stats()` reads that
+        // whole shared cache — summing them would multiply every counter
+        // by the fork count. Identity-aware aggregation must not.
+        let net = zoo::squeezenet_v1_1();
+        let opts = SimOptions::paper_default();
+        let base = Simulator::new();
+        let fork_a = base.fork_counter();
+        let fork_b = base.fork_counter();
+        fork_a.simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
+        fork_b.simulate_network(
+            &net,
+            &cfg(),
+            DataflowPolicy::Fixed(Dataflow::WeightStationary),
+            opts,
+        );
+
+        let shared = base.stats();
+        assert!(shared.hits > 0 && shared.misses > 0, "{shared}");
+        assert_eq!(fork_a.stats(), shared, "every fork reads the same shared cache");
+        assert_eq!(fork_b.stats(), shared);
+
+        // Pin hits/lookups/contended across the two forks: the aggregate
+        // equals the shared picture exactly once, not twice.
+        let agg = aggregate_cache_stats([&base, &fork_a, &fork_b]);
+        assert_eq!(agg, shared);
+        assert_eq!(agg.hits, shared.hits);
+        assert_eq!(agg.lookups(), shared.lookups());
+        assert_eq!(agg.contended, shared.contended);
+
+        // Distinct caches do sum.
+        let other = Simulator::new();
+        other.simulate_network(&net, &cfg(), DataflowPolicy::PerLayer, opts);
+        let two = aggregate_cache_stats([&fork_a, &other]);
+        assert_eq!(two.lookups(), shared.lookups() + other.stats().lookups());
+        assert_eq!(two.entries, shared.entries + other.stats().entries);
+
+        // Cache identity is observable, and uncached handles are inert.
+        assert!(base.shares_cache_with(&fork_a));
+        assert!(fork_a.shares_cache_with(&fork_b));
+        assert!(!base.shares_cache_with(&other));
+        let uncached = Simulator::uncached();
+        assert!(!uncached.shares_cache_with(&uncached.clone()));
+        assert_eq!(aggregate_cache_stats([&uncached]), CacheStats::default());
     }
 
     #[test]

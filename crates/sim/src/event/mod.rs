@@ -499,8 +499,7 @@ pub fn try_simulate_layer_event(
 ) -> SimResult<EventLayerResult> {
     let mut dma = DmaUnit::new(cfg.dram());
     let mut array = ArrayUnit::new();
-    let txns =
-        Lowering::new().lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow))?;
+    let txns = Lowering::new().lower_layer(layer, cfg, opts, DataflowPolicy::Fixed(dataflow))?;
     let state = PipelineState { prev_compute_start: 0, finished: 0 };
     let (next, stalls, tiles) =
         play_layer(&txns, &mut dma, &mut array, state, cfg.double_buffering(), TimeSkip::Enabled);

@@ -55,6 +55,7 @@ pub mod perf;
 pub mod program;
 pub mod rs;
 pub mod simd;
+pub mod snapshot;
 pub mod sparsity;
 pub mod taxonomy;
 pub mod tiling;
@@ -69,9 +70,9 @@ pub use batch::{
 pub use cache::{CacheStats, SimCache};
 pub use compression::WeightCompression;
 pub use engine::{
-    compare_dataflows, record_network, simulate_conv, simulate_layer, simulate_network,
-    try_compare_dataflows, try_simulate_conv, try_simulate_layer, try_simulate_network, SimOptions,
-    Simulator, TrafficModel,
+    aggregate_cache_stats, compare_dataflows, record_network, simulate_conv, simulate_layer,
+    simulate_network, try_compare_dataflows, try_simulate_conv, try_simulate_layer,
+    try_simulate_network, SimOptions, Simulator, TrafficModel,
 };
 pub use error::{SimError, SimResult};
 pub use event::{
@@ -88,11 +89,13 @@ pub use multicore::{
 pub use nlr::simulate_nlr;
 pub use os::{simulate_os, OsModelOptions, SparsityModel};
 pub use parallel::{
-    max_jobs, par_map, par_map_catch, par_map_catch_range, par_map_range, resolve_jobs,
+    max_jobs, par_map, par_map_catch, par_map_catch_range, par_map_range, pool_size, resolve_jobs,
+    MAX_POOL_WORKERS,
 };
 pub use perf::{ComputePerf, LayerPerf, NetworkPerf, PhaseCycles};
 pub use program::{Command, LayerProgram, Program};
 pub use rs::simulate_rs;
+pub use snapshot::{SnapshotError, SnapshotStats, SNAPSHOT_VERSION};
 pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
 pub use taxonomy::{compare_taxonomy, try_compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
 pub use tiling::{optimize_tiling, optimize_tiling_exhaustive, LoopOrder, Tiling, TilingPlan};

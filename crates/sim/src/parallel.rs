@@ -10,16 +10,20 @@
 //!
 //! # Pool lifecycle
 //!
-//! The first parallel call spawns one process-wide pool of
-//! `max_jobs() - 1` worker threads (at least one) that live for the rest
-//! of the process — repeated sweep iterations reuse them instead of
-//! paying thread spawn/join per call. Each call submits a *job* to a
-//! shared injector; idle workers attach to the first job that still has
-//! unclaimed items and has fewer helpers than its `--jobs` cap. The
-//! calling thread always participates in its own job, which bounds
-//! concurrency at `jobs` threads per call and makes nested calls (and a
-//! zero-worker pool) deadlock-free: the caller alone can always drain
-//! the job.
+//! Worker threads are spawned on demand and live for the rest of the
+//! process — repeated sweep iterations reuse them instead of paying
+//! thread spawn/join per call. The pool's size tracks the *high-water
+//! mark* of `jobs - 1` across every call so far (capped at
+//! [`MAX_POOL_WORKERS`]): a call requesting more parallelism than any
+//! before it grows the pool first, so a long-lived server that starts
+//! with `--jobs 2` requests is never stuck under-parallelized when a
+//! `--jobs 8` request arrives later. [`pool_size`] reports the current
+//! count. Each call submits a *job* to a shared injector; idle workers
+//! attach to the first job that still has unclaimed items and has fewer
+//! helpers than its `--jobs` cap. The calling thread always participates
+//! in its own job, which bounds concurrency at `jobs` threads per call
+//! and makes nested calls (and a zero-worker pool) deadlock-free: the
+//! caller alone can always drain the job.
 //!
 //! # Work stealing
 //!
@@ -43,7 +47,7 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Number of worker threads the host supports (`1` when undetectable).
 pub fn max_jobs() -> usize {
@@ -195,12 +199,20 @@ impl Job {
     }
 }
 
+/// Hard ceiling on pool threads, far above any sane `--jobs`: a runaway
+/// request cannot exhaust the process's thread quota, it just caps out
+/// and the callers share the workers that exist.
+pub const MAX_POOL_WORKERS: usize = 256;
+
 /// The process-wide worker pool: an injector of live jobs plus parked
 /// worker threads.
 #[derive(Default)]
 struct Pool {
     injector: Mutex<Vec<Arc<Job>>>,
     work_cv: Condvar,
+    /// Worker threads spawned so far. Guarded by a mutex (not an atomic)
+    /// so concurrent growers serialize and never overshoot the target.
+    workers: Mutex<usize>,
 }
 
 impl Pool {
@@ -244,21 +256,36 @@ impl Pool {
 /// process.
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    static SPAWN: Once = Once::new();
-    let shared = POOL.get_or_init(Pool::default);
-    SPAWN.call_once(|| {
-        // One worker per core beyond the caller's own thread, but at
-        // least one so the pool machinery is exercised even on a
-        // single-core host. Spawn failure is tolerable: the caller
-        // participates in every job, so fewer (or zero) workers only
-        // costs parallelism, never correctness.
-        let workers = max_jobs().saturating_sub(1).max(1);
-        for w in 0..workers {
-            let builder = std::thread::Builder::new().name(format!("codesign-worker-{w}"));
-            let _ = builder.spawn(move || pool().worker_loop());
+    POOL.get_or_init(Pool::default)
+}
+
+/// Grows the pool to at least `target` workers (capped at
+/// [`MAX_POOL_WORKERS`]). The pool used to be sized once by its first
+/// caller, which silently under-parallelized any later call with a
+/// larger `--jobs` — fatal for a long-lived server; growing to the
+/// high-water mark instead makes pool capacity independent of request
+/// arrival order. Spawn failure is tolerable: the caller participates
+/// in every job, so fewer (or zero) workers only costs parallelism,
+/// never correctness.
+fn ensure_workers(target: usize) {
+    let target = target.min(MAX_POOL_WORKERS);
+    let shared = pool();
+    let mut count = lock_recovered(&shared.workers);
+    while *count < target {
+        let builder = std::thread::Builder::new().name(format!("codesign-worker-{count}"));
+        if builder.spawn(|| pool().worker_loop()).is_err() {
+            break;
         }
-    });
-    shared
+        *count += 1;
+    }
+}
+
+/// Current worker-thread count of the process-wide pool: the high-water
+/// mark of `jobs - 1` across every parallel call so far (zero before the
+/// first parallel call). Total concurrency for a call is `jobs` — the
+/// caller's thread participates alongside at most `jobs - 1` workers.
+pub fn pool_size() -> usize {
+    *lock_recovered(&pool().workers)
 }
 
 /// Re-raises a worker panic on the calling thread with the payload
@@ -293,6 +320,9 @@ where
     if jobs <= 1 {
         return (0..len).map(f).collect();
     }
+    // Grow the pool before submitting, so this call can actually reach
+    // its requested concurrency even if earlier calls asked for less.
+    ensure_workers(jobs - 1);
 
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
     let run = |i: usize| {
@@ -435,6 +465,25 @@ mod tests {
             par_map(4, &items, |_, &x| x * 3),
         );
         assert!(par_map_range(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn pool_grows_to_the_jobs_high_water_mark() {
+        // Regression: the pool used to be sized by its *first* caller,
+        // so a `--jobs 2` run followed by a `--jobs 8` run left the
+        // second under-parallelized for the rest of the process. The
+        // pool must now grow to each call's requested concurrency.
+        let items: Vec<u64> = (0..96).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let small = par_map(2, &items, f);
+        assert!(pool_size() >= 1, "a jobs=2 call needs at least one worker");
+        let big = par_map(8, &items, f);
+        assert!(
+            pool_size() >= 7,
+            "a later jobs=8 call must grow the pool to 7 workers, got {}",
+            pool_size()
+        );
+        assert_eq!(small, big, "pool growth must not change results");
     }
 
     #[test]

@@ -83,6 +83,19 @@ impl Tracer {
         }
     }
 
+    /// Folds every counter of `data` into this tracer's counters.
+    ///
+    /// The server uses this to merge per-request tracer snapshots into
+    /// the long-lived server tracer: counters sum (order-independent),
+    /// so absorbing N request snapshots equals having recorded against
+    /// one tracer all along. Tracks are *not* absorbed — per-request
+    /// spans stay with the request. No-op on a disabled tracer.
+    pub fn absorb_counters(&self, data: &TraceData) {
+        for (name, delta) in &data.counters {
+            self.add_counter(name, *delta);
+        }
+    }
+
     /// A deterministic snapshot of everything recorded so far.
     ///
     /// Tracks are sorted by `(name, content)`: two tracks with the same
@@ -167,6 +180,30 @@ mod tests {
             t.snapshot()
         };
         assert_eq!(mk(["c", "a", "b"]), mk(["b", "c", "a"]));
+    }
+
+    #[test]
+    fn absorbing_counters_equals_recording_directly() {
+        let request_a = Tracer::enabled();
+        request_a.add_counter("sim.cache.hits", 3);
+        request_a.add_counter("serve.dedup", 1);
+        let request_b = Tracer::enabled();
+        request_b.add_counter("sim.cache.hits", 4);
+
+        let server = Tracer::enabled();
+        server.add_counter("sim.cache.hits", 1);
+        server.absorb_counters(&request_a.snapshot());
+        server.absorb_counters(&request_b.snapshot());
+
+        let direct = Tracer::enabled();
+        direct.add_counter("sim.cache.hits", 8);
+        direct.add_counter("serve.dedup", 1);
+        assert_eq!(server.snapshot().counters, direct.snapshot().counters);
+
+        // Absorbing into a disabled tracer stays a no-op.
+        let off = Tracer::disabled();
+        off.absorb_counters(&request_a.snapshot());
+        assert_eq!(off.snapshot(), TraceData::default());
     }
 
     #[test]

@@ -143,7 +143,15 @@ proptest! {
     }
 }
 
-fn pinned(kind: WorkKind, groups: usize, c: usize, k: usize, f: usize, s: usize, oh: usize) -> ConvWork {
+fn pinned(
+    kind: WorkKind,
+    groups: usize,
+    c: usize,
+    k: usize,
+    f: usize,
+    s: usize,
+    oh: usize,
+) -> ConvWork {
     ConvWork {
         kind,
         groups,
@@ -167,10 +175,10 @@ fn pinned_regressions_match_the_spec() {
     let cases = [
         pinned(WorkKind::Depthwise, 1, 32, 32, 3, 1, 112), // MobileNet stem block
         pinned(WorkKind::Depthwise, 1, 512, 512, 3, 2, 7),
-        pinned(WorkKind::Dense, 2, 48, 128, 5, 1, 27),     // AlexNet-style grouped conv
+        pinned(WorkKind::Dense, 2, 48, 128, 5, 1, 27), // AlexNet-style grouped conv
         pinned(WorkKind::Dense, 4, 64, 64, 3, 1, 14),
-        pinned(WorkKind::Dense, 1, 96, 16, 1, 1, 55),      // fire-module squeeze (1×1)
-        pinned(WorkKind::Dense, 1, 8, 8, 3, 1, 4),         // single tile on every array size
+        pinned(WorkKind::Dense, 1, 96, 16, 1, 1, 55), // fire-module squeeze (1×1)
+        pinned(WorkKind::Dense, 1, 8, 8, 3, 1, 4),    // single tile on every array size
         pinned(WorkKind::FullyConnected, 1, 4096, 1000, 1, 1, 1),
     ];
     let cfgs = [
