@@ -224,6 +224,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+        let fb = &report.functional_bench;
+        eprintln!(
+            "functional executor: {:.1} MMAC/s over {} network(s), {:.1}x vs naive ops, \
+             bit-identical: {}",
+            fb.gemm_macs_per_sec() / 1e6,
+            fb.networks,
+            fb.speedup_vs_naive(),
+            fb.outputs_identical,
+        );
     }
 
     if tracer.is_enabled() {

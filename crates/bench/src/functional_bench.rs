@@ -1,0 +1,143 @@
+//! Functional-inference bench: times the GEMM-backed executor against
+//! the naive reference convolutions over the whole table zoo, verifying
+//! bit-equality along the way. The headline — functional MACs/sec and
+//! the speedup over the naive ops — lands in `BENCH_report.json` so CI
+//! can gate on executor throughput regressions.
+
+use std::time::Instant;
+
+use codesign_dnn::{zoo, Network};
+use codesign_tensor::{run_network_reference, run_network_with, Tensor, WeightStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measured functional-executor throughput over the table zoo: naive
+/// reference ops vs the tiled-GEMM execution stack, same weights, same
+/// input, outputs compared bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalBench {
+    /// Worker threads the GEMM executor ran with (resolved; never 0).
+    pub jobs: usize,
+    /// Networks executed.
+    pub networks: usize,
+    /// Total multiply-accumulates across all networks (one inference
+    /// each).
+    pub macs: u64,
+    /// Naive reference wall time in milliseconds (single rep — it is
+    /// the slow side, and only anchors the speedup denominator).
+    pub naive_wall_ms: f64,
+    /// GEMM executor wall time in milliseconds (best of [`Self::REPS`]).
+    pub gemm_wall_ms: f64,
+    /// Whether every network's GEMM output matched the reference
+    /// bit-for-bit (recorded rather than asserted so a violation shows
+    /// up in the committed report, like `serve_bench.outputs_identical`).
+    pub outputs_identical: bool,
+}
+
+impl FunctionalBench {
+    /// Timed repetitions of the GEMM pass; the reported wall time is the
+    /// minimum, which filters scheduler noise out of the CI gate.
+    pub const REPS: usize = 3;
+
+    /// Runs the bench over the table zoo. Release builds (the report
+    /// binary, the CI gate) cover all six networks; debug builds — where
+    /// the naive reference pass alone would take minutes — keep only the
+    /// lightest network so `cargo test` stays affordable while still
+    /// exercising the full measurement path.
+    pub fn measure(jobs: usize) -> Self {
+        let mut nets = zoo::table_networks();
+        if cfg!(debug_assertions) {
+            nets.sort_by_key(Network::total_macs);
+            nets.truncate(1);
+        }
+        Self::measure_networks(&nets, jobs)
+    }
+
+    /// Runs the bench over an explicit network list (tests use a small
+    /// subset so the naive pass stays affordable in debug builds).
+    pub fn measure_networks(nets: &[Network], jobs: usize) -> Self {
+        let cases: Vec<(Tensor, WeightStore, &Network)> = nets
+            .iter()
+            .map(|net| {
+                // Weight range 8 at 40% sparsity and an 8-bit-ish input,
+                // matching `codesign verify-functional`: wide enough to
+                // exercise the wide-accumulator path, sparse enough to
+                // hit the zero-skip paths.
+                let mut rng = StdRng::seed_from_u64(2018);
+                let weights = WeightStore::random(net, 8, 0.4, &mut rng);
+                let image = Tensor::random(net.input(), 64, &mut rng);
+                (image, weights, net)
+            })
+            .collect();
+
+        let started = Instant::now();
+        let references: Vec<_> = cases
+            .iter()
+            .map(|(image, weights, net)| {
+                run_network_reference(net, image, weights).expect("zoo networks execute")
+            })
+            .collect();
+        let naive_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let mut gemm_wall_ms = f64::INFINITY;
+        let mut outputs_identical = true;
+        for _ in 0..Self::REPS {
+            let started = Instant::now();
+            let outputs: Vec<_> = cases
+                .iter()
+                .map(|(image, weights, net)| {
+                    run_network_with(net, image, weights, jobs).expect("zoo networks execute")
+                })
+                .collect();
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            if wall_ms < gemm_wall_ms {
+                gemm_wall_ms = wall_ms;
+            }
+            outputs_identical &= outputs
+                .iter()
+                .zip(&references)
+                .all(|(got, want)| got.final_output() == want.final_output());
+        }
+
+        Self {
+            jobs: codesign_sim::resolve_jobs(jobs),
+            networks: nets.len(),
+            macs: nets.iter().map(Network::total_macs).sum(),
+            naive_wall_ms,
+            gemm_wall_ms,
+            outputs_identical,
+        }
+    }
+
+    /// Naive-reference throughput in MACs per second.
+    pub fn naive_macs_per_sec(&self) -> f64 {
+        self.macs as f64 / (self.naive_wall_ms.max(f64::MIN_POSITIVE) / 1e3)
+    }
+
+    /// GEMM-executor throughput in MACs per second — the headline.
+    pub fn gemm_macs_per_sec(&self) -> f64 {
+        self.macs as f64 / (self.gemm_wall_ms.max(f64::MIN_POSITIVE) / 1e3)
+    }
+
+    /// Speedup of the GEMM execution stack over the naive reference.
+    pub fn speedup_vs_naive(&self) -> f64 {
+        self.naive_wall_ms / self.gemm_wall_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_subset_and_verifies_equality() {
+        // Debug-build affordable subset: the two lightest table networks.
+        let nets = vec![zoo::squeezenet_v1_1(), zoo::tiny_darknet()];
+        let b = FunctionalBench::measure_networks(&nets, 1);
+        assert_eq!(b.networks, 2);
+        assert_eq!(b.macs, nets.iter().map(Network::total_macs).sum::<u64>());
+        assert!(b.outputs_identical, "GEMM must bit-match the reference");
+        assert!(b.naive_wall_ms > 0.0 && b.gemm_wall_ms > 0.0);
+        assert!(b.gemm_macs_per_sec() > 0.0 && b.speedup_vs_naive() > 0.0);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod functional_bench;
 pub mod report_json;
 pub mod serve_bench;
 pub mod stopwatch;
@@ -27,6 +28,7 @@ pub mod table;
 
 pub use chart::{bar_chart, Bar};
 pub use experiments::Context;
+pub use functional_bench::FunctionalBench;
 pub use report_json::{
     BenchReport, ExperimentTiming, NetworkHeadline, SweepBench, BENCH_REPORT_SCHEMA,
     SWEEP_BASELINE_WALL_MS,

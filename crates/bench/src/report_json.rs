@@ -15,6 +15,7 @@ use codesign_sim::{resolve_jobs, CacheStats, SimOptions, Simulator};
 use codesign_trace::json::{number, quote};
 
 use crate::experiments::Context;
+use crate::functional_bench::FunctionalBench;
 use crate::serve_bench::ServeBench;
 
 /// Schema identifier written into every report. Bump the suffix when the
@@ -22,8 +23,9 @@ use crate::serve_bench::ServeBench;
 /// counter and the `sweep_bench` section; `/3` added per-experiment
 /// `sim_cycles` and `sim_cycles_per_sec` throughput; `/4` added the
 /// `serve_bench` section (concurrent-client cache sharing and snapshot
-/// warm-start speedup).
-pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/4";
+/// warm-start speedup); `/5` added the `functional_bench` section
+/// (GEMM-backed inference throughput vs the naive reference ops).
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/5";
 
 /// Pre-overhaul reference wall time for [`SweepBench`]: the
 /// paper-default sweep over the six table networks took ~206 ms at
@@ -173,6 +175,9 @@ pub struct BenchReport {
     /// Serve-mode load bench: concurrent-client cache sharing and
     /// snapshot warm-start speedup.
     pub serve_bench: ServeBench,
+    /// Functional-executor bench: GEMM inference throughput over the
+    /// zoo vs the naive reference ops, with bit-equality verified.
+    pub functional_bench: FunctionalBench,
     /// Per-network headlines for the paper's table networks.
     pub networks: Vec<NetworkHeadline>,
 }
@@ -221,6 +226,7 @@ impl BenchReport {
             cache: ctx.sim.stats(),
             sweep_bench: SweepBench::measure(ctx.jobs),
             serve_bench: ServeBench::measure(ctx.jobs),
+            functional_bench: FunctionalBench::measure(ctx.jobs),
             networks,
         }
     }
@@ -297,16 +303,33 @@ impl BenchReport {
             vb.snapshot_bytes,
             vb.outputs_identical,
         );
+        let fb = &self.functional_bench;
+        let functional_bench = format!(
+            "{{\"jobs\":{},\"networks\":{},\"macs\":{},\
+             \"naive_wall_ms\":{},\"gemm_wall_ms\":{},\
+             \"naive_macs_per_sec\":{},\"gemm_macs_per_sec\":{},\
+             \"speedup_vs_naive\":{},\"outputs_identical\":{}}}",
+            fb.jobs,
+            fb.networks,
+            fb.macs,
+            number(fb.naive_wall_ms),
+            number(fb.gemm_wall_ms),
+            number(fb.naive_macs_per_sec()),
+            number(fb.gemm_macs_per_sec()),
+            number(fb.speedup_vs_naive()),
+            fb.outputs_identical,
+        );
         format!(
             "{{\n  \"schema\": {},\n  \"wall_ms\": {},\n  \"experiments\": [\n{}\n  ],\n  \
              \"cache\": {},\n  \"sweep_bench\": {},\n  \"serve_bench\": {},\n  \
-             \"networks\": [\n{}\n  ]\n}}\n",
+             \"functional_bench\": {},\n  \"networks\": [\n{}\n  ]\n}}\n",
             quote(BENCH_REPORT_SCHEMA),
             number(self.wall_ms),
             experiments.join(",\n"),
             cache_json(&self.cache),
             sweep_bench,
             serve_bench,
+            functional_bench,
             networks.join(",\n"),
         )
     }
@@ -363,6 +386,10 @@ mod tests {
         let vb = &report.serve_bench;
         assert!(vb.concurrent_misses < vb.serial_misses, "shared cache dedups overlap");
         assert!(vb.outputs_identical, "warm sweeps match cold bit-for-bit");
+        let fb = &report.functional_bench;
+        assert!(fb.networks >= 1 && fb.macs > 0);
+        assert!(fb.outputs_identical, "GEMM executor matches the reference");
+        assert!(fb.gemm_macs_per_sec() > 0.0 && fb.speedup_vs_naive() > 0.0);
     }
 
     #[test]
@@ -374,7 +401,7 @@ mod tests {
             2.0,
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"codesign-bench-report/4\""));
+        assert!(json.contains("\"schema\": \"codesign-bench-report/5\""));
         assert!(json.contains("\"sim_cycles\":42"));
         assert!(json.contains("\"sim_cycles_per_sec\":42000"));
         assert!(json.contains("\"hybrid_cycles\""));
@@ -388,6 +415,15 @@ mod tests {
             "\"warm_speedup\":",
             "\"miss_reduction\":",
             "\"snapshot_bytes\":",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+        assert!(json.contains("\"functional_bench\""));
+        for field in [
+            "\"gemm_macs_per_sec\":",
+            "\"naive_macs_per_sec\":",
+            "\"speedup_vs_naive\":",
+            "\"outputs_identical\":",
         ] {
             assert!(json.contains(field), "missing {field}");
         }

@@ -25,6 +25,8 @@ pub enum Action {
     Faultinject,
     /// Run the line-delimited-JSON co-design server.
     Serve,
+    /// Run the functional executors and assert zoo-wide bit-equality.
+    VerifyFunctional,
 }
 
 /// Fully parsed invocation.
@@ -109,6 +111,10 @@ commands:
   list             list the model zoo
   faultinject      run the hostile-input corpus against the simulator
   serve            run the line-delimited-JSON co-design server
+  verify-functional [net]  run the GEMM and WS/OS functional executors
+                   and assert bit-equality against the reference ops
+                   (whole zoo when no network is given); prints a
+                   MACs/sec throughput headline
 
 <net> is a zoo name (try `codesign list`) or a path to a .net file.
 
@@ -164,6 +170,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         Some("list") => Action::List,
         Some("faultinject") => Action::Faultinject,
         Some("serve") => Action::Serve,
+        Some("verify-functional") => Action::VerifyFunctional,
         Some(other) => return Err(ParseArgsError(format!("unknown command `{other}`"))),
         None => return Err(ParseArgsError("missing command".to_owned())),
     };
@@ -221,7 +228,10 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         }
     }
     if inv.network.is_none()
-        && !matches!(inv.action, Action::List | Action::Faultinject | Action::Serve)
+        && !matches!(
+            inv.action,
+            Action::List | Action::Faultinject | Action::Serve | Action::VerifyFunctional
+        )
     {
         return Err(ParseArgsError("this command needs a network".to_owned()));
     }
@@ -329,6 +339,17 @@ mod tests {
         assert!(parse("compare tiny-darknet --cache-load s.snap").is_ok());
         assert!(parse("simulate tiny-darknet --cache-load s.snap").is_err());
         assert!(parse("list --cache-save s.snap").is_err());
+    }
+
+    #[test]
+    fn verify_functional_network_is_optional() {
+        let inv = parse("verify-functional").unwrap();
+        assert_eq!(inv.action, Action::VerifyFunctional);
+        assert_eq!(inv.network, None, "no network means the whole zoo");
+        let inv = parse("verify-functional squeezenet-v1.1 --jobs 4 --array 16").unwrap();
+        assert_eq!(inv.network.as_deref(), Some("squeezenet-v1.1"));
+        assert_eq!(inv.jobs, 4);
+        assert_eq!(inv.array_size, Some(16));
     }
 
     #[test]

@@ -133,6 +133,107 @@ fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), RunError> {
     Ok(())
 }
 
+/// `verify-functional`: runs every network once with the GEMM executor
+/// (timed, for the MACs/sec headline) and once per dataflow with the
+/// accelerator-schedule executors, asserting whole-network bit-equality
+/// against the reference operators. Any mismatch names the first
+/// differing layer and the command exits 2.
+fn verify_functional(
+    nets: &[Network],
+    cfg: &codesign_arch::AcceleratorConfig,
+    opts: SimOptions,
+    jobs: usize,
+) -> Result<(), RunError> {
+    use codesign_arch::{Dataflow, DataflowPolicy};
+    use codesign_tensor::{run_network_reference, run_network_with, Tensor, WeightStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_macs = 0u64;
+    let mut total_secs = 0f64;
+    println!(
+        "{:<22} {:>12} {:>5} {:>5} {:>5} {:>10}",
+        "network", "MACs", "gemm", "WS", "OS", "MMAC/s"
+    );
+    for net in nets {
+        let mut rng = StdRng::seed_from_u64(2018);
+        let weights = WeightStore::random(net, 8, 0.4, &mut rng);
+        let image = Tensor::random(net.input(), 64, &mut rng);
+        let reference = run_network_reference(net, &image, &weights).map_err(RunError::rejected)?;
+
+        let started = std::time::Instant::now();
+        let gemm = run_network_with(net, &image, &weights, jobs).map_err(RunError::rejected)?;
+        let secs = started.elapsed().as_secs_f64();
+        let macs = net.total_macs();
+        total_macs += macs;
+        total_secs += secs;
+
+        let gemm_ok = first_mismatch(&reference, &gemm).is_none();
+        if let Some(layer) = first_mismatch(&reference, &gemm) {
+            failures.push(format!("{}: GEMM executor diverges at `{layer}`", net.name()));
+        }
+        let mut flow_ok = [true; 2];
+        for (i, flow) in
+            [Dataflow::WeightStationary, Dataflow::OutputStationary].into_iter().enumerate()
+        {
+            let acts = codesign_sim::run_network_on_accelerator_jobs(
+                net,
+                &image,
+                &weights,
+                cfg,
+                DataflowPolicy::Fixed(flow),
+                opts,
+                jobs,
+            )
+            .map_err(RunError::rejected)?;
+            if let Some(layer) = first_mismatch(&reference, &acts) {
+                failures.push(format!(
+                    "{}: {} schedule diverges at `{layer}`",
+                    net.name(),
+                    flow.tag()
+                ));
+                flow_ok[i] = false;
+            }
+        }
+        println!(
+            "{:<22} {:>12} {:>5} {:>5} {:>5} {:>10.1}",
+            net.name(),
+            macs,
+            if gemm_ok { "ok" } else { "FAIL" },
+            if flow_ok[0] { "ok" } else { "FAIL" },
+            if flow_ok[1] { "ok" } else { "FAIL" },
+            macs as f64 / secs.max(1e-9) / 1e6,
+        );
+    }
+    println!(
+        "functional throughput: {:.1} MMAC/s over {} network(s) ({} MACs in {:.2} s)",
+        total_macs as f64 / total_secs.max(1e-9) / 1e6,
+        nets.len(),
+        total_macs,
+        total_secs,
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(RunError::Rejected(failures.join("; ")))
+    }
+}
+
+/// First layer whose output differs between two activation sets, if any.
+fn first_mismatch(
+    want: &codesign_tensor::NetworkActivations,
+    got: &codesign_tensor::NetworkActivations,
+) -> Option<String> {
+    for (name, tensor) in want.iter() {
+        match got.get(name) {
+            Some(other) if other == tensor => {}
+            _ => return Some(name.to_owned()),
+        }
+    }
+    None
+}
+
 fn run(inv: &Invocation) -> Result<(), RunError> {
     let opts = SimOptions::paper_default();
     let energy = EnergyModel::default();
@@ -171,6 +272,15 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
     }
 
     let cfg = inv.config().map_err(|e| RunError::Usage(e.to_string()))?;
+
+    if inv.action == Action::VerifyFunctional {
+        let nets = match inv.network.as_deref() {
+            Some(spec) => vec![load_network(spec)?],
+            None => zoo::table_networks(),
+        };
+        return verify_functional(&nets, &cfg, opts, inv.jobs);
+    }
+
     let Some(spec) = inv.network.as_deref() else {
         return Err(RunError::Usage("this command needs a network".to_owned()));
     };
@@ -316,7 +426,9 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
                 trace.steps()
             );
         }
-        Action::List | Action::Faultinject | Action::Serve => unreachable!("handled above"),
+        Action::List | Action::Faultinject | Action::Serve | Action::VerifyFunctional => {
+            unreachable!("handled above")
+        }
     }
     write_sinks(inv, &tracer)
 }

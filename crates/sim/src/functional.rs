@@ -1,53 +1,60 @@
 //! Functional dataflow executors: run the WS and OS schedules over real
 //! tensor data.
 //!
-//! These follow the exact loop structure of the hardware schedules — tile
-//! loops, register-file-bounded filter passes, per-column adder chains,
-//! zero-weight skipping — and must produce **bit-identical** results to
-//! the reference convolution in `codesign-tensor`. They are the proof
-//! that the schedules the performance models count cycles for actually
+//! Each executor exists as a **spec/fast twin** (the same convention the
+//! cycle machines use):
+//!
+//! * the `*_spec` functions ([`conv2d_ws_spec`], [`conv2d_os_spec`],
+//!   [`fc_ws_spec`]) follow the exact scalar loop structure of the
+//!   hardware schedules — tile loops, register-file-bounded filter
+//!   passes, per-column adder chains, zero-weight skipping. They are the
+//!   executable specification of what the schedule computes;
+//! * the fast twins ([`conv2d_ws`], [`conv2d_os`], [`fc_ws`] and their
+//!   `_jobs` variants) keep the schedules' tile partitioning but compute
+//!   each tile's contribution with the packed, register-blocked GEMM
+//!   micro-kernel from `codesign_tensor::gemm`, parallelised over the
+//!   worker pool.
+//!
+//! Every output element is an exact `i64` sum saturated once at the end,
+//! so reordering the additions cannot change a single bit: spec twin,
+//! fast twin, and the reference convolution in `codesign-tensor` are all
+//! **bit-identical**, and the tests (plus the zoo-wide CI suite in
+//! `tests/functional_equality.rs`) assert it. They are the proof that
+//! the schedules the performance models count cycles for actually
 //! compute the right convolution.
 
 use codesign_arch::AcceleratorConfig;
 use codesign_dnn::ConvSpec;
+use codesign_tensor::gemm::{gemm_accumulate, is_depthwise, pack_patches, valid_range};
+use codesign_tensor::ops::check_conv_args;
 use codesign_tensor::{Filters, ShapeMismatchError, Tensor};
 
 use crate::workload::split;
 
-fn check_conv_args(
-    input: &Tensor,
-    filters: &Filters,
-    spec: &ConvSpec,
-    op: &'static str,
-) -> Result<codesign_dnn::Shape, ShapeMismatchError> {
-    let in_shape = input.shape();
-    if spec.groups == 0
-        || !in_shape.channels.is_multiple_of(spec.groups)
-        || !spec.out_channels.is_multiple_of(spec.groups)
-    {
-        return Err(ShapeMismatchError::new(op, "invalid group count"));
+/// Layers below this many multiply-accumulates run serially — worker-pool
+/// latency would dominate the work (same threshold as the GEMM path).
+const MIN_PAR_MACS: u64 = 1 << 22;
+
+fn effective_jobs(jobs: usize, macs: u64) -> usize {
+    if macs < MIN_PAR_MACS {
+        1
+    } else {
+        jobs
     }
-    if filters.in_channels() != in_shape.channels / spec.groups
-        || filters.out_channels() != spec.out_channels
-        || filters.kernel_height() != spec.kernel.height
-        || filters.kernel_width() != spec.kernel.width
-    {
-        return Err(ShapeMismatchError::new(op, "filter bank does not match spec"));
-    }
-    codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
-        .ok_or_else(|| ShapeMismatchError::new(op, "spec does not fit input"))
 }
 
-/// Executes a convolution with the weight-stationary schedule: weight
-/// tiles of at most N×N stay resident while every output pixel streams
-/// through; partial sums accumulate in a global-buffer image across row
-/// tiles and taps.
+/// Executes a convolution with the weight-stationary schedule, walking
+/// the scalar loop structure literally: weight tiles of at most N×N stay
+/// resident while every output pixel streams through; partial sums
+/// accumulate in a global-buffer image across row tiles and taps, with
+/// per-column adder chains. This is the executable specification of the
+/// WS schedule; [`conv2d_ws`] computes the same bits fast.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeMismatchError`] under the same conditions as
 /// [`codesign_tensor::ops::conv2d`].
-pub fn conv2d_ws(
+pub fn conv2d_ws_spec(
     input: &Tensor,
     filters: &Filters,
     spec: &ConvSpec,
@@ -101,16 +108,99 @@ pub fn conv2d_ws(
     Ok(Tensor::from_vec(out_shape, data))
 }
 
-/// Executes a convolution with the output-stationary schedule: N×N output
-/// tiles stay resident in per-PE register files (bounded by
-/// `rf_depth × packing` filters per pass), weights broadcast one at a
-/// time with **zero weights skipped**, finished tiles drain to the output.
+/// Executes a convolution with the weight-stationary schedule — fast
+/// twin of [`conv2d_ws_spec`], bit-identical to it (and to the
+/// reference convolution). [`conv2d_ws_jobs`] with one worker.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeMismatchError`] under the same conditions as
 /// [`codesign_tensor::ops::conv2d`].
-pub fn conv2d_os(
+pub fn conv2d_ws(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    conv2d_ws_jobs(input, filters, spec, cfg, 1)
+}
+
+/// Fast weight-stationary executor: the WS schedule partitions the
+/// filter dimension into the same `split(kg, N)` weight-column tiles the
+/// array loads, and each tile's entire `(row-tile, dy, dx)` reduction is
+/// collapsed into packed dots by the GEMM micro-kernel (exact `i64`
+/// sums, so the reordering is invisible). Tiles are distributed over
+/// `jobs` workers (`0` = one per core); results are byte-identical for
+/// every `jobs` value.
+///
+/// Depthwise convolutions delegate to the dedicated direct path in
+/// `codesign_tensor::gemm` — under WS their weight tiles are 1×1 and the
+/// im2col form would only duplicate pixels.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_ws_jobs(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+    jobs: usize,
+) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d_ws")?;
+    if is_depthwise(spec, input.shape()) {
+        return codesign_tensor::gemm::conv2d_gemm_jobs(input, filters, spec, jobs);
+    }
+    let n = cfg.array_size();
+    let cg = input.shape().channels / spec.groups;
+    let kg = spec.out_channels / spec.groups;
+    let rows = cg * spec.kernel.height * spec.kernel.width;
+    let cols = out_shape.plane();
+    let jobs = effective_jobs(jobs, (spec.out_channels * rows * cols) as u64);
+
+    let mut data = Vec::with_capacity(out_shape.elements());
+    for group in 0..spec.groups {
+        let patches = pack_patches(input, spec, group, out_shape);
+        let tiles = tile_bounds(kg, n);
+        let blocks = codesign_parallel::par_map(jobs, &tiles, |_, &(k0, ct)| {
+            let wrows: Vec<&[i32]> =
+                (k0..k0 + ct).map(|kk| filters.filter_taps(group * kg + kk)).collect();
+            let mut acc = vec![0i64; ct * cols];
+            gemm_accumulate(&wrows, &patches, rows, cols, &mut acc);
+            acc.into_iter().map(saturate).collect::<Vec<i32>>()
+        });
+        for b in &blocks {
+            data.extend_from_slice(b);
+        }
+    }
+    Ok(Tensor::from_vec(out_shape, data))
+}
+
+/// `(start, len)` bounds of the [`split`] partitioning.
+fn tile_bounds(total: usize, tile: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut start = 0usize;
+    for len in split(total, tile) {
+        bounds.push((start, len));
+        start += len;
+    }
+    bounds
+}
+
+/// Executes a convolution with the output-stationary schedule, walking
+/// the scalar loop structure literally: N×N output tiles stay resident
+/// in per-PE register files (bounded by `rf_depth × packing` filters per
+/// pass), weights broadcast one at a time with **zero weights skipped**,
+/// finished tiles drain to the output. This is the executable
+/// specification of the OS schedule; [`conv2d_os`] computes the same
+/// bits fast.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_os_spec(
     input: &Tensor,
     filters: &Filters,
     spec: &ConvSpec,
@@ -120,9 +210,7 @@ pub fn conv2d_os(
     let n = cfg.array_size();
     let cg = input.shape().channels / spec.groups;
     let kg_total = spec.out_channels / spec.groups;
-    let depthwise = spec.groups > 1
-        && spec.groups == input.shape().channels
-        && spec.groups == spec.out_channels;
+    let depthwise = is_depthwise(spec, input.shape());
 
     let mut out = Tensor::zeros(out_shape);
 
@@ -196,8 +284,148 @@ pub fn conv2d_os(
     Ok(out)
 }
 
+/// Executes a convolution with the output-stationary schedule — fast
+/// twin of [`conv2d_os_spec`], bit-identical to it (and to the
+/// reference convolution). [`conv2d_os_jobs`] with one worker.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_os(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    conv2d_os_jobs(input, filters, spec, cfg, 1)
+}
+
+/// Fast output-stationary executor: keeps the OS schedule's structure —
+/// N×N spatial output tiles, register-file-bounded filter passes with
+/// per-tile packing, zero-weight skipping (a zero tap contributes an
+/// exact `0`, so skipping it never changes the sums) — but replaces the
+/// per-pixel padding branches with row-sliced multiply-accumulate spans
+/// and distributes spatial tiles over `jobs` workers (`0` = one per
+/// core). Results are byte-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`codesign_tensor::ops::conv2d`].
+pub fn conv2d_os_jobs(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    cfg: &AcceleratorConfig,
+    jobs: usize,
+) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d_os")?;
+    let n = cfg.array_size();
+    let s = input.shape();
+    let cg = s.channels / spec.groups;
+    let kg_total = spec.out_channels / spec.groups;
+    let depthwise = is_depthwise(spec, s);
+    let dense_macs = spec.out_channels * cg * spec.kernel.height * spec.kernel.width;
+    let jobs = effective_jobs(jobs, (dense_macs * out_shape.plane()) as u64);
+
+    let tiles: Vec<(usize, usize)> = tile_starts(out_shape.height, n)
+        .flat_map(|y0| tile_starts(out_shape.width, n).map(move |x0| (y0, x0)))
+        .collect();
+
+    // Each spatial tile is an independent (all-channels × tile-region)
+    // block; workers never share an output region.
+    let blocks = codesign_parallel::par_map(jobs, &tiles, |_, &(y0, x0)| {
+        let th = n.min(out_shape.height - y0);
+        let tw = n.min(out_shape.width - x0);
+        let mut block = vec![0i32; spec.out_channels * th * tw];
+        if depthwise {
+            for c in 0..s.channels {
+                let mut rf = vec![0i64; th * tw];
+                let src = input.channel_plane(c);
+                for dy in 0..spec.kernel.height {
+                    for dx in 0..spec.kernel.width {
+                        let w = filters.tap(c, 0, dy, dx) as i64;
+                        if w == 0 {
+                            continue; // zero-weight broadcast skipped
+                        }
+                        accumulate_tile_rows(&mut rf, src, s, w, y0, x0, th, tw, dy, dx, spec);
+                    }
+                }
+                for (dst, &acc) in block[c * th * tw..(c + 1) * th * tw].iter_mut().zip(&rf) {
+                    *dst = saturate(acc);
+                }
+            }
+            return block;
+        }
+        let packing = ((n * n) / (th * tw).max(1)).max(1);
+        let resident = (cfg.rf_depth() * packing).min(kg_total.max(1));
+        for group in 0..spec.groups {
+            let mut k0 = 0usize;
+            for pass in split(kg_total, resident) {
+                let mut rf = vec![0i64; th * tw * pass];
+                for c in 0..cg {
+                    let src = input.channel_plane(group * cg + c);
+                    for f in 0..pass {
+                        let kabs = group * kg_total + k0 + f;
+                        for dy in 0..spec.kernel.height {
+                            for dx in 0..spec.kernel.width {
+                                let w = filters.tap(kabs, c, dy, dx) as i64;
+                                if w == 0 {
+                                    continue; // zero-weight skip
+                                }
+                                accumulate_tile_rows(
+                                    &mut rf[f * th * tw..(f + 1) * th * tw],
+                                    src,
+                                    s,
+                                    w,
+                                    y0,
+                                    x0,
+                                    th,
+                                    tw,
+                                    dy,
+                                    dx,
+                                    spec,
+                                );
+                            }
+                        }
+                    }
+                }
+                for f in 0..pass {
+                    let kabs = group * kg_total + k0 + f;
+                    let rf_f = &rf[f * th * tw..(f + 1) * th * tw];
+                    for (dst, &acc) in
+                        block[kabs * th * tw..(kabs + 1) * th * tw].iter_mut().zip(rf_f)
+                    {
+                        *dst = saturate(acc);
+                    }
+                }
+                k0 += pass;
+            }
+        }
+        block
+    });
+
+    // Scatter the finished tile blocks into the CHW output.
+    let mut out = Tensor::zeros(out_shape);
+    let (ow, plane) = (out_shape.width, out_shape.plane());
+    let data = out.as_mut_slice();
+    for (block, &(y0, x0)) in blocks.iter().zip(&tiles) {
+        let th = n.min(out_shape.height - y0);
+        let tw = n.min(out_shape.width - x0);
+        for k in 0..spec.out_channels {
+            for ty in 0..th {
+                let dst = k * plane + (y0 + ty) * ow + x0;
+                data[dst..dst + tw].copy_from_slice(&block[(k * th + ty) * tw..][..tw]);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// One weight broadcast: every PE of the tile multiplies its (shifted)
-/// input pixel by `w` and accumulates.
+/// input pixel by `w` and accumulates. Scalar spec form with per-pixel
+/// padding checks; [`accumulate_tile_rows`] is the branch-free fast form.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_tile(
     rf: &mut [i64],
@@ -221,6 +449,38 @@ fn accumulate_tile(
     }
 }
 
+/// Fast form of [`accumulate_tile`]: the valid output span is computed
+/// once per row ([`valid_range`]) so the inner multiply-accumulate loop
+/// indexes the input plane directly with no padding branches. Pixels
+/// outside the span read zero padding and contribute nothing.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile_rows(
+    rf: &mut [i64],
+    src_plane: &[i32],
+    in_shape: codesign_dnn::Shape,
+    w: i64,
+    y0: usize,
+    x0: usize,
+    th: usize,
+    tw: usize,
+    dy: usize,
+    dx: usize,
+    spec: &ConvSpec,
+) {
+    let (tylo, tyhi) = valid_range(th, y0, spec.stride, dy, spec.pad_h, in_shape.height);
+    let (txlo, txhi) = valid_range(tw, x0, spec.stride, dx, spec.pad_w, in_shape.width);
+    for ty in tylo..tyhi {
+        let iy = (y0 + ty) * spec.stride + dy - spec.pad_h;
+        let row = &src_plane[iy * in_shape.width..(iy + 1) * in_shape.width];
+        let dst = &mut rf[ty * tw..(ty + 1) * tw];
+        let mut ix = (x0 + txlo) * spec.stride + dx - spec.pad_w;
+        for d in dst.iter_mut().take(txhi).skip(txlo) {
+            *d += w * row[ix] as i64;
+            ix += spec.stride;
+        }
+    }
+}
+
 fn tile_starts(extent: usize, tile: usize) -> impl Iterator<Item = usize> {
     (0..extent).step_by(tile.max(1))
 }
@@ -235,19 +495,21 @@ fn drain(out: &mut Tensor, k: usize, y0: usize, x0: usize, th: usize, tw: usize,
 
 #[inline]
 fn saturate(acc: i64) -> i32 {
-    acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    codesign_tensor::ops::clamp_acc(acc)
 }
 
-/// Executes a fully-connected layer with the weight-stationary schedule:
-/// N×N weight tiles resident, the input vector streamed through per-column
-/// adder chains — the degenerate (one-pixel) case of [`conv2d_ws`], which
-/// is how the array §4.1.2 describes runs "the FC layer operations".
+/// Executes a fully-connected layer with the weight-stationary schedule,
+/// walking the scalar tile loops literally: N×N weight tiles resident,
+/// the input vector streamed through per-column adder chains — the
+/// degenerate (one-pixel) case of [`conv2d_ws_spec`], which is how the
+/// array §4.1.2 describes runs "the FC layer operations". This is the
+/// executable specification; [`fc_ws`] computes the same bits fast.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeMismatchError`] when the weight matrix does not match
 /// the flattened input length.
-pub fn fc_ws(
+pub fn fc_ws_spec(
     input: &Tensor,
     weights: &Filters,
     cfg: &AcceleratorConfig,
@@ -282,11 +544,48 @@ pub fn fc_ws(
     Ok(Tensor::from_vec(codesign_dnn::Shape::vector(out_features), data))
 }
 
-/// Executes a whole network functionally, running every convolution with
-/// the dataflow the given policy selects and every FC layer with the
-/// degenerate-WS schedule ([`fc_ws`]); non-compute layers use the
-/// reference operators. The result must be bit-identical to
-/// [`codesign_tensor::run_network`]; the integration tests assert it.
+/// Executes a fully-connected layer with the weight-stationary schedule —
+/// fast twin of [`fc_ws_spec`]. [`fc_ws_jobs`] with one worker.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] when the weight matrix does not match
+/// the flattened input length.
+pub fn fc_ws(
+    input: &Tensor,
+    weights: &Filters,
+    cfg: &AcceleratorConfig,
+) -> Result<Tensor, ShapeMismatchError> {
+    fc_ws_jobs(input, weights, cfg, 1)
+}
+
+/// Fast FC executor: the WS tiling only changes the order of the exact
+/// `i64` additions, so the blocked matrix-vector product from
+/// `codesign_tensor::gemm` produces the identical bits. The accelerator
+/// config is validated against but does not affect the result.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] when the weight matrix does not match
+/// the flattened input length.
+pub fn fc_ws_jobs(
+    input: &Tensor,
+    weights: &Filters,
+    cfg: &AcceleratorConfig,
+    jobs: usize,
+) -> Result<Tensor, ShapeMismatchError> {
+    let _ = cfg; // tiling granularity does not change the exact sums
+    if weights.in_channels() != input.as_slice().len()
+        || weights.kernel_height() != 1
+        || weights.kernel_width() != 1
+    {
+        return Err(ShapeMismatchError::new("fc_ws", "weight matrix mismatch"));
+    }
+    codesign_tensor::gemm::fully_connected_gemm_jobs(input, weights, jobs)
+}
+
+/// Executes a whole network functionally — [`run_network_on_accelerator_jobs`]
+/// with a single worker.
 ///
 /// # Errors
 ///
@@ -300,22 +599,40 @@ pub fn run_network_on_accelerator(
     policy: codesign_arch::DataflowPolicy,
     opts: crate::engine::SimOptions,
 ) -> Result<codesign_tensor::NetworkActivations, codesign_tensor::RunNetworkError> {
+    run_network_on_accelerator_jobs(network, image, weights, cfg, policy, opts, 1)
+}
+
+/// Executes a whole network functionally, running every convolution with
+/// the dataflow the given policy selects (fast WS/OS executors,
+/// parallelised with `jobs` workers) and every FC layer with the
+/// degenerate-WS schedule ([`fc_ws_jobs`]); non-compute layers use the
+/// reference operators. Activations are resolved by reference through
+/// [`codesign_tensor::ActivationBuilder`] — nothing is cloned between
+/// layers. The result must be bit-identical to
+/// [`codesign_tensor::run_network`] for every `jobs` value; the
+/// integration tests and the zoo-wide CI suite assert it.
+///
+/// # Errors
+///
+/// Returns [`codesign_tensor::RunNetworkError`] under the same conditions
+/// as the reference executor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_network_on_accelerator_jobs(
+    network: &codesign_dnn::Network,
+    image: &Tensor,
+    weights: &codesign_tensor::WeightStore,
+    cfg: &AcceleratorConfig,
+    policy: codesign_arch::DataflowPolicy,
+    opts: crate::engine::SimOptions,
+    jobs: usize,
+) -> Result<codesign_tensor::NetworkActivations, codesign_tensor::RunNetworkError> {
     use codesign_arch::{Dataflow, DataflowPolicy};
     use codesign_dnn::LayerOp;
     use codesign_tensor::RunNetworkError;
 
-    let mut outputs: Vec<(String, Tensor)> = Vec::with_capacity(network.layers().len());
+    let mut acts = codesign_tensor::ActivationBuilder::with_capacity(network.layers().len());
     for layer in network.layers() {
-        let input: &Tensor = match &layer.primary_input {
-            Some(name) => {
-                &outputs
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone()))?
-                    .1
-            }
-            None => image,
-        };
+        let input = acts.primary_input(layer, image)?;
         let out = match &layer.op {
             LayerOp::Conv(spec) => {
                 let filters = weights
@@ -328,34 +645,24 @@ pub fn run_network_on_accelerator(
                     }
                 };
                 match dataflow {
-                    Dataflow::WeightStationary => conv2d_ws(input, filters, spec, cfg)?,
-                    Dataflow::OutputStationary => conv2d_os(input, filters, spec, cfg)?,
+                    Dataflow::WeightStationary => conv2d_ws_jobs(input, filters, spec, cfg, jobs)?,
+                    Dataflow::OutputStationary => conv2d_os_jobs(input, filters, spec, cfg, jobs)?,
                 }
             }
             LayerOp::FullyConnected { .. } => {
                 let filters = weights
                     .get(&layer.name)
                     .ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))?;
-                fc_ws(input, filters, cfg)?
+                fc_ws_jobs(input, filters, cfg, jobs)?
             }
             _ => {
-                let merge = match &layer.extra_input {
-                    Some(name) => {
-                        Some(outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t).ok_or_else(
-                            || RunNetworkError::MissingMergeInput(layer.name.clone()),
-                        )?)
-                    }
-                    None => match layer.op {
-                        LayerOp::EltwiseAdd => Some(image),
-                        _ => None,
-                    },
-                };
+                let merge = acts.merge_operand(layer, image)?;
                 codesign_tensor::run_layer(layer, input, merge, weights)?
             }
         };
-        outputs.push((layer.name.clone(), out));
+        acts.push(layer.name.clone(), out);
     }
-    Ok(codesign_tensor::execute::NetworkActivations::from_outputs(outputs))
+    Ok(acts.finish())
 }
 
 #[cfg(test)]
@@ -404,24 +711,48 @@ mod tests {
     }
 
     #[test]
-    fn ws_schedule_matches_reference() {
+    fn ws_spec_matches_reference() {
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = small_cfg();
         for i in 0..60 {
             let (input, filters, spec) = random_case(&mut rng);
             let want = conv2d(&input, &filters, &spec).unwrap();
+            let got = conv2d_ws_spec(&input, &filters, &spec, &cfg).unwrap();
+            assert_eq!(got, want, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn ws_fast_matches_spec() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = small_cfg();
+        for i in 0..60 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d_ws_spec(&input, &filters, &spec, &cfg).unwrap();
             let got = conv2d_ws(&input, &filters, &spec, &cfg).unwrap();
             assert_eq!(got, want, "case {i}: {spec:?}");
         }
     }
 
     #[test]
-    fn os_schedule_matches_reference() {
+    fn os_spec_matches_reference() {
         let mut rng = StdRng::seed_from_u64(8);
         let cfg = small_cfg();
         for i in 0..60 {
             let (input, filters, spec) = random_case(&mut rng);
             let want = conv2d(&input, &filters, &spec).unwrap();
+            let got = conv2d_os_spec(&input, &filters, &spec, &cfg).unwrap();
+            assert_eq!(got, want, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn os_fast_matches_spec() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = small_cfg();
+        for i in 0..60 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d_os_spec(&input, &filters, &spec, &cfg).unwrap();
             let got = conv2d_os(&input, &filters, &spec, &cfg).unwrap();
             assert_eq!(got, want, "case {i}: {spec:?}");
         }
@@ -440,6 +771,21 @@ mod tests {
     }
 
     #[test]
+    fn fast_executors_are_jobs_invariant() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = small_cfg();
+        for _ in 0..10 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let ws1 = conv2d_ws_jobs(&input, &filters, &spec, &cfg, 1).unwrap();
+            let os1 = conv2d_os_jobs(&input, &filters, &spec, &cfg, 1).unwrap();
+            for jobs in [2, 5] {
+                assert_eq!(conv2d_ws_jobs(&input, &filters, &spec, &cfg, jobs).unwrap(), ws1);
+                assert_eq!(conv2d_os_jobs(&input, &filters, &spec, &cfg, jobs).unwrap(), os1);
+            }
+        }
+    }
+
+    #[test]
     fn fc_schedule_matches_reference() {
         let mut rng = StdRng::seed_from_u64(11);
         let cfg = small_cfg();
@@ -449,11 +795,12 @@ mod tests {
             let input = Tensor::random(Shape::new(n, 1, 1), 64, &mut rng);
             let w = Filters::random(k, n, 1, 1, 16, 0.4, &mut rng);
             let want = codesign_tensor::ops::fully_connected(&input, &w).unwrap();
-            let got = fc_ws(&input, &w, &cfg).unwrap();
-            assert_eq!(got, want);
+            assert_eq!(fc_ws_spec(&input, &w, &cfg).unwrap(), want);
+            assert_eq!(fc_ws(&input, &w, &cfg).unwrap(), want);
         }
         let bad = Filters::zeros(4, 7, 1, 1);
         let input = Tensor::zeros(Shape::new(3, 1, 1));
+        assert!(fc_ws_spec(&input, &bad, &cfg).is_err());
         assert!(fc_ws(&input, &bad, &cfg).is_err());
     }
 
@@ -472,5 +819,7 @@ mod tests {
         };
         assert!(conv2d_ws(&input, &bad, &spec, &cfg).is_err());
         assert!(conv2d_os(&input, &bad, &spec, &cfg).is_err());
+        assert!(conv2d_ws_spec(&input, &bad, &spec, &cfg).is_err());
+        assert!(conv2d_os_spec(&input, &bad, &spec, &cfg).is_err());
     }
 }

@@ -30,12 +30,9 @@
 //! ```
 
 #![warn(missing_docs)]
-// `deny` rather than `forbid`: the worker pool in [`parallel`] carries
-// the crate's single, documented `unsafe` block (a lifetime erasure so
-// persistent pool threads can run borrowed closures). Everything else
-// stays unsafe-free and any new site needs an explicit, reviewable
-// `#[allow]`.
-#![deny(unsafe_code)]
+// The worker pool (and the workspace's one documented `unsafe` block)
+// moved to the `codesign-parallel` crate; this crate is unsafe-free.
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod cache;
@@ -81,7 +78,10 @@ pub use event::{
     TimeSkip,
 };
 pub use faultinject::{run_corpus, CaseOutcome, FaultCase, FaultReport};
-pub use functional::{conv2d_os, conv2d_ws, fc_ws, run_network_on_accelerator};
+pub use functional::{
+    conv2d_os, conv2d_os_jobs, conv2d_os_spec, conv2d_ws, conv2d_ws_jobs, conv2d_ws_spec, fc_ws,
+    fc_ws_jobs, fc_ws_spec, run_network_on_accelerator, run_network_on_accelerator_jobs,
+};
 pub use multicore::{
     schedule_branch_parallel, simulate_network_multicore, try_simulate_network_multicore,
     BranchParallelResult, MultiCoreConfig,

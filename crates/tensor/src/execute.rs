@@ -1,9 +1,18 @@
 //! Functional execution of a whole [`Network`] over real tensor data.
 //!
 //! This is the end-to-end ground truth: given a weight store, it runs
-//! every layer with the reference operators and returns all intermediate
-//! feature maps. The dataflow executors in `codesign-sim` are verified
-//! layer-by-layer against these results.
+//! every layer and returns all intermediate feature maps. The dataflow
+//! executors in `codesign-sim` are verified layer-by-layer against these
+//! results.
+//!
+//! Compute layers run on the GEMM fast path ([`crate::gemm`]) by
+//! default; [`run_network_reference`] walks the same network with the
+//! naive loop-nest operators in [`crate::ops`] — the executable
+//! specification the fast path is proven bit-identical to (and the
+//! baseline the functional benchmark measures speedup against).
+//! Activations are held in an [`ActivationBuilder`] and every layer
+//! input is resolved **by reference** out of it; no feature map is ever
+//! cloned between layers.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -160,32 +169,107 @@ impl NetworkActivations {
     }
 }
 
-/// Runs one layer given its resolved input (and merge operand where
-/// relevant).
+/// Incrementally builds [`NetworkActivations`] during a network run.
 ///
-/// # Errors
-///
-/// Returns [`RunNetworkError`] when weights are missing or an operator
-/// rejects its arguments.
-pub fn run_layer(
+/// Both [`run_network`] and the accelerator-schedule executor in
+/// `codesign-sim` drive their layer loops through this builder: each
+/// layer's operands are resolved **by reference** out of the map (no
+/// activation tensor is cloned between layers), the layer's output is
+/// pushed, and [`ActivationBuilder::finish`] yields the final artifact.
+#[derive(Debug, Default)]
+pub struct ActivationBuilder {
+    outputs: Vec<(String, Tensor)>,
+}
+
+impl ActivationBuilder {
+    /// Creates an empty builder sized for `layers` outputs.
+    pub fn with_capacity(layers: usize) -> Self {
+        Self { outputs: Vec::with_capacity(layers) }
+    }
+
+    /// Output of the named layer, if already produced.
+    pub fn get(&self, layer_name: &str) -> Option<&Tensor> {
+        self.outputs.iter().find(|(n, _)| n == layer_name).map(|(_, t)| t)
+    }
+
+    /// Resolves `layer`'s primary input: the output of the layer named by
+    /// its `primary_input`, or the network input `image` when `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunNetworkError::MissingMergeInput`] when the named
+    /// producer has not been executed.
+    pub fn primary_input<'a>(
+        &'a self,
+        layer: &Layer,
+        image: &'a Tensor,
+    ) -> Result<&'a Tensor, RunNetworkError> {
+        match &layer.primary_input {
+            Some(name) => {
+                self.get(name).ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone()))
+            }
+            None => Ok(image),
+        }
+    }
+
+    /// Resolves `layer`'s merge operand: the recorded `extra_input`, the
+    /// network input for an [`LayerOp::EltwiseAdd`] with no recorded
+    /// source, or `None` for non-merge layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunNetworkError::MissingMergeInput`] when the recorded
+    /// branch has not been executed.
+    pub fn merge_operand<'a>(
+        &'a self,
+        layer: &Layer,
+        image: &'a Tensor,
+    ) -> Result<Option<&'a Tensor>, RunNetworkError> {
+        match &layer.extra_input {
+            Some(name) => self
+                .get(name)
+                .map(Some)
+                .ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone())),
+            None => match layer.op {
+                // EltwiseAdd with no recorded source adds the network input.
+                LayerOp::EltwiseAdd => Ok(Some(image)),
+                _ => Ok(None),
+            },
+        }
+    }
+
+    /// Records a layer's output.
+    pub fn push(&mut self, layer_name: impl Into<String>, output: Tensor) {
+        self.outputs.push((layer_name.into(), output));
+    }
+
+    /// Finishes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer output was pushed.
+    pub fn finish(self) -> NetworkActivations {
+        NetworkActivations::from_outputs(self.outputs)
+    }
+}
+
+/// Looks up a compute layer's weights.
+fn layer_weights<'a>(
+    layer: &Layer,
+    weights: &'a WeightStore,
+) -> Result<&'a Filters, RunNetworkError> {
+    weights.get(&layer.name).ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))
+}
+
+/// Runs every non-convolution/non-FC layer with the reference operators
+/// (pools, merges and activations have a single implementation — there
+/// is no fast/spec split for them).
+fn run_aux_layer(
     layer: &Layer,
     input: &Tensor,
     merge_operand: Option<&Tensor>,
-    weights: &WeightStore,
 ) -> Result<Tensor, RunNetworkError> {
     match &layer.op {
-        LayerOp::Conv(spec) => {
-            let f = weights
-                .get(&layer.name)
-                .ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))?;
-            Ok(conv2d(input, f, spec)?)
-        }
-        LayerOp::FullyConnected { .. } => {
-            let f = weights
-                .get(&layer.name)
-                .ok_or_else(|| RunNetworkError::MissingWeights(layer.name.clone()))?;
-            Ok(fully_connected(input, f)?)
-        }
         LayerOp::Pool { kind, kernel, stride, .. } => match kind {
             PoolKind::Max => Ok(max_pool(input, *kernel, *stride)?),
             PoolKind::Average => Ok(avg_pool(input, *kernel, *stride)?),
@@ -203,10 +287,99 @@ pub fn run_layer(
             // same convention `LayerOp::Concat::extra_channels` uses.
             Ok(Tensor::concat_channels(&[input, other]))
         }
+        LayerOp::Conv(_) | LayerOp::FullyConnected { .. } => {
+            unreachable!("compute layers are dispatched by the caller")
+        }
     }
 }
 
-/// Runs the whole network on `image`, returning every layer's output.
+/// Runs one layer given its resolved input (and merge operand where
+/// relevant), computing convolutions and FC layers on the GEMM fast path
+/// with `jobs` workers (`0` = one per core). Results are bit-identical
+/// to [`run_layer_reference`] for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns [`RunNetworkError`] when weights are missing or an operator
+/// rejects its arguments.
+pub fn run_layer_with(
+    layer: &Layer,
+    input: &Tensor,
+    merge_operand: Option<&Tensor>,
+    weights: &WeightStore,
+    jobs: usize,
+) -> Result<Tensor, RunNetworkError> {
+    match &layer.op {
+        LayerOp::Conv(spec) => {
+            Ok(crate::gemm::conv2d_gemm_jobs(input, layer_weights(layer, weights)?, spec, jobs)?)
+        }
+        LayerOp::FullyConnected { .. } => {
+            Ok(crate::gemm::fully_connected_gemm_jobs(input, layer_weights(layer, weights)?, jobs)?)
+        }
+        _ => run_aux_layer(layer, input, merge_operand),
+    }
+}
+
+/// Runs one layer on the GEMM fast path with a single worker —
+/// [`run_layer_with`] with `jobs = 1`.
+///
+/// # Errors
+///
+/// Returns [`RunNetworkError`] when weights are missing or an operator
+/// rejects its arguments.
+pub fn run_layer(
+    layer: &Layer,
+    input: &Tensor,
+    merge_operand: Option<&Tensor>,
+    weights: &WeightStore,
+) -> Result<Tensor, RunNetworkError> {
+    run_layer_with(layer, input, merge_operand, weights, 1)
+}
+
+/// Runs one layer with the naive reference operators ([`crate::ops`]) —
+/// the executable specification of [`run_layer`], and the baseline the
+/// functional benchmark measures the GEMM path against.
+///
+/// # Errors
+///
+/// Returns [`RunNetworkError`] when weights are missing or an operator
+/// rejects its arguments.
+pub fn run_layer_reference(
+    layer: &Layer,
+    input: &Tensor,
+    merge_operand: Option<&Tensor>,
+    weights: &WeightStore,
+) -> Result<Tensor, RunNetworkError> {
+    match &layer.op {
+        LayerOp::Conv(spec) => Ok(conv2d(input, layer_weights(layer, weights)?, spec)?),
+        LayerOp::FullyConnected { .. } => {
+            Ok(fully_connected(input, layer_weights(layer, weights)?)?)
+        }
+        _ => run_aux_layer(layer, input, merge_operand),
+    }
+}
+
+/// Shared network walk: resolves each layer's operands by reference out
+/// of the builder and delegates the layer computation to `run`.
+fn run_network_inner(
+    network: &Network,
+    image: &Tensor,
+    run: impl Fn(&Layer, &Tensor, Option<&Tensor>) -> Result<Tensor, RunNetworkError>,
+) -> Result<NetworkActivations, RunNetworkError> {
+    let mut acts = ActivationBuilder::with_capacity(network.layers().len());
+    for layer in network.layers() {
+        let input = acts.primary_input(layer, image)?;
+        let merge = acts.merge_operand(layer, image)?;
+        let out = run(layer, input, merge)?;
+        acts.push(layer.name.clone(), out);
+    }
+    Ok(acts.finish())
+}
+
+/// Runs the whole network on `image` with the GEMM fast path, returning
+/// every layer's output. `jobs` workers (`0` = one per core) parallelise
+/// each layer over output channels; results are byte-identical for every
+/// `jobs` value.
 ///
 /// The linearized-DAG convention of [`codesign_dnn::NetworkBuilder`] is
 /// honored: each layer reads the output of the layer named by its
@@ -217,41 +390,48 @@ pub fn run_layer(
 ///
 /// Returns [`RunNetworkError`] when weights are missing, a merge operand
 /// cannot be resolved, or an operator rejects its arguments.
+pub fn run_network_with(
+    network: &Network,
+    image: &Tensor,
+    weights: &WeightStore,
+    jobs: usize,
+) -> Result<NetworkActivations, RunNetworkError> {
+    run_network_inner(network, image, |layer, input, merge| {
+        run_layer_with(layer, input, merge, weights, jobs)
+    })
+}
+
+/// Runs the whole network on `image` — [`run_network_with`] with a
+/// single worker.
+///
+/// # Errors
+///
+/// Returns [`RunNetworkError`] when weights are missing, a merge operand
+/// cannot be resolved, or an operator rejects its arguments.
 pub fn run_network(
     network: &Network,
     image: &Tensor,
     weights: &WeightStore,
 ) -> Result<NetworkActivations, RunNetworkError> {
-    let mut outputs: Vec<(String, Tensor)> = Vec::with_capacity(network.layers().len());
-    for layer in network.layers() {
-        let input: &Tensor = match &layer.primary_input {
-            Some(name) => {
-                &outputs
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone()))?
-                    .1
-            }
-            None => image,
-        };
-        let merge = match &layer.extra_input {
-            Some(name) => Some(
-                outputs
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, t)| t)
-                    .ok_or_else(|| RunNetworkError::MissingMergeInput(layer.name.clone()))?,
-            ),
-            None => match layer.op {
-                // EltwiseAdd with no recorded source adds the network input.
-                LayerOp::EltwiseAdd => Some(image),
-                _ => None,
-            },
-        };
-        let out = run_layer(layer, input, merge, weights)?;
-        outputs.push((layer.name.clone(), out));
-    }
-    Ok(NetworkActivations { outputs })
+    run_network_with(network, image, weights, 1)
+}
+
+/// Runs the whole network with the naive reference operators — the
+/// executable specification [`run_network`] is proven bit-identical to
+/// (and the functional benchmark's baseline).
+///
+/// # Errors
+///
+/// Returns [`RunNetworkError`] under the same conditions as
+/// [`run_network`].
+pub fn run_network_reference(
+    network: &Network,
+    image: &Tensor,
+    weights: &WeightStore,
+) -> Result<NetworkActivations, RunNetworkError> {
+    run_network_inner(network, image, |layer, input, merge| {
+        run_layer_reference(layer, input, merge, weights)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,574 @@
+//! im2col → tiled, register-blocked integer GEMM — the fast functional
+//! execution path.
+//!
+//! The naive loop nest in [`crate::ops::conv2d`] and the row-major
+//! im2col product in [`crate::im2col::conv2d_im2col`] are the executable
+//! specifications; this module computes exactly the same per-output
+//! `i64` accumulator sums (merely reordered — integer addition commutes,
+//! so the single final [`clamp_acc`] makes the results **bit-identical**)
+//! but organised for throughput:
+//!
+//! * **packed patches** ([`pack_patches`]): the patch matrix is laid out
+//!   in **lane-interleaved column blocks** — [`NC`] output pixels share a
+//!   block, and tap `r` of all [`NC`] pixels is one contiguous `i32`
+//!   slice. A micro-kernel step therefore touches a single cache line
+//!   per tap (a pixel-major layout touches [`NC`] lines), the lane loop
+//!   is a fixed-width SIMD multiply-add, and padding is resolved once
+//!   during packing, never in the reduction loop;
+//! * **zero-skipping micro-kernel** ([`gemm_accumulate`]): each filter's
+//!   nonzero taps are gathered once into an index/weight list and swept
+//!   over register-blocked column groups, so sparse filters — the
+//!   common case for the quantized networks this repo models, and the
+//!   very effect the paper's accelerator exploits — cost only their
+//!   density, while dense filters degrade gracefully to a sequential
+//!   register-blocked walk. Filters are swept in chunks of [`MR`] with
+//!   the column-block loop outside the filter loop, so one resident
+//!   block is reused [`MR`] times instead of the whole patch matrix
+//!   streaming from L2 once per filter — the blocking that turns the
+//!   kernel from memory-bound into multiply-bound;
+//! * **a dedicated depthwise path** that skips the im2col blowup
+//!   entirely — depthwise patches would duplicate each input pixel
+//!   `kh × kw` times for a reduction of depth `kh × kw`, so the direct
+//!   row-sliding loop is both smaller and faster;
+//! * **output-channel parallelism** over the process-wide worker pool
+//!   (`codesign-parallel`): tasks compute disjoint output-channel blocks
+//!   that are reassembled in deterministic order, so results are
+//!   byte-identical for every `jobs` value.
+
+use codesign_dnn::{ConvSpec, Shape};
+
+use crate::ops::{check_conv_args, clamp_acc, ShapeMismatchError};
+use crate::tensor::{Filters, Tensor};
+
+/// Lane count of one interleaved column block: output pixels handled per
+/// micro-kernel step (one `i64` accumulator each, held in registers
+/// across the reduction).
+pub const NC: usize = 16;
+/// Filters swept per pass over a resident column block — the outer-level
+/// reuse factor that keeps the kernel multiply-bound instead of
+/// streaming the patch matrix from L2 once per filter.
+const MR: usize = 16;
+/// Output-channel chunk handed to one worker-pool task.
+const PAR_FILTER_CHUNK: usize = 16;
+/// Layers below this many multiply-accumulates run serially — pool
+/// latency would dominate the work.
+const MIN_PAR_MACS: u64 = 1 << 22;
+
+/// Whether `spec` over `in_shape` is a depthwise convolution (one input
+/// channel and one filter per group) — the case that takes the direct
+/// path instead of im2col.
+pub fn is_depthwise(spec: &ConvSpec, in_shape: Shape) -> bool {
+    spec.groups > 1 && spec.groups == in_shape.channels && spec.groups == spec.out_channels
+}
+
+/// The half-open range `lo..hi` of output indices whose sampled input
+/// position `(offset + i) * stride + tap - pad` lands inside
+/// `0..extent_in`. Outputs outside the range read the zero padding and
+/// contribute nothing, so loops over `lo..hi` can index the input
+/// directly with no per-element bounds branch.
+pub fn valid_range(
+    extent_out: usize,
+    offset: usize,
+    stride: usize,
+    tap: usize,
+    pad: usize,
+    extent_in: usize,
+) -> (usize, usize) {
+    if stride == 0 || extent_in == 0 {
+        return (0, 0);
+    }
+    let base = offset * stride + tap;
+    let lo = if base >= pad { 0 } else { (pad - base).div_ceil(stride) };
+    let hi = if extent_in + pad > base {
+        ((extent_in + pad - base - 1) / stride + 1).min(extent_out)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
+/// Lowers one group's input patches into the **lane-interleaved block**
+/// matrix the micro-kernel consumes: output pixels are grouped into
+/// blocks of [`NC`], and within block `b` the element for tap `r` of
+/// pixel `b * NC + j` sits at `b * rows * NC + r * NC + j` (with
+/// `rows = cg * kh * kw` in `(c, dy, dx)` tap order, `cols = oh * ow`
+/// pixels in raster order). The final partial block's unused lanes stay
+/// zero; the buffer length is `cols.div_ceil(NC) * rows * NC`.
+///
+/// This is [`crate::im2col::im2col`] transposed and tiled: one tap of
+/// [`NC`] neighbouring pixels is a single contiguous slice, so the
+/// reduction loop reads one cache line per tap and the lane loop is a
+/// fixed-width SIMD multiply-add.
+pub fn pack_patches(input: &Tensor, spec: &ConvSpec, group: usize, out_shape: Shape) -> Vec<i32> {
+    let s = input.shape();
+    let cg = s.channels / spec.groups.max(1);
+    let (kh, kw) = (spec.kernel.height, spec.kernel.width);
+    let (oh, ow) = (out_shape.height, out_shape.width);
+    let rows = cg * kh * kw;
+    let cols = oh * ow;
+    let mut m = vec![0i32; cols.div_ceil(NC) * rows * NC];
+    if s.height == 0 || s.width == 0 {
+        return m;
+    }
+    // Output pixels outermost: each (c, dy) contributes a short kw-tap
+    // run read from one L1-resident input row, and writes land in one
+    // L1-resident block (stride NC within it). Per-element padding
+    // branches run here once so the reduction loop never branches.
+    let base = group * cg;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let col = oy * ow + ox;
+            let blk = &mut m[(col / NC) * rows * NC..];
+            let lane = col % NC;
+            for c in 0..cg {
+                let src = input.channel_plane(base + c);
+                for dy in 0..kh {
+                    let iy = oy * spec.stride + dy;
+                    if iy < spec.pad_h || iy - spec.pad_h >= s.height {
+                        continue;
+                    }
+                    let src_row = &src[(iy - spec.pad_h) * s.width..][..s.width];
+                    let r0 = (c * kh + dy) * kw;
+                    for dx in 0..kw {
+                        let ix = ox * spec.stride + dx;
+                        if ix >= spec.pad_w && ix - spec.pad_w < s.width {
+                            blk[(r0 + dx) * NC + lane] = src_row[ix - spec.pad_w];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The zero-skipping micro-kernel:
+/// `acc[f * cols + col] += dot(wrows[f], patch(col))` for every filter
+/// row and pixel column, where `patches` is the lane-interleaved block
+/// matrix from [`pack_patches`].
+///
+/// Filters are processed in chunks of [`MR`]: the chunk's nonzero taps
+/// are gathered into one index/weight list, then the **column blocks are
+/// the outer loop** — each resident block is swept by all [`MR`] tap
+/// lists before moving on, so the patch matrix streams from cache once
+/// per chunk instead of once per filter. Per tap the kernel reads [`NC`]
+/// contiguous lanes and widens `i32 × i32 → i64` into [`NC`] register
+/// accumulators — a fixed-width pattern LLVM turns into SIMD widening
+/// multiplies.
+///
+/// Skipping a zero weight drops a term that is exactly `0`, and `i64`
+/// addition (wrapping in release builds) is commutative, so the totals
+/// are **bit-identical** to the dense reference loop nest regardless of
+/// sparsity, blocking, or lane width. Dense filters degenerate to a
+/// sequential tap list and remain multiply-bound; on the sparse filters
+/// real quantized networks have, throughput scales with density — the
+/// same zero-skip economics the paper's accelerator exploits in silicon.
+pub fn gemm_accumulate(
+    wrows: &[&[i32]],
+    patches: &[i32],
+    rows: usize,
+    cols: usize,
+    acc: &mut [i64],
+) {
+    debug_assert_eq!(acc.len(), wrows.len() * cols);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let nblocks = cols.div_ceil(NC);
+    debug_assert!(patches.len() >= nblocks * rows * NC);
+    let mut nnz: Vec<(u32, i32)> = Vec::with_capacity(MR * rows);
+    let mut offs = [0usize; MR + 1];
+    for f0 in (0..wrows.len()).step_by(MR) {
+        let fl = MR.min(wrows.len() - f0);
+        nnz.clear();
+        for i in 0..fl {
+            offs[i] = nnz.len();
+            let w = &wrows[f0 + i][..rows];
+            nnz.extend(w.iter().enumerate().filter(|(_, &v)| v != 0).map(|(r, &v)| (r as u32, v)));
+        }
+        offs[fl] = nnz.len();
+        for b in 0..nblocks {
+            let blk = &patches[b * rows * NC..(b + 1) * rows * NC];
+            let c0 = b * NC;
+            let bw = NC.min(cols - c0);
+            for i in 0..fl {
+                let taps = &nnz[offs[i]..offs[i + 1]];
+                let mut a = [0i64; NC];
+                for &(r, wv) in taps {
+                    let x = &blk[r as usize * NC..][..NC];
+                    for j in 0..NC {
+                        a[j] += wv as i64 * x[j] as i64;
+                    }
+                }
+                for (d, &av) in acc[(f0 + i) * cols + c0..][..bw].iter_mut().zip(a.iter()) {
+                    *d += av;
+                }
+            }
+        }
+    }
+}
+
+/// Dense `i32` matrix-vector accumulate for the fully-connected path:
+/// `acc[f] += dot(wrows[f], x)`. Four interleaved partial sums give the
+/// widening multiply chain enough independence to saturate the machine;
+/// `i64` addition commutes, so the regrouped total is bit-identical to
+/// the sequential reference sum.
+fn dense_matvec(wrows: &[&[i32]], x: &[i32], acc: &mut [i64]) {
+    debug_assert_eq!(acc.len(), wrows.len());
+    for (d, w) in acc.iter_mut().zip(wrows) {
+        let w = &w[..x.len()];
+        let mut a = [0i64; 4];
+        let mut wc = w.chunks_exact(4);
+        let mut xc = x.chunks_exact(4);
+        for (ws, xs) in (&mut wc).zip(&mut xc) {
+            for j in 0..4 {
+                a[j] += ws[j] as i64 * xs[j] as i64;
+            }
+        }
+        let mut tail = 0i64;
+        for (&wv, &xv) in wc.remainder().iter().zip(xc.remainder()) {
+            tail += wv as i64 * xv as i64;
+        }
+        *d += a[0] + a[1] + a[2] + a[3] + tail;
+    }
+}
+
+/// Serial GEMM-backed grouped convolution — [`conv2d_gemm_jobs`] with one
+/// worker. Bit-identical to [`crate::ops::conv2d`].
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`crate::ops::conv2d`].
+pub fn conv2d_gemm(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+) -> Result<Tensor, ShapeMismatchError> {
+    conv2d_gemm_jobs(input, filters, spec, 1)
+}
+
+/// GEMM-backed grouped convolution, parallelised over output-channel
+/// blocks with `jobs` workers (`0` = one per core). Results are
+/// byte-identical to [`crate::ops::conv2d`] for **every** `jobs` value:
+/// each task produces a disjoint output-channel block and blocks are
+/// reassembled in order.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`crate::ops::conv2d`].
+pub fn conv2d_gemm_jobs(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    jobs: usize,
+) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d_gemm")?;
+    if is_depthwise(spec, input.shape()) {
+        return Ok(depthwise_direct(input, filters, spec, out_shape, jobs));
+    }
+    let cg = input.shape().channels / spec.groups;
+    let kg = spec.out_channels / spec.groups;
+    let (kh, kw) = (spec.kernel.height, spec.kernel.width);
+    let rows = cg * kh * kw;
+    let cols = out_shape.plane();
+    let jobs = effective_jobs(jobs, (spec.out_channels * rows * cols) as u64);
+
+    let mut data = Vec::with_capacity(out_shape.elements());
+    for group in 0..spec.groups {
+        let patches = pack_patches(input, spec, group, out_shape);
+        let chunks = kg.div_ceil(PAR_FILTER_CHUNK);
+        let blocks = codesign_parallel::par_map_range(jobs, chunks, |chunk| {
+            let k0 = chunk * PAR_FILTER_CHUNK;
+            let klen = PAR_FILTER_CHUNK.min(kg - k0);
+            let wrows: Vec<&[i32]> =
+                (k0..k0 + klen).map(|kk| filters.filter_taps(group * kg + kk)).collect();
+            let mut acc = vec![0i64; klen * cols];
+            gemm_accumulate(&wrows, &patches, rows, cols, &mut acc);
+            acc.into_iter().map(clamp_acc).collect::<Vec<i32>>()
+        });
+        for b in &blocks {
+            data.extend_from_slice(b);
+        }
+    }
+    Ok(Tensor::from_vec(out_shape, data))
+}
+
+/// Depthwise convolution without the im2col blowup: each channel slides
+/// its own `kh × kw` window directly over its input plane, with padding
+/// resolved per kernel row via [`valid_range`] and zero taps skipped
+/// (a zero tap contributes an exact `0` to the sum, so skipping it never
+/// changes the result). Parallel over channels.
+fn depthwise_direct(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    out_shape: Shape,
+    jobs: usize,
+) -> Tensor {
+    let s = input.shape();
+    let (kh, kw) = (spec.kernel.height, spec.kernel.width);
+    let (oh, ow) = (out_shape.height, out_shape.width);
+    let plane = oh * ow;
+    let jobs = effective_jobs(jobs, (s.channels * plane * kh * kw) as u64);
+
+    let planes = codesign_parallel::par_map_range(jobs, s.channels, |c| {
+        let mut acc = vec![0i64; plane];
+        let src = input.channel_plane(c);
+        for dy in 0..kh {
+            let (ylo, yhi) = valid_range(oh, 0, spec.stride, dy, spec.pad_h, s.height);
+            for dx in 0..kw {
+                let w = filters.tap(c, 0, dy, dx) as i64;
+                if w == 0 {
+                    continue;
+                }
+                let (xlo, xhi) = valid_range(ow, 0, spec.stride, dx, spec.pad_w, s.width);
+                for oy in ylo..yhi {
+                    let iy = oy * spec.stride + dy - spec.pad_h;
+                    let src_row = &src[iy * s.width..(iy + 1) * s.width];
+                    let dst = &mut acc[oy * ow..(oy + 1) * ow];
+                    let mut ix = xlo * spec.stride + dx - spec.pad_w;
+                    for d in dst.iter_mut().take(xhi).skip(xlo) {
+                        *d += w * src_row[ix] as i64;
+                        ix += spec.stride;
+                    }
+                }
+            }
+        }
+        acc.into_iter().map(clamp_acc).collect::<Vec<i32>>()
+    });
+    let mut data = Vec::with_capacity(out_shape.elements());
+    for p in &planes {
+        data.extend_from_slice(p);
+    }
+    Tensor::from_vec(out_shape, data)
+}
+
+/// Serial GEMM-backed fully-connected layer — [`fully_connected_gemm_jobs`]
+/// with one worker. Bit-identical to [`crate::ops::fully_connected`].
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`crate::ops::fully_connected`].
+pub fn fully_connected_gemm(
+    input: &Tensor,
+    weights: &Filters,
+) -> Result<Tensor, ShapeMismatchError> {
+    fully_connected_gemm_jobs(input, weights, 1)
+}
+
+/// Fully-connected layer as a dense matrix-vector product: the flattened
+/// input vector stays cache-resident while each weight row streams past
+/// it once ([`dense_matvec`]) — no patch packing, no tap lists. Parallel
+/// over output-feature blocks; byte-identical to
+/// [`crate::ops::fully_connected`] for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] under the same conditions as
+/// [`crate::ops::fully_connected`].
+pub fn fully_connected_gemm_jobs(
+    input: &Tensor,
+    weights: &Filters,
+    jobs: usize,
+) -> Result<Tensor, ShapeMismatchError> {
+    let flat = input.as_slice();
+    if weights.in_channels() != flat.len()
+        || weights.kernel_height() != 1
+        || weights.kernel_width() != 1
+    {
+        return Err(ShapeMismatchError::new("fully_connected_gemm", "weight matrix mismatch"));
+    }
+    let rows = flat.len();
+    let out_features = weights.out_channels();
+    let jobs = effective_jobs(jobs, (out_features * rows) as u64);
+
+    let chunks = out_features.div_ceil(PAR_FILTER_CHUNK);
+    let blocks = codesign_parallel::par_map_range(jobs, chunks, |chunk| {
+        let k0 = chunk * PAR_FILTER_CHUNK;
+        let klen = PAR_FILTER_CHUNK.min(out_features - k0);
+        let wrows: Vec<&[i32]> = (k0..k0 + klen).map(|k| weights.filter_taps(k)).collect();
+        let mut acc = vec![0i64; klen];
+        dense_matvec(&wrows, flat, &mut acc);
+        acc.into_iter().map(clamp_acc).collect::<Vec<i32>>()
+    });
+    let mut data = Vec::with_capacity(out_features);
+    for b in &blocks {
+        data.extend_from_slice(b);
+    }
+    Ok(Tensor::from_vec(Shape::vector(out_features), data))
+}
+
+/// Collapses `jobs` to `1` for layers too small to amortise pool latency.
+fn effective_jobs(jobs: usize, macs: u64) -> usize {
+    if macs < MIN_PAR_MACS {
+        1
+    } else {
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::conv2d_im2col;
+    use crate::ops::{conv2d, fully_connected};
+    use codesign_dnn::Kernel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_case(rng: &mut StdRng) -> (Tensor, Filters, ConvSpec) {
+        let depthwise = rng.gen_bool(0.25);
+        let (groups, cg, cout) = if depthwise {
+            let c = rng.gen_range(2..=9usize);
+            (c, 1, c)
+        } else {
+            let groups = [1, 1, 1, 2][rng.gen_range(0..4usize)];
+            let cg = rng.gen_range(1..=6usize);
+            (groups, cg, groups * rng.gen_range(1..=11usize))
+        };
+        let (kh, kw): (usize, usize) =
+            [(1, 1), (3, 3), (1, 3), (3, 1), (5, 5), (7, 7)][rng.gen_range(0..6usize)];
+        let stride = rng.gen_range(1..=3usize);
+        let h = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
+        let w = rng.gen_range(kh.max(kw)..kh.max(kw) + 9);
+        let input = Tensor::random(Shape::new(groups * cg, h, w), 64, rng);
+        let filters = Filters::random(cout, cg, kh, kw, 16, 0.4, rng);
+        let spec = ConvSpec {
+            out_channels: cout,
+            kernel: Kernel::new(kh, kw),
+            stride,
+            pad_h: rng.gen_range(0..=kh / 2),
+            pad_w: rng.gen_range(0..=kw / 2),
+            groups,
+        };
+        (input, filters, spec)
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_random_cases() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for i in 0..60 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d(&input, &filters, &spec).unwrap();
+            let got = conv2d_gemm(&input, &filters, &spec).unwrap();
+            assert_eq!(got, want, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_im2col_cross_check() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let (input, filters, spec) = random_case(&mut rng);
+            let want = conv2d_im2col(&input, &filters, &spec).unwrap();
+            let got = conv2d_gemm(&input, &filters, &spec).unwrap();
+            assert_eq!(got, want, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_is_jobs_invariant() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let input = Tensor::random(Shape::new(8, 24, 24), 64, &mut rng);
+        let filters = Filters::random(48, 8, 3, 3, 16, 0.4, &mut rng);
+        let spec = ConvSpec {
+            out_channels: 48,
+            kernel: Kernel::square(3),
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+        };
+        let serial = conv2d_gemm_jobs(&input, &filters, &spec, 1).unwrap();
+        for jobs in [2, 3, 8] {
+            assert_eq!(conv2d_gemm_jobs(&input, &filters, &spec, jobs).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn pack_patches_is_lane_interleaved_im2col() {
+        // 2 channels, 5x5 input, 3x3 kernel with padding: 25 output
+        // pixels span two NC-wide column blocks, so both the interleaved
+        // layout and the zero-padded tail lanes are exercised.
+        let input = Tensor::from_fn(Shape::new(2, 5, 5), |c, y, x| (c * 25 + y * 5 + x) as i32 + 1);
+        let spec = ConvSpec {
+            out_channels: 1,
+            kernel: Kernel::square(3),
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+        };
+        let out_shape = Shape::new(1, 5, 5);
+        let rowmajor = crate::im2col::im2col(&input, &spec, 0, out_shape);
+        let packed = pack_patches(&input, &spec, 0, out_shape);
+        let (rows, cols): (usize, usize) = (2 * 9, 25);
+        assert_eq!(packed.len(), cols.div_ceil(NC) * rows * NC);
+        for r in 0..rows {
+            for c in 0..cols {
+                // im2col element (r, c) lands in block c / NC, lane c % NC.
+                assert_eq!(
+                    packed[(c / NC) * rows * NC + r * NC + (c % NC)],
+                    rowmajor[r * cols + c],
+                    "row {r} col {c}"
+                );
+            }
+            // Tail lanes past the last real column stay zero.
+            for lane in cols % NC..NC {
+                assert_eq!(packed[(cols / NC) * rows * NC + r * NC + lane], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fc_gemm_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..50);
+            let k = rng.gen_range(1..50);
+            let input = Tensor::random(Shape::new(n, 1, 1), 64, &mut rng);
+            let w = Filters::random(k, n, 1, 1, 16, 0.4, &mut rng);
+            let want = fully_connected(&input, &w).unwrap();
+            let got = fully_connected_gemm(&input, &w).unwrap();
+            assert_eq!(got, want);
+        }
+        let bad = Filters::zeros(4, 7, 1, 1);
+        let input = Tensor::zeros(Shape::new(3, 1, 1));
+        assert!(fully_connected_gemm(&input, &bad).is_err());
+    }
+
+    #[test]
+    fn valid_range_clips_both_sides() {
+        // extent_in 5, stride 1, pad 2: tap 0 starts reading at -2.
+        assert_eq!(valid_range(9, 0, 1, 0, 2, 5), (2, 7));
+        // tap 4 starts at +2: valid until input runs out.
+        assert_eq!(valid_range(9, 0, 1, 4, 2, 5), (0, 3));
+        // stride 2: output 1 reads input 0.
+        assert_eq!(valid_range(4, 0, 2, 0, 2, 5), (1, 4));
+        // offset shifts the window (tile starting at out index 3).
+        assert_eq!(valid_range(4, 3, 1, 0, 2, 5), (0, 4));
+        // degenerate cases.
+        assert_eq!(valid_range(4, 0, 0, 0, 0, 5), (0, 0));
+        assert_eq!(valid_range(4, 0, 1, 0, 0, 0), (0, 0));
+        // tap beyond the input entirely.
+        assert_eq!(valid_range(4, 0, 1, 7, 0, 5), (0, 0));
+    }
+
+    #[test]
+    fn gemm_rejects_mismatched_filters() {
+        let input = Tensor::zeros(Shape::new(3, 8, 8));
+        let bad = Filters::zeros(8, 4, 3, 3);
+        let spec = ConvSpec {
+            out_channels: 8,
+            kernel: Kernel::square(3),
+            stride: 1,
+            pad_h: 1,
+            pad_w: 1,
+            groups: 1,
+        };
+        assert!(conv2d_gemm(&input, &bad, &spec).is_err());
+    }
+}

@@ -49,25 +49,10 @@ pub fn conv2d_im2col(
     filters: &Filters,
     spec: &ConvSpec,
 ) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = crate::ops::check_conv_args(input, filters, spec, "conv2d_im2col")?;
     let in_shape = input.shape();
-    if spec.groups == 0
-        || !in_shape.channels.is_multiple_of(spec.groups)
-        || !spec.out_channels.is_multiple_of(spec.groups)
-    {
-        return Err(ShapeMismatchError::new("conv2d_im2col", "invalid group count"));
-    }
     let cg = in_shape.channels / spec.groups;
     let kg = spec.out_channels / spec.groups;
-    if filters.in_channels() != cg
-        || filters.out_channels() != spec.out_channels
-        || filters.kernel_height() != spec.kernel.height
-        || filters.kernel_width() != spec.kernel.width
-    {
-        return Err(ShapeMismatchError::new("conv2d_im2col", "filter bank does not match spec"));
-    }
-    let out_shape =
-        codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
-            .ok_or_else(|| ShapeMismatchError::new("conv2d_im2col", "spec does not fit input"))?;
 
     let (kh, kw) = (spec.kernel.height, spec.kernel.width);
     let rows = cg * kh * kw;

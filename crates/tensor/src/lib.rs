@@ -35,12 +35,17 @@
 #![forbid(unsafe_code)]
 
 pub mod execute;
+pub mod gemm;
 pub mod im2col;
 pub mod ops;
 pub mod quant;
 pub mod tensor;
 
-pub use execute::{run_layer, run_network, NetworkActivations, RunNetworkError, WeightStore};
+pub use execute::{
+    run_layer, run_layer_reference, run_layer_with, run_network, run_network_reference,
+    run_network_with, ActivationBuilder, NetworkActivations, RunNetworkError, WeightStore,
+};
+pub use gemm::{conv2d_gemm, conv2d_gemm_jobs, fully_connected_gemm, fully_connected_gemm_jobs};
 pub use im2col::conv2d_im2col;
 pub use ops::ShapeMismatchError;
 pub use quant::{sqnr_db, QuantScale};

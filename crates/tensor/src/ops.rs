@@ -34,6 +34,40 @@ impl fmt::Display for ShapeMismatchError {
 
 impl Error for ShapeMismatchError {}
 
+/// Validates the shared convolution argument contract (group counts,
+/// filter-bank dimensions, spec-fits-input) and returns the inferred
+/// output shape. Every convolution implementation — the reference loop
+/// nest here, the im2col cross-check, the GEMM fast path, and the
+/// dataflow executors in `codesign-sim` — enforces exactly this contract.
+///
+/// # Errors
+///
+/// Returns [`ShapeMismatchError`] (attributed to operator `op`) when the
+/// filter bank does not match the spec/input or the spec does not fit.
+pub fn check_conv_args(
+    input: &Tensor,
+    filters: &Filters,
+    spec: &ConvSpec,
+    op: &'static str,
+) -> Result<Shape, ShapeMismatchError> {
+    let in_shape = input.shape();
+    if spec.groups == 0
+        || !in_shape.channels.is_multiple_of(spec.groups)
+        || !spec.out_channels.is_multiple_of(spec.groups)
+    {
+        return Err(ShapeMismatchError::new(op, "invalid group count"));
+    }
+    if filters.in_channels() != in_shape.channels / spec.groups
+        || filters.out_channels() != spec.out_channels
+        || filters.kernel_height() != spec.kernel.height
+        || filters.kernel_width() != spec.kernel.width
+    {
+        return Err(ShapeMismatchError::new(op, "filter bank does not match spec"));
+    }
+    codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
+        .ok_or_else(|| ShapeMismatchError::new(op, "spec does not fit input"))
+}
+
 /// Computes a grouped 2-D convolution with zero padding.
 ///
 /// `filters.in_channels()` must equal `input channels / groups` and
@@ -48,25 +82,10 @@ pub fn conv2d(
     filters: &Filters,
     spec: &ConvSpec,
 ) -> Result<Tensor, ShapeMismatchError> {
+    let out_shape = check_conv_args(input, filters, spec, "conv2d")?;
     let in_shape = input.shape();
-    if spec.groups == 0
-        || !in_shape.channels.is_multiple_of(spec.groups)
-        || !spec.out_channels.is_multiple_of(spec.groups)
-    {
-        return Err(ShapeMismatchError::new("conv2d", "invalid group count"));
-    }
     let cg = in_shape.channels / spec.groups; // input channels per group
     let kg = spec.out_channels / spec.groups; // filters per group
-    if filters.in_channels() != cg
-        || filters.out_channels() != spec.out_channels
-        || filters.kernel_height() != spec.kernel.height
-        || filters.kernel_width() != spec.kernel.width
-    {
-        return Err(ShapeMismatchError::new("conv2d", "filter bank does not match spec"));
-    }
-    let out_shape =
-        codesign_dnn::layer::infer_output(&codesign_dnn::LayerOp::Conv(*spec), in_shape)
-            .ok_or_else(|| ShapeMismatchError::new("conv2d", "spec does not fit input"))?;
 
     let mut out = Tensor::zeros(out_shape);
     for k in 0..spec.out_channels {
@@ -228,8 +247,13 @@ pub fn relu(input: &Tensor) -> Tensor {
 }
 
 /// Saturates a wide accumulator to the `i32` activation range.
+///
+/// This single clamp, applied exactly once per output element after the
+/// full exact `i64` accumulation, is what makes every execution order —
+/// naive loop nest, im2col, blocked GEMM, WS/OS schedules — bit-identical:
+/// integer addition commutes, so only the final saturation point matters.
 #[inline]
-pub(crate) fn clamp_acc(acc: i64) -> i32 {
+pub fn clamp_acc(acc: i64) -> i32 {
     acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }
 
@@ -365,5 +389,53 @@ mod tests {
     fn relu_zeroes_negatives() {
         let t = Tensor::from_vec(Shape::new(1, 1, 3), vec![-5, 0, 5]);
         assert_eq!(relu(&t).as_slice(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn clamp_acc_saturates_exactly_at_i32_bounds() {
+        // The boundary values themselves pass through unclamped...
+        assert_eq!(clamp_acc(i32::MAX as i64), i32::MAX);
+        assert_eq!(clamp_acc(i32::MIN as i64), i32::MIN);
+        assert_eq!(clamp_acc(0), 0);
+        // ...one past saturates...
+        assert_eq!(clamp_acc(i32::MAX as i64 + 1), i32::MAX);
+        assert_eq!(clamp_acc(i32::MIN as i64 - 1), i32::MIN);
+        // ...and so does the far end of the i64 range.
+        assert_eq!(clamp_acc(i64::MAX), i32::MAX);
+        assert_eq!(clamp_acc(i64::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn conv_saturates_wide_accumulators() {
+        // A single 1x1 product of i32::MAX * ±2 overflows i32 in both
+        // directions; the i64 accumulator must carry it and the output
+        // must saturate rather than wrap.
+        let spec = ConvSpec {
+            out_channels: 2,
+            kernel: Kernel::square(1),
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            groups: 1,
+        };
+        let input = Tensor::from_vec(Shape::new(1, 1, 1), vec![i32::MAX]);
+        let f = Filters::from_fn(2, 1, 1, 1, |k, _, _, _| if k == 0 { 2 } else { -2 });
+        let out = conv2d(&input, &f, &spec).unwrap();
+        assert_eq!(out.as_slice(), &[i32::MAX, i32::MIN]);
+
+        // i32::MIN * 1 is exactly representable: no spurious clamping.
+        let input = Tensor::from_vec(Shape::new(1, 1, 1), vec![i32::MIN]);
+        let eye = Filters::from_fn(2, 1, 1, 1, |k, _, _, _| i32::from(k == 0));
+        let out = conv2d(&input, &eye, &spec).unwrap();
+        assert_eq!(out.as_slice(), &[i32::MIN, 0]);
+    }
+
+    #[test]
+    fn fc_saturates_wide_accumulators() {
+        let input = Tensor::from_vec(Shape::new(2, 1, 1), vec![i32::MAX, i32::MAX]);
+        let w = Filters::from_fn(2, 2, 1, 1, |k, _, _, _| if k == 0 { 1 } else { -1 });
+        let out = fully_connected(&input, &w).unwrap();
+        // Sum of two i32::MAX overflows i32 by almost 2x either way.
+        assert_eq!(out.as_slice(), &[i32::MAX, i32::MIN]);
     }
 }

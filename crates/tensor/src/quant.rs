@@ -158,4 +158,41 @@ mod tests {
         let s = QuantScale::calibrate(1.0, 16);
         assert!(s.to_string().starts_with("q16"));
     }
+
+    #[test]
+    fn widest_scale_stays_inside_i32() {
+        // 31-bit codes are the widest the i32 substrate can carry:
+        // qmax must stay below i32::MAX and the clamp must hold for
+        // inputs far past calibration, including infinities.
+        let s = QuantScale::calibrate(1.0, 31);
+        assert_eq!(s.qmax(), (1 << 30) - 1);
+        assert!(s.qmax() < i32::MAX);
+        // The clamp rail passes through f32, which cannot represent
+        // 2^30 - 1 exactly and rounds it up to 2^30 — so saturated codes
+        // may exceed qmax by one ulp of the rail, but always stay well
+        // inside i32.
+        let rail = s.qmax() as f32 as i64;
+        for v in [f32::MAX, f32::INFINITY] {
+            let q = s.quantize(v) as i64;
+            assert!((s.qmax() as i64..=rail).contains(&q), "{v} -> {q}");
+            assert_eq!(s.quantize(-v) as i64, -q);
+        }
+        // At 30 bits and below the rail is exact and saturation lands
+        // on qmax itself.
+        let s = QuantScale::calibrate(1.0, 24);
+        assert_eq!(s.quantize(f32::MAX), s.qmax());
+        assert_eq!(s.quantize(f32::NEG_INFINITY), -s.qmax());
+    }
+
+    #[test]
+    fn dequantize_handles_extreme_codes() {
+        // Codes at the i32 rails dequantize to finite values — scale is
+        // finite and |code| <= |i32::MIN| < 2^31, well inside f32 range.
+        let s = QuantScale::calibrate(1.0, 8);
+        assert!(s.dequantize(i32::MAX).is_finite());
+        assert!(s.dequantize(i32::MIN).is_finite());
+        assert!(s.dequantize(i32::MIN) < 0.0 && s.dequantize(i32::MAX) > 0.0);
+        // Round-tripping a saturated quantization stays at the rail.
+        assert_eq!(s.quantize(s.dequantize(s.qmax()) * 100.0), s.qmax());
+    }
 }

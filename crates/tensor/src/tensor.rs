@@ -104,6 +104,22 @@ impl Tensor {
         &self.data
     }
 
+    /// The contiguous `height × width` plane of channel `c` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn channel_plane(&self, c: usize) -> &[i32] {
+        let plane = self.shape.plane();
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// The mutable flat backing slice (CHW order).
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
     /// Consumes the tensor and returns its backing buffer.
     pub fn into_vec(self) -> Vec<i32> {
         self.data
@@ -240,6 +256,24 @@ impl Filters {
             k < self.out_channels && c < self.in_channels && dy < self.kh && dx < self.kw
         );
         self.data[((k * self.in_channels + c) * self.kh + dy) * self.kw + dx]
+    }
+
+    /// All taps of filter `k` as one contiguous slice in `(c, dy, dx)`
+    /// order — exactly the row order the im2col lowering uses, so the
+    /// GEMM path can dot this slice against a packed patch directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds.
+    #[inline]
+    pub fn filter_taps(&self, k: usize) -> &[i32] {
+        let len = self.in_channels * self.kh * self.kw;
+        &self.data[k * len..(k + 1) * len]
+    }
+
+    /// The flat backing slice (`(k, c, dy, dx)` order).
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
     }
 
     /// Fraction of zero taps (the sparsity the OS dataflow exploits).

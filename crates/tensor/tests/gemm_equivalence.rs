@@ -1,0 +1,205 @@
+//! The tiled GEMM execution stack against its executable spec: over
+//! arbitrary well-formed (input, filters, spec) triples, `conv2d_gemm`
+//! must agree **bit-for-bit** with both the naive loop nest
+//! (`ops::conv2d`) and the im2col cross-check (`conv2d_im2col`), and the
+//! fully-connected GEMM must agree with `ops::fully_connected`. Pinned
+//! regressions cover the shapes that route through special paths:
+//! depthwise (skips the im2col blowup), grouped, pointwise 1x1,
+//! single-pixel outputs, and zero-padding-dominant patches.
+
+use codesign_dnn::{ConvSpec, Kernel, Shape};
+use codesign_tensor::gemm::{conv2d_gemm, conv2d_gemm_jobs, fully_connected_gemm};
+use codesign_tensor::{conv2d_im2col, Filters, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random well-formed (input, filters, spec) triple, biased toward
+/// the special-path shapes: depthwise groups, pointwise kernels, strided
+/// and padded windows, and inputs barely larger than the kernel.
+fn conv_case() -> impl Strategy<Value = (Tensor, Filters, ConvSpec)> {
+    (
+        1usize..=4, // groups
+        1usize..=3, // channels per group
+        1usize..=5, // filters per group
+        prop_oneof![Just((1usize, 1usize)), Just((3, 3)), Just((1, 3)), Just((3, 1)), Just((5, 5))],
+        1usize..=2,   // stride
+        0usize..=2,   // pad
+        0usize..=6,   // extra spatial size
+        any::<u64>(), // data seed
+    )
+        .prop_map(|(groups, cg, kg, (kh, kw), stride, pad, extra, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cin = groups * cg;
+            let cout = groups * kg;
+            let h = kh.max(kw) + extra;
+            let w = kh.max(kw) + extra;
+            let input = Tensor::random(Shape::new(cin, h, w), 64, &mut rng);
+            let filters = Filters::random(cout, cg, kh, kw, 16, 0.4, &mut rng);
+            let spec = ConvSpec {
+                out_channels: cout,
+                kernel: Kernel::new(kh, kw),
+                stride,
+                pad_h: pad.min(kh / 2 + 1),
+                pad_w: pad.min(kw / 2 + 1),
+                groups,
+            };
+            (input, filters, spec)
+        })
+}
+
+/// Asserts all three convolution implementations agree bit-for-bit.
+fn assert_triple_equal(input: &Tensor, filters: &Filters, spec: &ConvSpec) {
+    let naive = codesign_tensor::ops::conv2d(input, filters, spec).unwrap();
+    let im2col = conv2d_im2col(input, filters, spec).unwrap();
+    let gemm = conv2d_gemm(input, filters, spec).unwrap();
+    assert_eq!(naive, im2col, "im2col diverged from the loop nest: {spec:?}");
+    assert_eq!(naive, gemm, "GEMM diverged from the loop nest: {spec:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// GEMM == loop nest == im2col over arbitrary conv cases.
+    #[test]
+    fn gemm_matches_both_references((input, filters, spec) in conv_case()) {
+        let naive = codesign_tensor::ops::conv2d(&input, &filters, &spec).unwrap();
+        let im2col = conv2d_im2col(&input, &filters, &spec).unwrap();
+        let gemm = conv2d_gemm(&input, &filters, &spec).unwrap();
+        prop_assert_eq!(&naive, &im2col);
+        prop_assert_eq!(&naive, &gemm);
+    }
+
+    /// The worker count never changes a single bit of the output.
+    #[test]
+    fn gemm_is_jobs_invariant((input, filters, spec) in conv_case(), jobs in 2usize..=8) {
+        let serial = conv2d_gemm_jobs(&input, &filters, &spec, 1).unwrap();
+        let parallel = conv2d_gemm_jobs(&input, &filters, &spec, jobs).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// The fully-connected GEMM agrees with the reference matrix-vector
+    /// loop for arbitrary flattened sizes.
+    #[test]
+    fn fc_gemm_matches_reference(n in 1usize..=96, k in 1usize..=48, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::random(Shape::new(n, 1, 1), 64, &mut rng);
+        let weights = Filters::random(k, n, 1, 1, 16, 0.4, &mut rng);
+        let want = codesign_tensor::ops::fully_connected(&input, &weights).unwrap();
+        let got = fully_connected_gemm(&input, &weights).unwrap();
+        prop_assert_eq!(want, got);
+    }
+}
+
+/// Depthwise: groups == channels routes through the dedicated direct
+/// path that skips patch packing entirely.
+#[test]
+fn pinned_depthwise() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let input = Tensor::random(Shape::new(8, 13, 11), 64, &mut rng);
+    let filters = Filters::random(8, 1, 3, 3, 16, 0.4, &mut rng);
+    let spec = ConvSpec {
+        out_channels: 8,
+        kernel: Kernel::square(3),
+        stride: 1,
+        pad_h: 1,
+        pad_w: 1,
+        groups: 8,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+    // Strided depthwise reduction, MobileNet-style.
+    let spec2 = ConvSpec { stride: 2, ..spec };
+    assert_triple_equal(&input, &filters, &spec2);
+}
+
+/// Grouped but not depthwise: per-group packing and filter windows.
+#[test]
+fn pinned_grouped() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let input = Tensor::random(Shape::new(6, 9, 9), 64, &mut rng);
+    let filters = Filters::random(9, 2, 3, 3, 16, 0.4, &mut rng);
+    let spec = ConvSpec {
+        out_channels: 9,
+        kernel: Kernel::square(3),
+        stride: 1,
+        pad_h: 1,
+        pad_w: 1,
+        groups: 3,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+}
+
+/// Pointwise 1x1: rows == channels, no padding, patch matrix is the
+/// input itself.
+#[test]
+fn pinned_pointwise() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let input = Tensor::random(Shape::new(16, 7, 7), 64, &mut rng);
+    let filters = Filters::random(24, 16, 1, 1, 16, 0.4, &mut rng);
+    let spec = ConvSpec {
+        out_channels: 24,
+        kernel: Kernel::square(1),
+        stride: 1,
+        pad_h: 0,
+        pad_w: 0,
+        groups: 1,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+}
+
+/// Single-pixel output: one column, the interleaved block is almost all
+/// zero-padded tail lanes.
+#[test]
+fn pinned_single_pixel() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let input = Tensor::random(Shape::new(4, 3, 3), 64, &mut rng);
+    let filters = Filters::random(10, 4, 3, 3, 16, 0.4, &mut rng);
+    let spec = ConvSpec {
+        out_channels: 10,
+        kernel: Kernel::square(3),
+        stride: 1,
+        pad_h: 0,
+        pad_w: 0,
+        groups: 1,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+}
+
+/// Saturation: a single extreme product overflows i32 in both
+/// directions; every implementation must saturate at the same rails
+/// (one product per output keeps the i64 accumulator itself safe even
+/// in debug builds).
+#[test]
+fn pinned_saturation() {
+    let input = Tensor::from_vec(Shape::new(1, 1, 1), vec![i32::MAX]);
+    let filters = Filters::from_fn(2, 1, 1, 1, |k, _, _, _| if k == 0 { 2 } else { -2 });
+    let spec = ConvSpec {
+        out_channels: 2,
+        kernel: Kernel::square(1),
+        stride: 1,
+        pad_h: 0,
+        pad_w: 0,
+        groups: 1,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+    let gemm = conv2d_gemm(&input, &filters, &spec).unwrap();
+    assert_eq!(gemm.as_slice(), &[i32::MAX, i32::MIN]);
+}
+
+/// Zero-padding-dominant: a 1x1 spatial input under a 3x3 kernel with
+/// full padding — 8 of every 9 patch elements are implicit zeros.
+#[test]
+fn pinned_zero_padding_dominant() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let input = Tensor::random(Shape::new(5, 1, 1), 64, &mut rng);
+    let filters = Filters::random(7, 5, 3, 3, 16, 0.4, &mut rng);
+    let spec = ConvSpec {
+        out_channels: 7,
+        kernel: Kernel::square(3),
+        stride: 1,
+        pad_h: 1,
+        pad_w: 1,
+        groups: 1,
+    };
+    assert_triple_equal(&input, &filters, &spec);
+}
