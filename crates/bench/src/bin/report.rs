@@ -28,7 +28,7 @@ use codesign_bench::experiments::{
 use codesign_bench::{
     bar_chart, bars_svg, scatter_svg, Bar, BenchReport, ExperimentTiming, ScatterPoint, Table,
 };
-use codesign_sim::par_map;
+use codesign_sim::{atomic_write, par_map};
 use codesign_trace::{chrome_trace, MetricsSnapshot, Tracer};
 
 /// An experiment generator entry: name plus the table function.
@@ -153,9 +153,10 @@ fn main() -> ExitCode {
                 .collect();
             println!("{}", bar_chart("Figure 1 (hybrid cycles, utilization)", &bars, 50));
             let svg_path = out_dir.join("fig1.svg");
-            if let Err(e) = fs::write(
+            if let Err(e) = atomic_write(
                 &svg_path,
-                bars_svg("Figure 1: SqueezeNet v1.0 per-layer cycles (utilization)", &bars),
+                bars_svg("Figure 1: SqueezeNet v1.0 per-layer cycles (utilization)", &bars)
+                    .as_bytes(),
             ) {
                 eprintln!("cannot write {}: {e}", svg_path.display());
                 return ExitCode::FAILURE;
@@ -185,14 +186,15 @@ fn main() -> ExitCode {
                 })
                 .collect();
             let svg_path = out_dir.join("fig4.svg");
-            if let Err(e) = fs::write(
+            if let Err(e) = atomic_write(
                 &svg_path,
                 scatter_svg(
                     "Figure 4: accuracy vs inference time (higher-left is better)",
                     "inference time (ms)",
                     "top-1 accuracy (%)",
                     &points,
-                ),
+                )
+                .as_bytes(),
             ) {
                 eprintln!("cannot write {}: {e}", svg_path.display());
                 return ExitCode::FAILURE;
@@ -219,7 +221,7 @@ fn main() -> ExitCode {
             })
             .collect();
         let report = BenchReport::collect(&ctx, timings, total_wall.as_secs_f64() * 1e3);
-        if let Err(e) = fs::write(&path, report.to_json()) {
+        if let Err(e) = atomic_write(&path, report.to_json().as_bytes()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -238,14 +240,14 @@ fn main() -> ExitCode {
     if tracer.is_enabled() {
         let data = tracer.snapshot();
         if let Some(path) = &trace_path {
-            if let Err(e) = fs::write(path, chrome_trace(&data)) {
+            if let Err(e) = atomic_write(path, chrome_trace(&data).as_bytes()) {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote {} ({} spans)", path.display(), data.span_count());
         }
         if let Some(path) = &metrics_path {
-            if let Err(e) = fs::write(path, MetricsSnapshot::of(&data).to_json()) {
+            if let Err(e) = atomic_write(path, MetricsSnapshot::of(&data).to_json().as_bytes()) {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }

@@ -2,9 +2,10 @@
 //! of every experiment report.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
+
+use codesign_sim::atomic_write;
 
 /// A rectangular table with a header row.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -100,13 +101,14 @@ impl Table {
         out
     }
 
-    /// Writes the CSV rendering to `path`.
+    /// Writes the CSV rendering to `path` atomically (temp + fsync +
+    /// rename): a crash mid-write never leaves a truncated artifact.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from writing the file.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        fs::write(path, self.to_csv())
+        atomic_write(path.as_ref(), self.to_csv().as_bytes())
     }
 }
 

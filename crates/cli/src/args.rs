@@ -62,6 +62,20 @@ pub struct Invocation {
     pub cache_load: Option<String>,
     /// Save the simulation cache to this snapshot file at the end.
     pub cache_save: Option<String>,
+    /// serve: per-request compute budget in milliseconds (`None` = no
+    /// deadline). Per-request `deadline_ms` overrides are capped at this.
+    pub deadline_ms: Option<u64>,
+    /// serve: maximum request-line length in bytes before the line is
+    /// rejected with a `usage` error instead of accumulating unbounded.
+    pub max_line_bytes: usize,
+    /// serve: maximum concurrent connections; at capacity new
+    /// connections are fast-rejected with an `overloaded` error.
+    pub max_connections: usize,
+    /// serve: autosave the cache to a rotating `--cache-save` generation
+    /// file every N handled requests (`0` = off).
+    pub autosave_every: u64,
+    /// faultinject: also run the server/persistence corpus (`--serve`).
+    pub serve_faults: bool,
 }
 
 impl Invocation {
@@ -110,6 +124,7 @@ commands:
   wave     <net> <layer>  layer waveform as VCD (stdout; pipe to a file)
   list             list the model zoo
   faultinject      run the hostile-input corpus against the simulator
+                   (--serve adds the server/persistence corpus)
   serve            run the line-delimited-JSON co-design server
   verify-functional [net]  run the GEMM and WS/OS functional executors
                    and assert bit-equality against the reference ops
@@ -137,9 +152,23 @@ options:
   --metrics PATH         write an aggregated metrics JSON snapshot
   --port N               serve: TCP port, 0 = ephemeral (default 7227)
   --cache-load PATH      sweep/compare/serve: warm-start the simulation
-                         cache from a snapshot file
+                         cache from a snapshot file (serve also scans
+                         PATH.gen-K generation files, newest valid wins)
   --cache-save PATH      sweep/compare/serve: save the simulation cache
                          to a snapshot file at the end
+  --deadline-ms MS       serve: per-request compute budget; exceeded
+                         requests answer a `deadline` error (default
+                         none; per-request deadline_ms is capped here)
+  --max-line-bytes N     serve: longest accepted request line (default
+                         1048576, min 64); longer lines answer `usage`
+  --max-connections N    serve: concurrent connection slots (default 64);
+                         at capacity connections get one `overloaded`
+                         error and are closed
+  --autosave-every N     serve: autosave the cache into rotating
+                         --cache-save generation files every N requests
+                         (default 0 = off; requires --cache-save)
+  --serve                faultinject: also run the server/persistence
+                         hostile corpus (slow clients, torn snapshots)
 ";
 
 fn parse_value<T: std::str::FromStr>(
@@ -190,6 +219,11 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         port: 7227,
         cache_load: None,
         cache_save: None,
+        deadline_ms: None,
+        max_line_bytes: 1 << 20,
+        max_connections: 64,
+        autosave_every: 0,
+        serve_faults: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -217,6 +251,13 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             "--port" => inv.port = parse_value("--port", it.next())?,
             "--cache-load" => inv.cache_load = Some(parse_value("--cache-load", it.next())?),
             "--cache-save" => inv.cache_save = Some(parse_value("--cache-save", it.next())?),
+            "--deadline-ms" => inv.deadline_ms = Some(parse_value("--deadline-ms", it.next())?),
+            "--max-line-bytes" => inv.max_line_bytes = parse_value("--max-line-bytes", it.next())?,
+            "--max-connections" => {
+                inv.max_connections = parse_value("--max-connections", it.next())?
+            }
+            "--autosave-every" => inv.autosave_every = parse_value("--autosave-every", it.next())?,
+            "--serve" => inv.serve_faults = true,
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError(format!("unknown option `{flag}`")));
             }
@@ -241,6 +282,29 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         return Err(ParseArgsError(
             "--cache-load/--cache-save apply to sweep, compare, and serve".to_owned(),
         ));
+    }
+    let serve_only: &[(&str, bool)] = &[
+        ("--deadline-ms", inv.deadline_ms.is_some()),
+        ("--max-line-bytes", inv.max_line_bytes != 1 << 20),
+        ("--max-connections", inv.max_connections != 64),
+        ("--autosave-every", inv.autosave_every != 0),
+    ];
+    if inv.action != Action::Serve {
+        if let Some((flag, _)) = serve_only.iter().find(|(_, set)| *set) {
+            return Err(ParseArgsError(format!("{flag} applies to serve only")));
+        }
+    }
+    if inv.serve_faults && inv.action != Action::Faultinject {
+        return Err(ParseArgsError("--serve applies to faultinject only".to_owned()));
+    }
+    if inv.max_line_bytes < 64 {
+        return Err(ParseArgsError("--max-line-bytes must be at least 64".to_owned()));
+    }
+    if inv.max_connections == 0 {
+        return Err(ParseArgsError("--max-connections must be at least 1".to_owned()));
+    }
+    if inv.autosave_every != 0 && inv.cache_save.is_none() {
+        return Err(ParseArgsError("--autosave-every requires --cache-save".to_owned()));
     }
     if inv.action == Action::Wave && inv.layer.is_none() {
         return Err(ParseArgsError("`wave` needs a layer name (see `schedule`)".to_owned()));
@@ -339,6 +403,42 @@ mod tests {
         assert!(parse("compare tiny-darknet --cache-load s.snap").is_ok());
         assert!(parse("simulate tiny-darknet --cache-load s.snap").is_err());
         assert!(parse("list --cache-save s.snap").is_err());
+    }
+
+    #[test]
+    fn serve_hardening_flags_parse_with_defaults() {
+        let inv = parse("serve").unwrap();
+        assert_eq!(inv.deadline_ms, None, "no deadline by default");
+        assert_eq!(inv.max_line_bytes, 1 << 20);
+        assert_eq!(inv.max_connections, 64);
+        assert_eq!(inv.autosave_every, 0, "autosave off by default");
+        let inv = parse(
+            "serve --deadline-ms 250 --max-line-bytes 4096 --max-connections 2 \
+             --cache-save s.snap --autosave-every 10",
+        )
+        .unwrap();
+        assert_eq!(inv.deadline_ms, Some(250));
+        assert_eq!(inv.max_line_bytes, 4096);
+        assert_eq!(inv.max_connections, 2);
+        assert_eq!(inv.autosave_every, 10);
+    }
+
+    #[test]
+    fn serve_hardening_flags_are_validated() {
+        assert!(parse("serve --max-line-bytes 8").is_err(), "line cap floor");
+        assert!(parse("serve --max-connections 0").is_err(), "at least one slot");
+        assert!(parse("serve --autosave-every 5").is_err(), "autosave needs --cache-save");
+        assert!(parse("sweep tiny-darknet --deadline-ms 100").is_err(), "serve-only flag");
+        assert!(parse("simulate net --max-connections 2").is_err(), "serve-only flag");
+        assert!(parse("sweep tiny-darknet --autosave-every 3").is_err(), "serve-only flag");
+    }
+
+    #[test]
+    fn faultinject_serve_flag() {
+        assert!(!parse("faultinject").unwrap().serve_faults);
+        assert!(parse("faultinject --serve").unwrap().serve_faults);
+        assert!(parse("serve --serve").is_err(), "--serve is faultinject-only");
+        assert!(parse("sweep tiny-darknet --serve").is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```
 
 mod args;
+mod faultserve;
 mod jsonval;
 mod serve;
 
@@ -20,9 +21,9 @@ use codesign_arch::EnergyModel;
 use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedule, SweepSpace};
 use codesign_dnn::{parse_network, zoo, Network};
 use codesign_sim::{
-    cycle, record_network, run_corpus, try_compare_dataflows, try_simulate_network_batched,
-    try_simulate_network_multicore, validate_network, ConvWork, MultiCoreConfig, Program,
-    SimOptions, Simulator,
+    atomic_write, cycle, record_network, run_corpus, try_compare_dataflows,
+    try_simulate_network_batched, try_simulate_network_multicore, validate_network, ConvWork,
+    MultiCoreConfig, Program, SimOptions, Simulator,
 };
 use codesign_trace::{chrome_trace, MetricsSnapshot, Tracer};
 
@@ -104,11 +105,14 @@ fn preload_cache(sim: &Simulator, inv: &Invocation) -> Result<(), RunError> {
     Ok(())
 }
 
-/// Saves `sim`'s cache to `--cache-save`, if given.
+/// Saves `sim`'s cache to `--cache-save`, if given. The write is
+/// atomic: a crash mid-save leaves the previous snapshot (or no file),
+/// never a torn one.
 fn save_cache(sim: &Simulator, inv: &Invocation) -> Result<(), RunError> {
     if let Some(path) = &inv.cache_save {
         let snap = sim.cache_snapshot().map_err(|e| RunError::Rejected(e.to_string()))?;
-        fs::write(path, &snap).map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
+        atomic_write(std::path::Path::new(path), &snap)
+            .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
     }
     Ok(())
@@ -121,12 +125,12 @@ fn write_sinks(inv: &Invocation, tracer: &Tracer) -> Result<(), RunError> {
     }
     let data = tracer.snapshot();
     if let Some(path) = &inv.trace {
-        fs::write(path, chrome_trace(&data))
+        atomic_write(std::path::Path::new(path), chrome_trace(&data).as_bytes())
             .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; wrote Chrome trace to {path} ({} spans)", data.span_count());
     }
     if let Some(path) = &inv.metrics {
-        fs::write(path, MetricsSnapshot::of(&data).to_json())
+        atomic_write(std::path::Path::new(path), MetricsSnapshot::of(&data).to_json().as_bytes())
             .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; wrote metrics snapshot to {path}");
     }
@@ -264,8 +268,14 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
     if inv.action == Action::Faultinject {
         let report = run_corpus(&tracer);
         print!("{}", report.render());
+        let mut passed = report.passed();
+        if inv.serve_faults {
+            let serve_report = faultserve::run_serve_corpus();
+            print!("{}", serve_report.render());
+            passed &= serve_report.passed();
+        }
         write_sinks(inv, &tracer)?;
-        if !report.passed() {
+        if !passed {
             return Err(RunError::Rejected("fault-injection corpus failed".to_owned()));
         }
         return Ok(());

@@ -16,7 +16,7 @@
 //! ```text
 //! {"id":1,"cmd":"sweep","network":"tiny-darknet","arrays":[8,16],"rfs":[8],"buffers_kib":[64]}
 //! {"id":2,"cmd":"simulate","network":"squeezenet-v1.1","arch":"ws","array":16}
-//! {"id":3,"cmd":"codesign","network":"mobilenet"}
+//! {"id":3,"cmd":"codesign","network":"mobilenet","deadline_ms":500}
 //! {"id":4,"cmd":"stats"}   {"id":5,"cmd":"ping"}   {"id":6,"cmd":"shutdown"}
 //! ```
 //!
@@ -25,23 +25,46 @@
 //! running (cycles, energy, area) frontier — then one `"event":"done"`
 //! summary. Every other command answers with a single `done` (or
 //! `error`) line. Errors carry `"code":"usage"` or `"code":"rejected"`,
-//! mirroring the one-shot CLI's exit codes 1 and 2.
+//! mirroring the one-shot CLI's exit codes 1 and 2, plus three
+//! server-side codes: `"deadline"` (the request's compute budget ran
+//! out — any frontier deltas already streamed are a bit-identical
+//! prefix of the uncancelled run), `"overloaded"` (no connection slot
+//! free; retry later), and `"internal"` (the request thread panicked;
+//! the server keeps serving).
+//!
+//! ## Hardening
+//!
+//! * Request lines longer than `--max-line-bytes` answer one `usage`
+//!   error and are discarded without ever being accumulated in memory.
+//! * `--max-connections` bounds concurrent connections; excess
+//!   connections get one `overloaded` line and are closed immediately.
+//! * `--deadline-ms` bounds per-request compute; requests may lower
+//!   (never raise) it with their own `deadline_ms` field.
+//! * With `--autosave-every N --cache-save PATH`, the cache is
+//!   atomically snapshotted into rotating `PATH.gen-K` files every N
+//!   requests; `--cache-load PATH` recovers the newest generation that
+//!   validates end-to-end, refusing torn or corrupt ones
+//!   (`serve.snapshot.refused` counts them).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_core::{
-    best_by_energy_delay, sweep_streaming_with, ArchitectureComparison, DesignPoint, SweepEvent,
-    SweepSpace,
+    best_by_energy_delay, sweep_streaming_cancellable_with, ArchitectureComparison, DesignPoint,
+    SweepError, SweepEvent, SweepSpace,
 };
 use codesign_dnn::Network;
 use codesign_sim::{
-    aggregate_cache_stats, pool_size, resolve_jobs, validate_network, SimOptions, Simulator,
+    aggregate_cache_stats, atomic_write, pool_size, recover_cache, resolve_jobs, scan_generations,
+    validate_network, write_generation, CancelToken, SimOptions, Simulator,
 };
 use codesign_trace::Tracer;
 
@@ -49,10 +72,66 @@ use crate::args::Invocation;
 use crate::jsonval::{escape, Value};
 use crate::{load_network, RunError};
 
+/// Generations kept on disk by the autosave rotation.
+const GENERATIONS_KEPT: usize = 3;
+
+/// How long a response write may stall on a slow client before the
+/// connection is declared dead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Mutex lock that shrugs off poisoning: the guarded state is always
 /// internally consistent between operations.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Everything `serve` needs, decoupled from CLI argument parsing so the
+/// fault-injection corpus can run servers in-process.
+pub struct ServeOptions {
+    /// TCP port (`0` = ephemeral).
+    pub port: u16,
+    /// Sweep fan-out width.
+    pub jobs: usize,
+    /// Snapshot file (plus `.gen-K` siblings) to warm-start from.
+    pub cache_load: Option<String>,
+    /// Snapshot file to save to at shutdown (and the autosave base).
+    pub cache_save: Option<String>,
+    /// Server-wide per-request compute budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Longest accepted request line.
+    pub max_line_bytes: usize,
+    /// Concurrent connection slots.
+    pub max_connections: usize,
+    /// Autosave period in handled requests (`0` = off).
+    pub autosave_every: u64,
+    /// Suppress the stdout handshake and stderr chatter (in-process
+    /// fault-corpus servers must not pollute the CLI's output).
+    pub quiet: bool,
+}
+
+impl ServeOptions {
+    /// The options a `codesign serve` invocation selects.
+    pub fn from_invocation(inv: &Invocation) -> Self {
+        Self {
+            port: inv.port,
+            jobs: inv.jobs,
+            cache_load: inv.cache_load.clone(),
+            cache_save: inv.cache_save.clone(),
+            deadline_ms: inv.deadline_ms,
+            max_line_bytes: inv.max_line_bytes,
+            max_connections: inv.max_connections,
+            autosave_every: inv.autosave_every,
+            quiet: false,
+        }
+    }
+}
+
+/// Rotating-generation autosave cursor, serialized so two request
+/// threads can't snapshot concurrently ([`maybe_autosave`] skips when
+/// the lock is held — the other thread is already saving).
+struct AutosaveState {
+    base: PathBuf,
+    next_generation: u64,
 }
 
 /// The output buffer of one in-flight (or just-finished) computation.
@@ -93,49 +172,92 @@ struct ServerState {
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
     requests: AtomicU64,
     deduped: AtomicU64,
+    /// Requests fully handled — the autosave clock.
+    completed: AtomicU64,
+    /// Connections currently being served (admission control).
+    active: AtomicUsize,
     shutdown: AtomicBool,
+    deadline_ms: Option<u64>,
+    max_line_bytes: usize,
+    autosave_every: u64,
+    autosave: Option<Mutex<AutosaveState>>,
+    quiet: bool,
 }
 
-/// Runs the server until a `shutdown` request arrives.
+/// Runs the server until a `shutdown` request arrives (CLI entry).
 pub fn run_serve(inv: &Invocation) -> Result<(), RunError> {
+    run_serve_opts(&ServeOptions::from_invocation(inv), |_| {})
+}
+
+/// Runs the server with explicit options; `on_ready` observes the bound
+/// address after the listener is up (used by the in-process fault
+/// corpus, which cannot parse the stdout handshake).
+pub fn run_serve_opts(
+    opts: &ServeOptions,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<(), RunError> {
     let sim = Simulator::new();
-    if let Some(path) = &inv.cache_load {
-        let bytes =
-            std::fs::read(path).map_err(|e| RunError::Usage(format!("cannot read {path}: {e}")))?;
-        let stats = sim
-            .load_cache_snapshot(&bytes)
-            .map_err(|e| RunError::Rejected(format!("{path}: {e}")))?;
-        eprintln!("; warm-started from {path} ({} cache entries)", stats.entries());
+    let tracer = Tracer::enabled();
+    if let Some(path) = &opts.cache_load {
+        load_with_recovery(&sim, &tracer, path, opts.quiet)?;
     }
-    let listener = TcpListener::bind(("127.0.0.1", inv.port))
-        .map_err(|e| RunError::Usage(format!("cannot bind 127.0.0.1:{}: {e}", inv.port)))?;
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| RunError::Usage(format!("cannot bind 127.0.0.1:{}: {e}", opts.port)))?;
     let addr =
         listener.local_addr().map_err(|e| RunError::Usage(format!("cannot resolve port: {e}")))?;
-    // The port line is the startup handshake: clients (and the CI smoke
-    // test) parse it to learn an ephemeral port, so print-and-flush
-    // before accepting.
-    println!("codesign serve listening on {addr}");
-    let _ = std::io::stdout().flush();
+    if !opts.quiet {
+        // The port line is the startup handshake: clients (and the CI
+        // smoke test) parse it to learn an ephemeral port, so
+        // print-and-flush before accepting.
+        println!("codesign serve listening on {addr}");
+        let _ = std::io::stdout().flush();
+    }
+    on_ready(addr);
 
+    let autosave = opts.cache_save.as_ref().filter(|_| opts.autosave_every > 0).map(|base| {
+        let base = PathBuf::from(base);
+        // Resume the generation numbering where a previous run left off,
+        // so a restart never overwrites a generation it might need.
+        let next_generation = scan_generations(&base).last().map_or(1, |(g, _)| g + 1);
+        Mutex::new(AutosaveState { base, next_generation })
+    });
     let state = Arc::new(ServerState {
         sim,
-        tracer: Tracer::enabled(),
-        jobs: inv.jobs,
+        tracer,
+        jobs: opts.jobs,
         addr,
         inflight: Mutex::new(HashMap::new()),
         requests: AtomicU64::new(0),
         deduped: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
+        deadline_ms: opts.deadline_ms,
+        max_line_bytes: opts.max_line_bytes,
+        autosave_every: opts.autosave_every,
+        autosave,
+        quiet: opts.quiet,
     });
 
-    let mut handles = Vec::new();
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
+        // Reap finished connection threads as we go: under connection
+        // churn the handle list stays bounded by the live connections.
+        reap_finished(&mut handles);
+        if state.active.load(Ordering::SeqCst) >= opts.max_connections {
+            fast_reject_overloaded(stream, &state);
+            continue;
+        }
+        state.active.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&state);
-        handles.push(std::thread::spawn(move || handle_connection(stream, &state)));
+        handles.push(std::thread::spawn(move || {
+            handle_connection(stream, &state);
+            state.active.fetch_sub(1, Ordering::SeqCst);
+        }));
     }
     // Connection reads time out periodically and re-check the shutdown
     // flag, so this join is bounded even with idle clients attached.
@@ -143,54 +265,227 @@ pub fn run_serve(inv: &Invocation) -> Result<(), RunError> {
         let _ = h.join();
     }
 
-    if let Some(path) = &inv.cache_save {
+    if let Some(path) = &opts.cache_save {
         let snap = state.sim.cache_snapshot().map_err(|e| RunError::Rejected(e.to_string()))?;
-        std::fs::write(path, &snap)
+        atomic_write(Path::new(path), &snap)
             .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
-        eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
+        // Keep the newest generation at least as fresh as the base file:
+        // recovery prefers generations, so a stale one must not shadow
+        // the shutdown snapshot.
+        if let Some(auto) = &state.autosave {
+            let st = lock(auto);
+            let _ = write_generation(&st.base, st.next_generation, &snap, GENERATIONS_KEPT);
+        }
+        if !state.quiet {
+            eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
+        }
     }
     Ok(())
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    // Periodic read timeouts keep the thread responsive to shutdown even
-    // when the client goes quiet with the connection open.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let Ok(mut writer) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let text = line.trim().to_owned();
-                line.clear();
-                if !text.is_empty() && handle_request(&text, &mut writer, state) {
-                    break;
-                }
+/// Warm-starts from the newest valid snapshot among `path` and its
+/// generation files. Refused (torn/corrupt) candidates are logged and
+/// counted (`serve.snapshot.refused`), never loaded; the run only fails
+/// when nothing loads: exit 1 when no candidate exists at all, exit 2
+/// when every candidate was refused.
+fn load_with_recovery(
+    sim: &Simulator,
+    tracer: &Tracer,
+    path: &str,
+    quiet: bool,
+) -> Result<(), RunError> {
+    let recovery = recover_cache(sim, Path::new(path))
+        .map_err(|e| RunError::Usage(format!("cannot read {path}: {e}")))?;
+    if !recovery.refused.is_empty() {
+        tracer.add_counter("serve.snapshot.refused", recovery.refused.len() as u64);
+        if !quiet {
+            for r in &recovery.refused {
+                eprintln!("; refused snapshot {}: {}", r.path.display(), r.reason);
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // A partial line (no newline yet) stays accumulated in
-                // `line`; just re-check the shutdown flag.
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
+        }
+    }
+    match recovery.loaded {
+        Some(loaded) => {
+            if !quiet {
+                eprintln!(
+                    "; warm-started from {} ({} cache entries)",
+                    loaded.path.display(),
+                    loaded.stats.entries()
+                );
             }
-            Err(_) => break,
+            Ok(())
+        }
+        None => Err(RunError::Rejected(format!(
+            "{path}: all {} snapshot candidate(s) refused",
+            recovery.refused.len()
+        ))),
+    }
+}
+
+/// Joins every connection thread that has already exited.
+fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
         }
     }
 }
 
-/// One response line: the subscriber's `id` wrapped around a shared
-/// body. Write errors are ignored — a vanished client must not abort
-/// the computation other subscribers are waiting on.
-fn send(writer: &mut TcpStream, id_json: &str, body: &str) {
-    let _ = writeln!(writer, "{{\"id\":{id_json},{body}}}");
+/// Answers one `overloaded` error line and drops the connection: the
+/// client learns immediately instead of queueing behind a full house.
+fn fast_reject_overloaded(stream: TcpStream, state: &ServerState) {
+    state.tracer.add_counter("serve.overloaded", 1);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut writer = ConnWriter { stream, dead: false };
+    writer.send(
+        "null",
+        &error_body("overloaded", "no connection slot free (--max-connections); retry later"),
+    );
+}
+
+/// A response writer that latches dead on the first write failure, so a
+/// vanished or stalled client stops costing syscalls while the leader
+/// keeps computing for its followers.
+struct ConnWriter {
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl ConnWriter {
+    /// One response line: the subscriber's `id` wrapped around a shared
+    /// body.
+    fn send(&mut self, id_json: &str, body: &str) {
+        if self.dead {
+            return;
+        }
+        if writeln!(self.stream, "{{\"id\":{id_json},{body}}}").is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+/// What one bounded-line read step produced.
+enum ReadOutcome {
+    /// A complete line within the size budget.
+    Line(String),
+    /// The line under construction exceeded the budget; its remaining
+    /// bytes are being discarded (one `Overflow` per oversized line).
+    Overflow,
+    /// The read timed out — re-check the shutdown flag.
+    Tick,
+    /// The peer closed (or the socket errored).
+    Eof,
+}
+
+/// Reads one newline-terminated line of at most `max` bytes without ever
+/// buffering more than `max` bytes of it: a client streaming a gigabyte
+/// line costs one error response and zero accumulation. `line` carries
+/// the partial line across timeout ticks; `discarding` is the
+/// oversized-line skip state.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    discarding: &mut bool,
+    max: usize,
+) -> ReadOutcome {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok([]) => return ReadOutcome::Eof,
+            Ok(buf) => buf.to_vec(),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                return ReadOutcome::Tick
+            }
+            Err(_) => return ReadOutcome::Eof,
+        };
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                if *discarding {
+                    // End of an oversized line that already answered its
+                    // one error: swallow silently, start the next line.
+                    *discarding = false;
+                    line.clear();
+                    continue;
+                }
+                if line.len() + i > max {
+                    line.clear();
+                    return ReadOutcome::Overflow;
+                }
+                line.extend_from_slice(&available[..i]);
+                let text = String::from_utf8_lossy(line).into_owned();
+                line.clear();
+                return ReadOutcome::Line(text);
+            }
+            None => {
+                let n = available.len();
+                reader.consume(n);
+                if *discarding {
+                    continue;
+                }
+                if line.len() + n > max {
+                    line.clear();
+                    *discarding = true;
+                    return ReadOutcome::Overflow;
+                }
+                line.extend_from_slice(&available);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    // Periodic read timeouts keep the thread responsive to shutdown even
+    // when the client goes quiet with the connection open; the write
+    // timeout bounds how long a stalled client can block a response.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = ConnWriter { stream: write_half, dead: false };
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    let mut discarding = false;
+    loop {
+        match read_bounded_line(&mut reader, &mut line, &mut discarding, state.max_line_bytes) {
+            ReadOutcome::Line(text) => {
+                let text = text.trim();
+                if !text.is_empty() && handle_request(text, &mut writer, state) {
+                    break;
+                }
+            }
+            ReadOutcome::Overflow => {
+                state.tracer.add_counter("serve.overflow", 1);
+                writer.send(
+                    "null",
+                    &error_body(
+                        "usage",
+                        &format!(
+                            "request line exceeds --max-line-bytes ({})",
+                            state.max_line_bytes
+                        ),
+                    ),
+                );
+            }
+            ReadOutcome::Tick => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            ReadOutcome::Eof => break,
+        }
+        if writer.dead {
+            break;
+        }
+    }
 }
 
 fn error_body(code: &str, message: &str) -> String {
@@ -199,15 +494,15 @@ fn error_body(code: &str, message: &str) -> String {
 
 /// Handles one request line. Returns `true` when the connection should
 /// close (shutdown).
-fn handle_request(text: &str, writer: &mut TcpStream, state: &ServerState) -> bool {
+fn handle_request(text: &str, writer: &mut ConnWriter, state: &ServerState) -> bool {
     let req = match Value::parse(text) {
         Ok(v @ Value::Obj(_)) => v,
         Ok(_) => {
-            send(writer, "null", &error_body("usage", "request must be a JSON object"));
+            writer.send("null", &error_body("usage", "request must be a JSON object"));
             return false;
         }
         Err(e) => {
-            send(writer, "null", &error_body("usage", &e.to_string()));
+            writer.send("null", &error_body("usage", &e.to_string()));
             return false;
         }
     };
@@ -217,32 +512,50 @@ fn handle_request(text: &str, writer: &mut TcpStream, state: &ServerState) -> bo
     state
         .tracer
         .add_counter(&format!("serve.requests.{}", if cmd.is_empty() { "?" } else { &cmd }), 1);
-    match cmd.as_str() {
+    let close = match cmd.as_str() {
         "ping" => {
-            send(writer, &id_json, "\"event\":\"done\",\"cmd\":\"ping\",\"ok\":true");
+            writer.send(&id_json, "\"event\":\"done\",\"cmd\":\"ping\",\"ok\":true");
             false
         }
         "stats" => {
-            send(writer, &id_json, &stats_body(state));
+            writer.send(&id_json, &stats_body(state));
             false
         }
         "shutdown" => {
-            send(writer, &id_json, "\"event\":\"done\",\"cmd\":\"shutdown\",\"ok\":true");
+            writer.send(&id_json, "\"event\":\"done\",\"cmd\":\"shutdown\",\"ok\":true");
             state.shutdown.store(true, Ordering::SeqCst);
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect(state.addr);
             true
         }
-        "sweep" | "simulate" | "codesign" => {
-            match Compute::parse(&cmd, &req) {
-                Ok(compute) => run_compute(compute, &id_json, writer, state),
-                Err((code, message)) => send(writer, &id_json, &error_body(&code, &message)),
+        // `__panic__` is the always-compiled fault-injection hook proving
+        // the catch_unwind isolation below: it panics mid-request like a
+        // latent bug would.
+        "sweep" | "simulate" | "codesign" | "__panic__" => {
+            let isolated = catch_unwind(AssertUnwindSafe(|| {
+                #[allow(clippy::panic)]
+                if cmd == "__panic__" {
+                    panic!("injected request panic");
+                }
+                match parse_deadline(&req, state) {
+                    Ok(deadline_ms) => match Compute::parse(&cmd, &req) {
+                        Ok(compute) => run_compute(compute, deadline_ms, &id_json, writer, state),
+                        Err((code, message)) => writer.send(&id_json, &error_body(&code, &message)),
+                    },
+                    Err(message) => writer.send(&id_json, &error_body("usage", &message)),
+                }
+            }));
+            if isolated.is_err() {
+                state.tracer.add_counter("serve.internal", 1);
+                writer.send(
+                    &id_json,
+                    &error_body("internal", "request thread panicked; the server is still serving"),
+                );
             }
             false
         }
         other => {
-            send(
-                writer,
+            writer.send(
                 &id_json,
                 &error_body(
                     "usage",
@@ -252,6 +565,59 @@ fn handle_request(text: &str, writer: &mut TcpStream, state: &ServerState) -> bo
                 ),
             );
             false
+        }
+    };
+    let completed = state.completed.fetch_add(1, Ordering::SeqCst) + 1;
+    if state.autosave_every > 0 && completed.is_multiple_of(state.autosave_every) {
+        maybe_autosave(state);
+    }
+    close
+}
+
+/// The effective deadline: the request's `deadline_ms` capped at the
+/// server's `--deadline-ms` (a client may lower its budget, never raise
+/// it past the server's).
+fn parse_deadline(req: &Value, state: &ServerState) -> Result<Option<u64>, String> {
+    let requested = match req.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            Some(v.as_usize().map(|ms| ms as u64).ok_or("`deadline_ms` must be a whole number")?)
+        }
+    };
+    Ok(match (state.deadline_ms, requested) {
+        (Some(server), Some(client)) => Some(server.min(client)),
+        (server, client) => server.or(client),
+    })
+}
+
+/// Best-effort cache autosave into the next rotating generation file.
+/// Never fatal: a failed autosave is logged and the next period retries.
+/// `try_lock` keeps at most one snapshotting thread; a contending
+/// request skips (the in-progress save is at least as fresh).
+fn maybe_autosave(state: &ServerState) {
+    let Some(auto) = &state.autosave else { return };
+    let Ok(mut st) = auto.try_lock() else { return };
+    let snap = match state.sim.cache_snapshot() {
+        Ok(snap) => snap,
+        Err(e) => {
+            if !state.quiet {
+                eprintln!("; autosave skipped: {e}");
+            }
+            return;
+        }
+    };
+    match write_generation(&st.base, st.next_generation, &snap, GENERATIONS_KEPT) {
+        Ok(path) => {
+            state.tracer.add_counter("serve.autosave", 1);
+            if !state.quiet {
+                eprintln!("; autosaved cache to {} ({} bytes)", path.display(), snap.len());
+            }
+            st.next_generation += 1;
+        }
+        Err(e) => {
+            if !state.quiet {
+                eprintln!("; autosave failed: {e}");
+            }
         }
     }
 }
@@ -263,9 +629,10 @@ fn stats_body(state: &ServerState) -> String {
     let counters_json: Vec<String> =
         counters.iter().map(|(name, v)| format!("{}:{v}", escape(name))).collect();
     format!(
-        "\"event\":\"done\",\"cmd\":\"stats\",\"requests\":{},\"deduped\":{},\"inflight\":{inflight},\"pool_size\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"contended\":{}}},\"counters\":{{{}}}",
+        "\"event\":\"done\",\"cmd\":\"stats\",\"requests\":{},\"deduped\":{},\"inflight\":{inflight},\"active\":{},\"pool_size\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"contended\":{}}},\"counters\":{{{}}}",
         state.requests.load(Ordering::SeqCst),
         state.deduped.load(Ordering::SeqCst),
+        state.active.load(Ordering::SeqCst),
         pool_size(),
         cache.hits,
         cache.misses,
@@ -371,9 +738,23 @@ impl Compute {
 }
 
 /// Leader-or-follower dispatch: the first request for a key computes
-/// and publishes; concurrent identical requests replay its stream.
-fn run_compute(compute: Compute, id_json: &str, writer: &mut TcpStream, state: &ServerState) {
-    let key = compute.key();
+/// and publishes; concurrent identical requests replay its stream. A
+/// panicking leader still finishes its group with an `internal` error,
+/// so followers never hang on an abandoned buffer.
+fn run_compute(
+    compute: Compute,
+    deadline_ms: Option<u64>,
+    id_json: &str,
+    writer: &mut ConnWriter,
+    state: &ServerState,
+) {
+    // Deadline is part of the dedup key: a follower with a different
+    // budget must not be handed a stream that was cancelled under (or
+    // computed beyond) its own deadline.
+    let key = match deadline_ms {
+        Some(ms) => format!("{}|deadline{ms}", compute.key()),
+        None => compute.key(),
+    };
     let (inflight, leader) = {
         let mut map = lock(&state.inflight);
         match map.get(&key) {
@@ -386,7 +767,16 @@ fn run_compute(compute: Compute, id_json: &str, writer: &mut TcpStream, state: &
         }
     };
     if leader {
-        compute_and_publish(&compute, &inflight, id_json, writer, state);
+        let isolated = catch_unwind(AssertUnwindSafe(|| {
+            compute_and_publish(&compute, deadline_ms, &inflight, id_json, writer, state)
+        }));
+        if isolated.is_err() {
+            state.tracer.add_counter("serve.internal", 1);
+            let body =
+                error_body("internal", "request thread panicked; the server is still serving");
+            writer.send(id_json, &body);
+            inflight.push(body);
+        }
         inflight.finish();
         lock(&state.inflight).remove(&key);
     } else {
@@ -398,7 +788,7 @@ fn run_compute(compute: Compute, id_json: &str, writer: &mut TcpStream, state: &
 
 /// Streams a finished-or-in-progress computation's fragments to one
 /// follower, wrapped in its own request id.
-fn replay(inflight: &Inflight, id_json: &str, writer: &mut TcpStream) {
+fn replay(inflight: &Inflight, id_json: &str, writer: &mut ConnWriter) {
     let mut cursor = 0;
     loop {
         let (new, done) = {
@@ -409,7 +799,7 @@ fn replay(inflight: &Inflight, id_json: &str, writer: &mut TcpStream) {
             (st.fragments[cursor..].to_vec(), st.done)
         };
         for body in &new {
-            send(writer, id_json, body);
+            writer.send(id_json, body);
         }
         cursor += new.len();
         if done {
@@ -420,9 +810,10 @@ fn replay(inflight: &Inflight, id_json: &str, writer: &mut TcpStream) {
 
 fn compute_and_publish(
     compute: &Compute,
+    deadline_ms: Option<u64>,
     inflight: &Inflight,
     id_json: &str,
-    writer: &mut TcpStream,
+    writer: &mut ConnWriter,
     state: &ServerState,
 ) {
     // Per-request observability: the worker fork shares the server's
@@ -432,19 +823,29 @@ fn compute_and_publish(
     let worker = state.sim.fork_counter().with_tracer(request_tracer.clone());
     let opts = SimOptions::paper_default();
     let energy = EnergyModel::default();
+    let cancel = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::never(),
+    };
+    let deadline_error = |detail: &str| {
+        let budget = deadline_ms.unwrap_or(0);
+        error_body("deadline", &format!("deadline of {budget} ms exceeded{detail}"))
+    };
     // Publish to the shared buffer (for followers) and this connection
     // in one step, so the leader streams exactly what followers replay.
     let mut emit = |body: String| {
-        send(writer, id_json, &body);
+        writer.send(id_json, &body);
         inflight.push(body);
     };
+    let mut deadline_hit = false;
     match compute {
         Compute::Sweep { network, space, .. } => {
             let mut frontier: Vec<DesignPoint> = Vec::new();
+            let mut deltas = 0usize;
             // Chunk = one scheduling round: each batch of workers
             // flushes its frontier deltas before the next starts.
             let chunk = resolve_jobs(state.jobs).max(1);
-            let result = sweep_streaming_with(
+            let result = sweep_streaming_cancellable_with(
                 &worker,
                 network,
                 space,
@@ -452,9 +853,11 @@ fn compute_and_publish(
                 &energy,
                 state.jobs,
                 chunk,
+                &cancel,
                 |event| {
                     if let SweepEvent::Point { index, point } = event {
                         if frontier_insert(&mut frontier, point) {
+                            deltas += 1;
                             emit(format!(
                                 "\"event\":\"frontier\",\"index\":{index},\"design\":{},\"cycles\":{},\"energy\":{},\"utilization\":{},\"area\":{}",
                                 escape(&point.params.to_string()),
@@ -478,34 +881,55 @@ fn compute_and_publish(
                         frontier.len()
                     ));
                 }
+                Err(SweepError::Cancelled) => {
+                    deadline_hit = true;
+                    emit(deadline_error(&format!(
+                        "; {deltas} frontier delta(s) already streamed are a prefix of the full run"
+                    )));
+                }
                 Err(e) => emit(error_body("usage", &e.to_string())),
             }
         }
         Compute::Simulate { network, policy, cfg, .. } => {
-            match worker.try_simulate_network(network, cfg, *policy, opts) {
-                Ok(perf) => emit(format!(
-                    "\"event\":\"done\",\"cmd\":\"simulate\",\"cycles\":{},\"energy\":{},\"utilization\":{}",
-                    perf.total_cycles(),
-                    perf.total_energy(&energy),
-                    perf.average_utilization(cfg.pe_count())
-                )),
-                Err(e) => emit(error_body("rejected", &e.to_string())),
+            if cancel.is_cancelled() {
+                deadline_hit = true;
+                emit(deadline_error(" before simulation started"));
+            } else {
+                match worker.try_simulate_network(network, cfg, *policy, opts) {
+                    Ok(perf) => emit(format!(
+                        "\"event\":\"done\",\"cmd\":\"simulate\",\"cycles\":{},\"energy\":{},\"utilization\":{}",
+                        perf.total_cycles(),
+                        perf.total_energy(&energy),
+                        perf.average_utilization(cfg.pe_count())
+                    )),
+                    Err(e) => emit(error_body("rejected", &e.to_string())),
+                }
             }
         }
         Compute::Codesign { network, cfg, .. } => {
-            let c = ArchitectureComparison::evaluate_with(&worker, network, cfg, opts, energy);
-            emit(format!(
-                "\"event\":\"done\",\"cmd\":\"codesign\",\"network\":{},\"hybrid_cycles\":{},\"ws_cycles\":{},\"os_cycles\":{},\"speedup_vs_ws\":{},\"speedup_vs_os\":{},\"energy_reduction_vs_ws\":{},\"energy_reduction_vs_os\":{}",
-                escape(&c.network),
-                c.hybrid.total_cycles(),
-                c.ws.total_cycles(),
-                c.os.total_cycles(),
-                c.speedup_vs_ws(),
-                c.speedup_vs_os(),
-                c.energy_reduction_vs_ws(),
-                c.energy_reduction_vs_os()
-            ));
+            match ArchitectureComparison::evaluate_cancellable_with(
+                &worker, network, cfg, opts, energy, &cancel,
+            ) {
+                Some(c) => emit(format!(
+                    "\"event\":\"done\",\"cmd\":\"codesign\",\"network\":{},\"hybrid_cycles\":{},\"ws_cycles\":{},\"os_cycles\":{},\"speedup_vs_ws\":{},\"speedup_vs_os\":{},\"energy_reduction_vs_ws\":{},\"energy_reduction_vs_os\":{}",
+                    escape(&c.network),
+                    c.hybrid.total_cycles(),
+                    c.ws.total_cycles(),
+                    c.os.total_cycles(),
+                    c.speedup_vs_ws(),
+                    c.speedup_vs_os(),
+                    c.energy_reduction_vs_ws(),
+                    c.energy_reduction_vs_os()
+                )),
+                None => {
+                    deadline_hit = true;
+                    emit(deadline_error(" between architecture evaluations"));
+                }
+            }
         }
+    }
+    if deadline_hit {
+        state.tracer.add_counter("serve.deadline", 1);
     }
     state.tracer.absorb_counters(&request_tracer.snapshot());
 }
@@ -530,6 +954,7 @@ fn frontier_insert(frontier: &mut Vec<DesignPoint>, p: &DesignPoint) -> bool {
 mod tests {
     use super::*;
     use codesign_core::DesignParams;
+    use std::io::Cursor;
 
     fn pt(cycles: u64, energy: f64, area: f64) -> DesignPoint {
         let params = DesignParams { array_size: 8, rf_depth: 8, global_buffer_bytes: 64 * 1024 };
@@ -547,5 +972,74 @@ mod tests {
         // The dominating point evicted both earlier members.
         assert_eq!(frontier.len(), 1);
         assert_eq!(frontier[0].cycles, 40);
+    }
+
+    /// Drains a reader through `read_bounded_line`, tagging each outcome.
+    fn drain(input: &[u8], max: usize) -> Vec<String> {
+        let mut reader = BufReader::with_capacity(8, Cursor::new(input.to_vec()));
+        let mut line = Vec::new();
+        let mut discarding = false;
+        let mut out = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, &mut line, &mut discarding, max) {
+                ReadOutcome::Line(text) => out.push(format!("line:{text}")),
+                ReadOutcome::Overflow => out.push("overflow".to_owned()),
+                ReadOutcome::Tick => out.push("tick".to_owned()),
+                ReadOutcome::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_reader_passes_normal_lines() {
+        assert_eq!(drain(b"hello\nworld\n", 64), vec!["line:hello", "line:world"]);
+        assert_eq!(drain(b"", 64), Vec::<String>::new());
+        // A trailing unterminated fragment is dropped at EOF, like the
+        // old read_line loop did.
+        assert_eq!(drain(b"complete\npartial", 64), vec!["line:complete"]);
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_lines_once() {
+        let long = vec![b'x'; 200];
+        let mut input = long.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"after\n");
+        // One Overflow for the oversized line, then normal service.
+        assert_eq!(drain(&input, 64), vec!["overflow", "line:after"]);
+    }
+
+    #[test]
+    fn bounded_reader_survives_binary_garbage() {
+        // Non-UTF-8 bytes become replacement characters, to be rejected
+        // by the JSON parser as a usage error rather than crashing.
+        let out = drain(&[0xff, 0xfe, 0x80, b'\n'], 64);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("line:"), "{out:?}");
+    }
+
+    #[test]
+    fn bounded_reader_never_accumulates_past_the_cap() {
+        // A "gigabyte line" (scaled down): the line buffer never holds
+        // more than max bytes however much the client streams.
+        let mut input = vec![b'y'; 4096];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let mut reader = BufReader::with_capacity(16, Cursor::new(input));
+        let mut line = Vec::new();
+        let mut discarding = false;
+        let mut overflows = 0;
+        let mut lines = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, &mut line, &mut discarding, 100) {
+                ReadOutcome::Line(text) => lines.push(text),
+                ReadOutcome::Overflow => overflows += 1,
+                ReadOutcome::Tick => {}
+                ReadOutcome::Eof => break,
+            }
+            assert!(line.len() <= 100, "buffer stayed bounded");
+        }
+        assert_eq!(overflows, 1, "one error per oversized line");
+        assert_eq!(lines, vec!["ok".to_owned()]);
     }
 }

@@ -291,6 +291,157 @@ fn one_shot_cache_flags_round_trip_and_reject_damage() {
 }
 
 #[test]
+fn deadlines_answer_typed_errors_and_the_server_keeps_serving() {
+    let server = spawn_server(&[]);
+    let mut c = Client::connect(server.port);
+
+    // A pre-expired per-request deadline: typed error, prefix statement,
+    // zero deltas delivered (the empty prefix).
+    let lines = c.request(
+        r#"{"id":"dl","cmd":"sweep","network":"tiny-darknet","deadline_ms":0,"arrays":[8,16],"rfs":[8],"buffers_kib":[64]}"#,
+    );
+    assert_eq!(lines.len(), 1, "no deltas before a zero deadline: {lines:?}");
+    let err = &lines[0];
+    assert!(err.contains(r#""event":"error""#) && err.contains(r#""code":"deadline""#), "{err}");
+    assert!(err.contains("prefix of the full run"), "{err}");
+
+    // The very same sweep without a deadline completes on the same
+    // connection — a deadline costs one request, not the server.
+    let done = c
+        .request(
+            r#"{"id":"full","cmd":"sweep","network":"tiny-darknet","arrays":[8,16],"rfs":[8],"buffers_kib":[64]}"#,
+        )
+        .pop()
+        .unwrap();
+    assert_eq!(field_u64(&done, "points"), 2, "{done}");
+    let stats = c.request(r#"{"id":"s","cmd":"stats"}"#).pop().unwrap();
+    assert!(stats.contains(r#""serve.deadline":1"#), "{stats}");
+}
+
+#[test]
+fn server_wide_deadline_caps_every_request() {
+    let server = spawn_server(&["--deadline-ms", "0"]);
+    let mut c = Client::connect(server.port);
+    // The client asks for a generous budget; the server's cap wins.
+    let err = c
+        .request(r#"{"id":1,"cmd":"codesign","network":"tiny-darknet","deadline_ms":60000}"#)
+        .pop()
+        .unwrap();
+    assert!(err.contains(r#""code":"deadline""#), "{err}");
+    // Non-compute commands are never subject to the deadline.
+    let pong = c.request(r#"{"id":2,"cmd":"ping"}"#).pop().unwrap();
+    assert!(pong.contains(r#""ok":true"#), "{pong}");
+}
+
+#[test]
+fn oversized_lines_cost_one_typed_error_each() {
+    let server = spawn_server(&["--max-line-bytes", "256"]);
+    let mut c = Client::connect(server.port);
+    writeln!(c.writer, "{}", "x".repeat(64 * 1024)).expect("oversized line sends");
+    let err = c.recv();
+    assert!(err.contains(r#""code":"usage""#) && err.contains("max-line-bytes"), "{err}");
+    // Exactly one error for the whole oversized line, then normal
+    // service resumes on the same connection.
+    let pong = c.request(r#"{"id":1,"cmd":"ping"}"#).pop().unwrap();
+    assert!(pong.contains(r#""ok":true"#), "{pong}");
+    let stats = c.request(r#"{"id":2,"cmd":"stats"}"#).pop().unwrap();
+    assert!(stats.contains(r#""serve.overflow":1"#), "{stats}");
+}
+
+#[test]
+fn connections_beyond_the_slot_limit_are_fast_rejected() {
+    let server = spawn_server(&["--max-connections", "1"]);
+    let mut a = Client::connect(server.port);
+    let pong = a.request(r#"{"id":1,"cmd":"ping"}"#).pop().unwrap();
+    assert!(pong.contains(r#""ok":true"#), "{pong}");
+
+    // The second connection gets one overloaded line, then EOF.
+    let mut b = Client::connect(server.port);
+    let reject = b.recv();
+    assert!(
+        reject.contains(r#""code":"overloaded""#) && reject.contains(r#""id":null"#),
+        "{reject}"
+    );
+    let mut rest = String::new();
+    assert_eq!(b.reader.read_line(&mut rest).expect("EOF readable"), 0, "rejected conn closed");
+
+    // The admitted client is unaffected.
+    let pong = a.request(r#"{"id":2,"cmd":"ping"}"#).pop().unwrap();
+    assert!(pong.contains(r#""ok":true"#), "{pong}");
+}
+
+#[test]
+fn request_panics_are_isolated_and_answered() {
+    let server = spawn_server(&[]);
+    let mut c = Client::connect(server.port);
+    let err = c.request(r#"{"id":"boom","cmd":"__panic__"}"#).pop().unwrap();
+    assert!(err.contains(r#""code":"internal""#) && err.contains("still serving"), "{err}");
+    let pong = c.request(r#"{"id":1,"cmd":"ping"}"#).pop().unwrap();
+    assert!(pong.contains(r#""ok":true"#), "{pong}");
+    let stats = c.request(r#"{"id":2,"cmd":"stats"}"#).pop().unwrap();
+    assert!(stats.contains(r#""serve.internal":1"#), "{stats}");
+}
+
+#[test]
+fn kill_nine_after_autosave_never_loses_the_warm_start() {
+    // The crash-safety acceptance path end to end, with a real SIGKILL:
+    // autosaved generations survive the kill, a torn newest generation
+    // is refused, and the replacement server warm-starts from the
+    // survivor.
+    let dir = std::env::temp_dir().join(format!("codesign-kill9-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("cache.snap");
+    let snap_str = snap.to_str().expect("utf-8 temp path");
+
+    let mut server = spawn_server(&["--cache-save", snap_str, "--autosave-every", "1"]);
+    let mut c = Client::connect(server.port);
+    for (i, array) in [8u64, 16, 32].iter().enumerate() {
+        let done = c
+            .request(&format!(
+                r#"{{"id":{i},"cmd":"simulate","network":"tiny-darknet","array":{array}}}"#
+            ))
+            .pop()
+            .unwrap();
+        assert!(field_u64(&done, "cycles") > 0, "{done}");
+    }
+    // Autosaves land after the response is written; wait for all three.
+    wait_for_stats(server.port, |s| s.contains(r#""serve.autosave":3"#));
+    server.child.kill().expect("SIGKILL lands");
+    server.child.wait().expect("killed server reaped");
+    assert!(!snap.exists(), "no clean-shutdown snapshot after kill -9");
+
+    // Tear the newest generation mid-write, as a crash during the next
+    // autosave would.
+    let mut gens: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("dir readable")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.to_string_lossy().contains(".gen-"))
+        .collect();
+    gens.sort();
+    assert!(!gens.is_empty(), "autosave left generation files");
+    let newest = gens.last().unwrap();
+    let bytes = std::fs::read(newest).expect("newest gen readable");
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).expect("newest gen torn");
+
+    // Recovery: torn newest refused (counted), older generation loaded,
+    // warm workload answered without a single miss.
+    let server = spawn_server(&["--cache-load", snap_str]);
+    let mut c = Client::connect(server.port);
+    let stats = c.request(r#"{"id":"s","cmd":"stats"}"#).pop().unwrap();
+    assert!(field_u64(&stats, "entries") > 0, "warm start survived: {stats}");
+    assert!(stats.contains(r#""serve.snapshot.refused":1"#), "{stats}");
+    let warm = c
+        .request(r#"{"id":"w","cmd":"simulate","network":"tiny-darknet","array":8}"#)
+        .pop()
+        .unwrap();
+    assert!(field_u64(&warm, "cycles") > 0, "{warm}");
+    let stats = c.request(r#"{"id":"s2","cmd":"stats"}"#).pop().unwrap();
+    assert_eq!(field_u64(&stats, "misses"), 0, "recovered cache answers warm: {stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn reader_interleaves_requests_without_blocking() {
     // One connection, two requests back to back before reading: the
     // server must answer both in order (the protocol is pipelined).

@@ -6,7 +6,7 @@ use std::fmt;
 
 use codesign_arch::{area, AcceleratorConfig, AreaModel, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{par_map_catch_range, SimError, SimOptions, Simulator};
+use codesign_sim::{par_map_catch_range, CancelToken, SimError, SimOptions, Simulator};
 
 /// The swept hardware parameters of one design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +144,11 @@ pub enum SweepError {
     /// The sweep space has an empty axis, so there are no grid points to
     /// evaluate. The payload names the empty axis.
     EmptySpace(&'static str),
+    /// The sweep's [`CancelToken`] fired (deadline passed or explicit
+    /// cancel) before every chunk completed. Events already delivered to
+    /// the observer remain valid — they are a prefix of the uncancelled
+    /// run — but no [`SweepOutcome`] is produced.
+    Cancelled,
 }
 
 impl fmt::Display for SweepError {
@@ -152,6 +157,7 @@ impl fmt::Display for SweepError {
             Self::EmptySpace(axis) => {
                 write!(f, "sweep space is empty: the {axis} axis has no values")
             }
+            Self::Cancelled => write!(f, "sweep cancelled before completion"),
         }
     }
 }
@@ -352,6 +358,47 @@ pub fn sweep_streaming_with(
     energy_model: &EnergyModel,
     jobs: usize,
     chunk: usize,
+    on_event: impl FnMut(SweepEvent<'_>),
+) -> Result<SweepOutcome, SweepError> {
+    sweep_streaming_cancellable_with(
+        sim,
+        network,
+        space,
+        opts,
+        energy_model,
+        jobs,
+        chunk,
+        &CancelToken::never(),
+        on_event,
+    )
+}
+
+/// [`sweep_streaming_with`] with cooperative cancellation: `cancel` is
+/// polled once per chunk, *between* chunks, so every chunk that starts
+/// also finishes and fires its events. When the token fires the sweep
+/// stops with [`SweepError::Cancelled`] — and because chunks complete
+/// atomically in deterministic grid order, the events delivered before
+/// the cancellation are **bit-identical to a prefix** of the uncancelled
+/// run's event stream, whatever `jobs` is.
+///
+/// A token that is already cancelled on entry yields zero events (the
+/// empty prefix).
+///
+/// # Errors
+///
+/// [`SweepError::EmptySpace`] when any sweep axis is empty (checked
+/// before the token, so an empty space is always reported as such);
+/// [`SweepError::Cancelled`] when `cancel` fires before the last chunk.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_streaming_cancellable_with(
+    sim: &Simulator,
+    network: &Network,
+    space: &SweepSpace,
+    opts: SimOptions,
+    energy_model: &EnergyModel,
+    jobs: usize,
+    chunk: usize,
+    cancel: &CancelToken,
     mut on_event: impl FnMut(SweepEvent<'_>),
 ) -> Result<SweepOutcome, SweepError> {
     space.check_non_empty()?;
@@ -361,6 +408,9 @@ pub fn sweep_streaming_with(
     let mut failures = Vec::new();
     let mut start = 0usize;
     while start < len {
+        if cancel.is_cancelled() {
+            return Err(SweepError::Cancelled);
+        }
         let count = chunk.min(len - start);
         // Range-based fan-out: workers decode grid points from their
         // flat index, so the grid is never materialized ahead of the
@@ -859,6 +909,95 @@ mod tests {
                 );
                 assert_eq!(seen_points, outcome.points);
                 assert_eq!(seen_failures, outcome.failures);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_on_entry_yields_the_empty_prefix() {
+        let mut fired = 0usize;
+        let token = CancelToken::never();
+        token.cancel();
+        let err = sweep_streaming_cancellable_with(
+            &Simulator::new(),
+            &zoo::tiny_darknet(),
+            &SweepSpace::paper_default(),
+            SimOptions::default(),
+            &EnergyModel::default(),
+            1,
+            1,
+            &token,
+            |_| fired += 1,
+        )
+        .unwrap_err();
+        assert_eq!(err, SweepError::Cancelled);
+        assert_eq!(fired, 0);
+    }
+
+    #[test]
+    fn cancel_mid_sweep_delivers_a_prefix_of_the_full_run() {
+        // The tentpole determinism guarantee: whatever chunk size, jobs
+        // count, and cancel point, the events delivered before the token
+        // fires are bit-identical to a prefix of the uncancelled run's
+        // event stream.
+        let space = SweepSpace {
+            array_sizes: vec![8, 16],
+            rf_depths: vec![16],
+            buffer_bytes: vec![256, 64 * 1024, 128 * 1024],
+        };
+        let net = zoo::tiny_darknet();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+        let describe = |event: &SweepEvent<'_>| match event {
+            SweepEvent::Point { index, point } => format!("{index}:point:{point:?}"),
+            SweepEvent::Skipped { index, params } => format!("{index}:skip:{params}"),
+            SweepEvent::Failure { index, failure } => format!("{index}:fail:{failure}"),
+        };
+        let mut full = Vec::new();
+        sweep_full_with(&Simulator::new(), &net, &space, opts, &em, 1).unwrap();
+        sweep_streaming_with(&Simulator::new(), &net, &space, opts, &em, 1, 1, |e| {
+            full.push(describe(&e))
+        })
+        .unwrap();
+        assert_eq!(full.len(), space.len());
+        for chunk in [1usize, 2, 4] {
+            for jobs in [1usize, 4] {
+                for cancel_after in [1usize, 2, 5] {
+                    let token = CancelToken::never();
+                    let mut delivered = Vec::new();
+                    let result = sweep_streaming_cancellable_with(
+                        &Simulator::new(),
+                        &net,
+                        &space,
+                        opts,
+                        &em,
+                        jobs,
+                        chunk,
+                        &token,
+                        |e| {
+                            delivered.push(describe(&e));
+                            if delivered.len() >= cancel_after {
+                                token.cancel();
+                            }
+                        },
+                    );
+                    let tag = format!("chunk={chunk} jobs={jobs} cancel_after={cancel_after}");
+                    assert_eq!(
+                        delivered,
+                        full[..delivered.len()],
+                        "delivered events are a prefix ({tag})"
+                    );
+                    if delivered.len() < full.len() {
+                        assert_eq!(result.unwrap_err(), SweepError::Cancelled, "{tag}");
+                        // The whole current chunk completed before the
+                        // between-chunk poll noticed the cancel.
+                        assert_eq!(delivered.len() % chunk, 0, "{tag}");
+                    } else {
+                        // Cancel fired during the final chunk: the sweep
+                        // was already complete.
+                        assert!(result.is_ok(), "{tag}");
+                    }
+                }
             }
         }
     }

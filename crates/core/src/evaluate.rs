@@ -4,7 +4,7 @@ use std::fmt;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_dnn::Network;
-use codesign_sim::{par_map, NetworkPerf, SimOptions, Simulator};
+use codesign_sim::{par_map, CancelToken, NetworkPerf, SimOptions, Simulator};
 
 /// Simulation of one network on the hybrid (Squeezelerator) architecture
 /// and on the two fixed-dataflow references.
@@ -46,23 +46,40 @@ impl ArchitectureComparison {
         opts: SimOptions,
         energy_model: EnergyModel,
     ) -> Self {
-        let cmp = Self {
-            network: network.name().to_owned(),
-            hybrid: sim.simulate_network(network, cfg, DataflowPolicy::PerLayer, opts),
-            ws: sim.simulate_network(
-                network,
-                cfg,
-                DataflowPolicy::Fixed(Dataflow::WeightStationary),
-                opts,
-            ),
-            os: sim.simulate_network(
-                network,
-                cfg,
-                DataflowPolicy::Fixed(Dataflow::OutputStationary),
-                opts,
-            ),
+        Self::evaluate_cancellable_with(
+            sim,
+            network,
+            cfg,
+            opts,
             energy_model,
+            &CancelToken::never(),
+        )
+        .unwrap_or_else(|| unreachable!("a never-cancelled token cannot cancel"))
+    }
+
+    /// [`Self::evaluate_with`] with cooperative cancellation: `cancel`
+    /// is polled before each of the three whole-network simulations, so
+    /// a simulation that starts also finishes. Returns `None` when the
+    /// token fired before all three ran — a cancelled comparison has no
+    /// partial value (every Table-2 column needs all three runs).
+    pub fn evaluate_cancellable_with(
+        sim: &Simulator,
+        network: &Network,
+        cfg: &AcceleratorConfig,
+        opts: SimOptions,
+        energy_model: EnergyModel,
+        cancel: &CancelToken,
+    ) -> Option<Self> {
+        let run = |policy| {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            Some(sim.simulate_network(network, cfg, policy, opts))
         };
+        let hybrid = run(DataflowPolicy::PerLayer)?;
+        let ws = run(DataflowPolicy::Fixed(Dataflow::WeightStationary))?;
+        let os = run(DataflowPolicy::Fixed(Dataflow::OutputStationary))?;
+        let cmp = Self { network: network.name().to_owned(), hybrid, ws, os, energy_model };
         if sim.tracer().is_enabled() {
             let mut track = sim.tracer().track(format!("cmp:{}", network.name()));
             track.leaf(
@@ -76,7 +93,7 @@ impl ArchitectureComparison {
                 ],
             );
         }
-        cmp
+        Some(cmp)
     }
 
     /// Hybrid speedup over the fixed-OS reference (Table 2, "Speedup vs
@@ -274,6 +291,36 @@ mod tests {
         assert_eq!(cmp.spans[0].counter("os.cycles"), Some(c.os.total_cycles()));
         // The three underlying network runs each published a sim track.
         assert_eq!(data.tracks.iter().filter(|t| t.name.starts_with("sim:")).count(), 3);
+    }
+
+    #[test]
+    fn cancelled_comparison_returns_none_without_changing_results() {
+        let (cfg, opts, em) = setup();
+        let net = zoo::tiny_darknet();
+        let cancelled = CancelToken::never();
+        cancelled.cancel();
+        assert!(ArchitectureComparison::evaluate_cancellable_with(
+            &Simulator::new(),
+            &net,
+            &cfg,
+            opts,
+            em,
+            &cancelled
+        )
+        .is_none());
+        let live = ArchitectureComparison::evaluate_cancellable_with(
+            &Simulator::new(),
+            &net,
+            &cfg,
+            opts,
+            em,
+            &CancelToken::never(),
+        )
+        .expect("never-cancelled token completes");
+        let plain = ArchitectureComparison::evaluate(&net, &cfg, opts, em);
+        assert_eq!(live.hybrid, plain.hybrid);
+        assert_eq!(live.ws, plain.ws);
+        assert_eq!(live.os, plain.os);
     }
 
     #[test]

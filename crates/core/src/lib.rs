@@ -45,8 +45,8 @@ pub use codesign::{
 };
 pub use dse::{
     best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, sweep_full_with,
-    sweep_streaming_with, sweep_with, DesignParams, DesignPoint, PointFailure, SweepError,
-    SweepEvent, SweepOutcome, SweepSpace,
+    sweep_streaming_cancellable_with, sweep_streaming_with, sweep_with, DesignParams, DesignPoint,
+    PointFailure, SweepError, SweepEvent, SweepOutcome, SweepSpace,
 };
 pub use evaluate::{
     compare_all, compare_networks, compare_networks_with, ArchitectureComparison, RelativeResult,

@@ -1,0 +1,136 @@
+//! Property-based cancellation-determinism tests: for *any* sweep
+//! space, chunk size, worker count, and cancel point, the frontier
+//! events streamed before a deadline fires are bit-identical to a
+//! prefix of the uncancelled run's event stream — and the uncancelled
+//! stream itself is independent of `--jobs`. This is the guarantee the
+//! server's `"code":"deadline"` error message asserts to clients.
+
+use codesign_arch::EnergyModel;
+use codesign_core::{
+    sweep_streaming_cancellable_with, sweep_streaming_with, SweepError, SweepEvent, SweepSpace,
+};
+use codesign_dnn::zoo;
+use codesign_sim::{CancelToken, SimOptions, Simulator};
+use proptest::prelude::*;
+
+/// Non-empty subset of `all`, drawn by bitmask.
+fn subset<const N: usize>(all: [usize; N]) -> impl Strategy<Value = Vec<usize>> {
+    (1usize..(1 << N)).prop_map(move |mask| {
+        all.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, v)| *v).collect()
+    })
+}
+
+/// An arbitrary small sweep space. The 256-byte buffer level is
+/// deliberately infeasible for every array size, so generated spaces
+/// mix `Point` and `Skipped` events.
+fn arb_space() -> impl Strategy<Value = SweepSpace> {
+    (subset([8, 16, 32]), subset([8, 16]), subset([256, 64 * 1024, 128 * 1024])).prop_map(
+        |(array_sizes, rf_depths, buffer_bytes)| SweepSpace {
+            array_sizes,
+            rf_depths,
+            buffer_bytes,
+        },
+    )
+}
+
+fn describe(event: &SweepEvent<'_>) -> String {
+    match event {
+        SweepEvent::Point { index, point } => format!("{index}:point:{point:?}"),
+        SweepEvent::Skipped { index, params } => format!("{index}:skip:{params}"),
+        SweepEvent::Failure { index, failure } => format!("{index}:fail:{failure}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cancelled_stream_is_a_prefix_for_any_space_chunk_and_cancel_point(
+        space in arb_space(),
+        chunk in 1usize..=5,
+        jobs in 1usize..=4,
+        cancel_after in 1usize..=12,
+    ) {
+        let net = zoo::tiny_darknet();
+        let opts = SimOptions::default();
+        let em = EnergyModel::default();
+
+        // Reference stream: serial, chunk size 1.
+        let mut full = Vec::new();
+        sweep_streaming_with(&Simulator::new(), &net, &space, opts, &em, 1, 1, |e| {
+            full.push(describe(&e));
+        })
+        .map_err(|e| TestCaseError::fail(format!("reference sweep failed: {e}")))?;
+        prop_assert_eq!(full.len(), space.len());
+
+        // The `--jobs` invariant: worker count changes wall-time, never
+        // the event stream.
+        let mut fanned = Vec::new();
+        sweep_streaming_with(&Simulator::new(), &net, &space, opts, &em, jobs, chunk, |e| {
+            fanned.push(describe(&e));
+        })
+        .map_err(|e| TestCaseError::fail(format!("fanned sweep failed: {e}")))?;
+        prop_assert_eq!(&fanned, &full, "jobs={} chunk={}", jobs, chunk);
+
+        // Cancel after `cancel_after` delivered events: whatever was
+        // streamed must be a byte-identical prefix of the full run.
+        let token = CancelToken::never();
+        let mut delivered = Vec::new();
+        let result = sweep_streaming_cancellable_with(
+            &Simulator::new(),
+            &net,
+            &space,
+            opts,
+            &em,
+            jobs,
+            chunk,
+            &token,
+            |e| {
+                delivered.push(describe(&e));
+                if delivered.len() >= cancel_after {
+                    token.cancel();
+                }
+            },
+        );
+        let tag = format!(
+            "space={}pts chunk={chunk} jobs={jobs} cancel_after={cancel_after}",
+            space.len()
+        );
+        prop_assert!(delivered.len() <= full.len(), "over-delivered ({tag})");
+        prop_assert_eq!(&delivered[..], &full[..delivered.len()], "not a prefix ({tag})");
+        if delivered.len() < full.len() {
+            // Cancelled mid-run: typed error, and the cut lands exactly
+            // on a chunk boundary (cancellation is polled between
+            // chunks, never inside one).
+            prop_assert_eq!(result, Err(SweepError::Cancelled), "{}", &tag);
+            prop_assert_eq!(delivered.len() % chunk, 0, "mid-chunk cut ({tag})");
+        } else {
+            prop_assert!(result.is_ok(), "complete run still errored ({tag})");
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_cancels_before_any_event(
+        space in arb_space(),
+        chunk in 1usize..=5,
+        jobs in 1usize..=4,
+    ) {
+        // A zero-budget deadline (the server's `deadline_ms:0`) is the
+        // degenerate cancel point: the empty prefix, no events at all.
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let mut fired = 0usize;
+        let result = sweep_streaming_cancellable_with(
+            &Simulator::new(),
+            &zoo::tiny_darknet(),
+            &space,
+            SimOptions::default(),
+            &EnergyModel::default(),
+            jobs,
+            chunk,
+            &token,
+            |_| fired += 1,
+        );
+        prop_assert_eq!(result, Err(SweepError::Cancelled));
+        prop_assert_eq!(fired, 0, "events escaped an already-expired deadline");
+    }
+}

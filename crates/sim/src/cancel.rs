@@ -1,0 +1,116 @@
+//! Cooperative cancellation: a shared deadline + cancel flag.
+//!
+//! A [`CancelToken`] is the request-scoped "stop asking for more work"
+//! signal threaded through the long-running entry points (the chunked
+//! sweep loop, the three-way architecture comparison). It is *checked*,
+//! never *enforced*: holders poll [`CancelToken::is_cancelled`] at
+//! natural boundaries — sweep chunk edges, between whole-network
+//! simulations — so work units complete atomically and everything
+//! delivered before a cancellation is bit-identical to a prefix of the
+//! uncancelled run.
+//!
+//! Tokens are cheap to clone (one `Arc`); all clones observe the same
+//! flag and deadline. A deadline, once passed, latches: the token stays
+//! cancelled even if the clock could be read again faster than the
+//! deadline check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancel flag with an optional deadline.
+///
+/// Cancellation is sticky and one-way: there is no "uncancel".
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels on its own (no deadline). It can still
+    /// be cancelled explicitly via [`CancelToken::cancel`].
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `budget` has elapsed from now.
+    /// A zero budget is already expired: the first check cancels.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Cancels the token (and every clone of it) immediately.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been cancelled, either explicitly or by its
+    /// deadline passing. Deadline expiry latches the flag, so repeated
+    /// checks cost one atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Time left before the deadline (`None` when the token has no
+    /// deadline; zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_never_cancelled_until_asked() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_is_not_expired() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_some_and(|r| r > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn deadline_expiry_latches() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled(), "stays cancelled");
+    }
+}

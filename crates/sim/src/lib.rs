@@ -36,6 +36,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod cancel;
 pub mod compression;
 pub mod cycle;
 pub mod dram;
@@ -43,6 +44,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod faultinject;
+pub mod fsio;
 pub mod functional;
 pub mod multicore;
 pub mod nlr;
@@ -65,6 +67,7 @@ pub use batch::{
     try_simulate_network_batched,
 };
 pub use cache::{CacheStats, SimCache};
+pub use cancel::CancelToken;
 pub use compression::WeightCompression;
 pub use engine::{
     aggregate_cache_stats, compare_dataflows, record_network, simulate_conv, simulate_layer,
@@ -78,6 +81,10 @@ pub use event::{
     TimeSkip,
 };
 pub use faultinject::{run_corpus, CaseOutcome, FaultCase, FaultReport};
+pub use fsio::{
+    atomic_write, generation_path, recover_cache, scan_generations, write_generation,
+    LoadedSnapshot, RefusedSnapshot, SnapshotRecovery,
+};
 pub use functional::{
     conv2d_os, conv2d_os_jobs, conv2d_os_spec, conv2d_ws, conv2d_ws_jobs, conv2d_ws_spec, fc_ws,
     fc_ws_jobs, fc_ws_spec, run_network_on_accelerator, run_network_on_accelerator_jobs,
