@@ -95,6 +95,14 @@ impl AcceleratorConfig {
         AcceleratorConfigBuilder::new()
     }
 
+    /// The smallest global buffer the builder accepts for this array
+    /// size and element width: two PE-array tiles (the double-buffering
+    /// minimum). Exposed so sweeps can test buffer-axis feasibility in
+    /// bulk without constructing a builder per candidate.
+    pub fn min_global_buffer_bytes(array_size: usize, bytes_per_element: usize) -> usize {
+        2 * array_size * array_size * bytes_per_element
+    }
+
     /// PE array edge length N (the array is N×N).
     pub fn array_size(&self) -> usize {
         self.array_size
@@ -262,7 +270,8 @@ impl AcceleratorConfigBuilder {
         if self.bytes_per_element == 0 || self.bytes_per_element > 8 {
             return Err(err("bytes per element must be in 1..=8"));
         }
-        let min_buffer = 2 * self.array_size * self.array_size * self.bytes_per_element;
+        let min_buffer =
+            AcceleratorConfig::min_global_buffer_bytes(self.array_size, self.bytes_per_element);
         if self.global_buffer_bytes < min_buffer {
             return Err(err("global buffer must hold at least two PE-array tiles"));
         }
@@ -326,6 +335,18 @@ mod tests {
         assert!(AcceleratorConfig::builder().global_buffer_bytes(16).build().is_err());
         assert!(AcceleratorConfig::builder().clock_mhz(0.0).build().is_err());
         assert!(AcceleratorConfig::builder().bytes_per_element(0).build().is_err());
+    }
+
+    #[test]
+    fn min_buffer_helper_matches_the_builder_check() {
+        for n in [2usize, 8, 32, 64] {
+            let min = AcceleratorConfig::min_global_buffer_bytes(n, 2);
+            let build = |bytes: usize| {
+                AcceleratorConfig::builder().array_size(n).global_buffer_bytes(bytes).build()
+            };
+            assert!(build(min).is_ok(), "N={n}: exactly two tiles must build");
+            assert!(build(min - 1).is_err(), "N={n}: one byte under must not");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chart;
+pub mod dse_bench;
 pub mod experiments;
 pub mod functional_bench;
 pub mod report_json;
@@ -27,6 +28,7 @@ pub mod svg;
 pub mod table;
 
 pub use chart::{bar_chart, Bar};
+pub use dse_bench::DseBench;
 pub use experiments::Context;
 pub use functional_bench::FunctionalBench;
 pub use report_json::{

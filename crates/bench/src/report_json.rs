@@ -14,6 +14,7 @@ use codesign_dnn::zoo;
 use codesign_sim::{resolve_jobs, CacheStats, SimOptions, Simulator};
 use codesign_trace::json::{number, quote};
 
+use crate::dse_bench::DseBench;
 use crate::experiments::Context;
 use crate::functional_bench::FunctionalBench;
 use crate::serve_bench::ServeBench;
@@ -24,8 +25,10 @@ use crate::serve_bench::ServeBench;
 /// `sim_cycles` and `sim_cycles_per_sec` throughput; `/4` added the
 /// `serve_bench` section (concurrent-client cache sharing and snapshot
 /// warm-start speedup); `/5` added the `functional_bench` section
-/// (GEMM-backed inference throughput vs the naive reference ops).
-pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/5";
+/// (GEMM-backed inference throughput vs the naive reference ops); `/6`
+/// added the `dse_bench` section (streaming-frontier coverage of a
+/// 10.24M-point space with branch-and-bound pruning).
+pub const BENCH_REPORT_SCHEMA: &str = "codesign-bench-report/6";
 
 /// Pre-overhaul reference wall time for [`SweepBench`]: the
 /// paper-default sweep over the six table networks took ~206 ms at
@@ -178,6 +181,9 @@ pub struct BenchReport {
     /// Functional-executor bench: GEMM inference throughput over the
     /// zoo vs the naive reference ops, with bit-equality verified.
     pub functional_bench: FunctionalBench,
+    /// Streaming-DSE bench: bounded-memory frontier coverage of a
+    /// 10.24M-point space with branch-and-bound pruning.
+    pub dse_bench: DseBench,
     /// Per-network headlines for the paper's table networks.
     pub networks: Vec<NetworkHeadline>,
 }
@@ -227,6 +233,7 @@ impl BenchReport {
             sweep_bench: SweepBench::measure(ctx.jobs),
             serve_bench: ServeBench::measure(ctx.jobs),
             functional_bench: FunctionalBench::measure(ctx.jobs),
+            dse_bench: DseBench::measure(ctx.jobs),
             networks,
         }
     }
@@ -319,10 +326,27 @@ impl BenchReport {
             number(fb.speedup_vs_naive()),
             fb.outputs_identical,
         );
+        let db = &self.dse_bench;
+        let dse_bench = format!(
+            "{{\"jobs\":{},\"points\":{},\"evaluated\":{},\"pruned\":{},\
+             \"skipped\":{},\"failed\":{},\"frontier\":{},\"peak_frontier\":{},\
+             \"wall_ms\":{},\"points_per_sec\":{},\"pruned_fraction\":{}}}",
+            db.jobs,
+            db.points,
+            db.evaluated,
+            db.pruned,
+            db.skipped,
+            db.failed,
+            db.frontier,
+            db.peak_frontier,
+            number(db.wall_ms),
+            number(db.points_per_sec()),
+            number(db.pruned_fraction()),
+        );
         format!(
             "{{\n  \"schema\": {},\n  \"wall_ms\": {},\n  \"experiments\": [\n{}\n  ],\n  \
              \"cache\": {},\n  \"sweep_bench\": {},\n  \"serve_bench\": {},\n  \
-             \"functional_bench\": {},\n  \"networks\": [\n{}\n  ]\n}}\n",
+             \"functional_bench\": {},\n  \"dse_bench\": {},\n  \"networks\": [\n{}\n  ]\n}}\n",
             quote(BENCH_REPORT_SCHEMA),
             number(self.wall_ms),
             experiments.join(",\n"),
@@ -330,6 +354,7 @@ impl BenchReport {
             sweep_bench,
             serve_bench,
             functional_bench,
+            dse_bench,
             networks.join(",\n"),
         )
     }
@@ -390,6 +415,11 @@ mod tests {
         assert!(fb.networks >= 1 && fb.macs > 0);
         assert!(fb.outputs_identical, "GEMM executor matches the reference");
         assert!(fb.gemm_macs_per_sec() > 0.0 && fb.speedup_vs_naive() > 0.0);
+        let db = &report.dse_bench;
+        assert_eq!(db.evaluated + db.pruned + db.skipped + db.failed, db.points);
+        assert!(db.failed == 0, "DSE bench space evaluates cleanly");
+        assert!(db.pruned_fraction() >= 0.2, "branch-and-bound prunes the plateau");
+        assert!(db.points_per_sec() > 0.0 && db.peak_frontier >= db.frontier as u64);
     }
 
     #[test]
@@ -401,7 +431,7 @@ mod tests {
             2.0,
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"codesign-bench-report/5\""));
+        assert!(json.contains("\"schema\": \"codesign-bench-report/6\""));
         assert!(json.contains("\"sim_cycles\":42"));
         assert!(json.contains("\"sim_cycles_per_sec\":42000"));
         assert!(json.contains("\"hybrid_cycles\""));
@@ -425,6 +455,10 @@ mod tests {
             "\"speedup_vs_naive\":",
             "\"outputs_identical\":",
         ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+        assert!(json.contains("\"dse_bench\""));
+        for field in ["\"points_per_sec\":", "\"pruned_fraction\":", "\"peak_frontier\":"] {
             assert!(json.contains(field), "missing {field}");
         }
         json_is_balanced(&json);

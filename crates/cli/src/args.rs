@@ -76,6 +76,26 @@ pub struct Invocation {
     pub autosave_every: u64,
     /// faultinject: also run the server/persistence corpus (`--serve`).
     pub serve_faults: bool,
+    /// sweep: stream the bounded-memory online Pareto frontier instead
+    /// of materializing every point (implied by the other streaming
+    /// flags; see [`Invocation::frontier_mode`]).
+    pub frontier: bool,
+    /// sweep: evaluation chunk size for the streaming pipeline.
+    pub chunk: Option<usize>,
+    /// sweep: enable dominance branch-and-bound pruning.
+    pub prune: bool,
+    /// sweep: override the array-size axis (comma-separated edges).
+    pub arrays: Option<Vec<usize>>,
+    /// sweep: override the register-file-depth axis.
+    pub rfs: Option<Vec<usize>>,
+    /// sweep: override the buffer axis, in KiB.
+    pub buffers_kib: Option<Vec<usize>>,
+    /// sweep: base path for crash-safe checkpoint generations.
+    pub checkpoint: Option<String>,
+    /// sweep: minimum completed points between checkpoints.
+    pub checkpoint_every: u64,
+    /// sweep: resume from the newest intact checkpoint generation.
+    pub resume: bool,
 }
 
 impl Invocation {
@@ -96,6 +116,21 @@ impl Invocation {
             b.global_buffer_bytes(kb * 1024);
         }
         b.build()
+    }
+
+    /// Whether `sweep` should run the bounded-memory streaming frontier
+    /// pipeline: `--frontier`, or any flag that only makes sense there.
+    /// The classic full-materialization sweep (and its byte-exact
+    /// output) remains the default.
+    pub fn frontier_mode(&self) -> bool {
+        self.frontier
+            || self.chunk.is_some()
+            || self.prune
+            || self.arrays.is_some()
+            || self.rfs.is_some()
+            || self.buffers_kib.is_some()
+            || self.checkpoint.is_some()
+            || self.resume
     }
 }
 
@@ -169,7 +204,31 @@ options:
                          (default 0 = off; requires --cache-save)
   --serve                faultinject: also run the server/persistence
                          hostile corpus (slow clients, torn snapshots)
+  --frontier             sweep: stream the online Pareto frontier with
+                         bounded memory instead of materializing every
+                         point (implied by the flags below)
+  --chunk N              sweep: streaming evaluation chunk (default 64)
+  --prune                sweep: dominance branch-and-bound — skip buffer
+                         segments provably off the frontier
+  --arrays LIST          sweep: comma-separated PE array edges
+  --rfs LIST             sweep: comma-separated register-file depths
+  --buffers-kib LIST     sweep: comma-separated buffer sizes in KiB
+  --checkpoint PATH      sweep: write crash-safe checkpoint generations
+                         to PATH.gen-K while sweeping
+  --checkpoint-every N   sweep: completed points between checkpoints
+                         (default 2048; requires --checkpoint)
+  --resume               sweep: resume from the newest intact checkpoint
+                         generation under --checkpoint
 ";
+
+fn parse_list(flag: &str, value: Option<String>) -> Result<Vec<usize>, ParseArgsError> {
+    let raw =
+        value.ok_or_else(|| ParseArgsError(format!("{flag} requires a comma-separated list")))?;
+    raw.split(',')
+        .map(|item| item.trim().parse())
+        .collect::<Result<Vec<usize>, _>>()
+        .map_err(|_| ParseArgsError(format!("bad value for {flag} (comma-separated integers)")))
+}
 
 fn parse_value<T: std::str::FromStr>(
     flag: &str,
@@ -224,6 +283,15 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
         max_connections: 64,
         autosave_every: 0,
         serve_faults: false,
+        frontier: false,
+        chunk: None,
+        prune: false,
+        arrays: None,
+        rfs: None,
+        buffers_kib: None,
+        checkpoint: None,
+        checkpoint_every: 2048,
+        resume: false,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -258,6 +326,17 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
             }
             "--autosave-every" => inv.autosave_every = parse_value("--autosave-every", it.next())?,
             "--serve" => inv.serve_faults = true,
+            "--frontier" => inv.frontier = true,
+            "--chunk" => inv.chunk = Some(parse_value("--chunk", it.next())?),
+            "--prune" => inv.prune = true,
+            "--arrays" => inv.arrays = Some(parse_list("--arrays", it.next())?),
+            "--rfs" => inv.rfs = Some(parse_list("--rfs", it.next())?),
+            "--buffers-kib" => inv.buffers_kib = Some(parse_list("--buffers-kib", it.next())?),
+            "--checkpoint" => inv.checkpoint = Some(parse_value("--checkpoint", it.next())?),
+            "--checkpoint-every" => {
+                inv.checkpoint_every = parse_value("--checkpoint-every", it.next())?
+            }
+            "--resume" => inv.resume = true,
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError(format!("unknown option `{flag}`")));
             }
@@ -296,6 +375,40 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Invocation, 
     }
     if inv.serve_faults && inv.action != Action::Faultinject {
         return Err(ParseArgsError("--serve applies to faultinject only".to_owned()));
+    }
+    let sweep_only: &[(&str, bool)] = &[
+        ("--frontier", inv.frontier),
+        ("--chunk", inv.chunk.is_some()),
+        ("--prune", inv.prune),
+        ("--arrays", inv.arrays.is_some()),
+        ("--rfs", inv.rfs.is_some()),
+        ("--buffers-kib", inv.buffers_kib.is_some()),
+        ("--checkpoint", inv.checkpoint.is_some()),
+        ("--checkpoint-every", inv.checkpoint_every != 2048),
+        ("--resume", inv.resume),
+    ];
+    if inv.action != Action::Sweep {
+        if let Some((flag, _)) = sweep_only.iter().find(|(_, set)| *set) {
+            return Err(ParseArgsError(format!("{flag} applies to sweep only")));
+        }
+    }
+    if inv.chunk == Some(0) {
+        return Err(ParseArgsError("--chunk must be at least 1".to_owned()));
+    }
+    if inv.checkpoint_every == 0 {
+        return Err(ParseArgsError("--checkpoint-every must be at least 1".to_owned()));
+    }
+    if inv.checkpoint.is_none() && (inv.resume || inv.checkpoint_every != 2048) {
+        return Err(ParseArgsError("--resume/--checkpoint-every require --checkpoint".to_owned()));
+    }
+    for (flag, axis) in
+        [("--arrays", &inv.arrays), ("--rfs", &inv.rfs), ("--buffers-kib", &inv.buffers_kib)]
+    {
+        if let Some(values) = axis {
+            if values.is_empty() || values.contains(&0) {
+                return Err(ParseArgsError(format!("{flag} needs positive values")));
+            }
+        }
     }
     if inv.max_line_bytes < 64 {
         return Err(ParseArgsError("--max-line-bytes must be at least 64".to_owned()));
@@ -450,6 +563,58 @@ mod tests {
         assert_eq!(inv.network.as_deref(), Some("squeezenet-v1.1"));
         assert_eq!(inv.jobs, 4);
         assert_eq!(inv.array_size, Some(16));
+    }
+
+    #[test]
+    fn streaming_sweep_flags_parse() {
+        let inv = parse(
+            "sweep tiny-darknet --frontier --chunk 32 --prune --arrays 8,16 --rfs 8 \
+             --buffers-kib 64,128,256 --checkpoint ck/sweep --checkpoint-every 100 --resume",
+        )
+        .unwrap();
+        assert!(inv.frontier && inv.prune && inv.resume);
+        assert_eq!(inv.chunk, Some(32));
+        assert_eq!(inv.arrays.as_deref(), Some(&[8, 16][..]));
+        assert_eq!(inv.rfs.as_deref(), Some(&[8][..]));
+        assert_eq!(inv.buffers_kib.as_deref(), Some(&[64, 128, 256][..]));
+        assert_eq!(inv.checkpoint.as_deref(), Some("ck/sweep"));
+        assert_eq!(inv.checkpoint_every, 100);
+        assert!(inv.frontier_mode());
+    }
+
+    #[test]
+    fn any_streaming_flag_implies_frontier_mode_but_plain_sweep_stays_classic() {
+        assert!(!parse("sweep tiny-darknet").unwrap().frontier_mode());
+        assert!(!parse("sweep tiny-darknet --jobs 2").unwrap().frontier_mode());
+        for flags in [
+            "--frontier",
+            "--chunk 8",
+            "--prune",
+            "--arrays 8",
+            "--rfs 16",
+            "--buffers-kib 64",
+            "--checkpoint c.ck",
+        ] {
+            assert!(
+                parse(&format!("sweep tiny-darknet {flags}")).unwrap().frontier_mode(),
+                "{flags} should imply frontier mode"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_flags_are_validated() {
+        assert!(parse("simulate net --frontier").is_err(), "sweep-only flag");
+        assert!(parse("compare net --chunk 8").is_err(), "sweep-only flag");
+        assert!(parse("serve --prune").is_err(), "sweep-only flag");
+        assert!(parse("list --arrays 8,16").is_err(), "sweep-only flag");
+        assert!(parse("sweep net --chunk 0").is_err(), "chunk floor");
+        assert!(parse("sweep net --resume").is_err(), "resume needs --checkpoint");
+        assert!(parse("sweep net --checkpoint-every 5").is_err(), "needs --checkpoint");
+        assert!(parse("sweep net --checkpoint c --checkpoint-every 0").is_err());
+        assert!(parse("sweep net --arrays").is_err(), "list needs a value");
+        assert!(parse("sweep net --arrays 8,x").is_err(), "list must be integers");
+        assert!(parse("sweep net --buffers-kib 64,0").is_err(), "positive values only");
     }
 
     #[test]

@@ -101,6 +101,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

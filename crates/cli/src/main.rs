@@ -18,7 +18,10 @@ use std::fs;
 use std::process::ExitCode;
 
 use codesign_arch::EnergyModel;
-use codesign_core::{best_by_energy_delay, ArchitectureComparison, NetworkSchedule, SweepSpace};
+use codesign_core::{
+    best_by_energy_delay, ArchitectureComparison, CheckpointConfig, FrontierConfig, FrontierEvent,
+    NetworkSchedule, SweepSpace,
+};
 use codesign_dnn::{parse_network, zoo, Network};
 use codesign_sim::{
     atomic_write, cycle, record_network, run_corpus, try_compare_dataflows,
@@ -115,6 +118,135 @@ fn save_cache(sim: &Simulator, inv: &Invocation) -> Result<(), RunError> {
             .map_err(|e| RunError::Usage(format!("cannot write {path}: {e}")))?;
         eprintln!("; saved cache snapshot to {path} ({} bytes)", snap.len());
     }
+    Ok(())
+}
+
+/// The bounded-memory streaming sweep behind `codesign sweep --frontier`
+/// (and the flags that imply it). Stdout carries only the deterministic
+/// final product — the frontier table and the best-energy-delay line —
+/// and is byte-identical whether the run was chunked, pruned, resumed
+/// after a crash, or none of those. Progress, frontier deltas, and
+/// counters go to stderr as `;`-prefixed notes.
+fn run_frontier_sweep(
+    sim: &Simulator,
+    net: &Network,
+    inv: &Invocation,
+    opts: SimOptions,
+    energy: &EnergyModel,
+) -> Result<(), RunError> {
+    let mut space = SweepSpace::paper_default();
+    if let Some(arrays) = &inv.arrays {
+        space.array_sizes = arrays.clone();
+    }
+    if let Some(rfs) = &inv.rfs {
+        space.rf_depths = rfs.clone();
+    }
+    if let Some(buffers) = &inv.buffers_kib {
+        space.buffer_bytes = buffers.iter().map(|kb| kb * 1024).collect();
+    }
+    let checkpoint = match &inv.checkpoint {
+        Some(base) => {
+            let base = std::path::PathBuf::from(base);
+            // A 10M-point sweep must not die at its first checkpoint
+            // because the target directory does not exist yet.
+            if let Some(parent) = base.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    RunError::Usage(format!(
+                        "creating checkpoint directory {}: {e}",
+                        parent.display()
+                    ))
+                })?;
+            }
+            Some(CheckpointConfig { base, every_points: inv.checkpoint_every, keep: 3 })
+        }
+        None => None,
+    };
+    let config = FrontierConfig {
+        jobs: inv.jobs,
+        chunk: inv.chunk.unwrap_or(64),
+        prune: inv.prune,
+        checkpoint,
+        resume: inv.resume,
+        ..FrontierConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let outcome = codesign_core::sweep_frontier_with(
+        sim,
+        net,
+        &space,
+        opts,
+        energy,
+        &config,
+        &codesign_sim::CancelToken::never(),
+        |event| match event {
+            FrontierEvent::Entered { index, point } => {
+                eprintln!(
+                    "; frontier[{index}] {} cycles={} energy={:.1} area={:.1}",
+                    point.params,
+                    point.cycles,
+                    point.energy / 1e6,
+                    point.area
+                );
+            }
+            FrontierEvent::Failure { index, failure } => eprintln!("; failed[{index}] {failure}"),
+            FrontierEvent::Pruned { from, until } => {
+                eprintln!("; pruned[{from}..{until}] dominated segment ({} points)", until - from);
+            }
+        },
+    )
+    .map_err(|e| RunError::Usage(e.to_string()))?;
+    let wall = started.elapsed();
+    let c = outcome.counters;
+    if let (Some(pos), Some(generation)) = (c.resumed_at, c.resumed_generation) {
+        eprintln!(
+            "; resumed from checkpoint generation {generation} at point {pos} of {}",
+            c.total
+        );
+    }
+    println!(
+        "{:<18} {:>12} {:>14} {:>8} {:>10}",
+        "design", "cycles", "energy (MMAC)", "util", "area"
+    );
+    for p in &outcome.frontier {
+        println!(
+            "{:<18} {:>12} {:>14.1} {:>7.1}% {:>10.1}",
+            p.params.to_string(),
+            p.cycles,
+            p.energy / 1e6,
+            100.0 * p.utilization,
+            p.area
+        );
+    }
+    if let Some(best) = &outcome.best {
+        println!("best energy-delay: {}", best.params);
+    }
+    if c.failed > 0 {
+        eprintln!(
+            "; {} point(s) failed ({} diagnostic(s) retained):",
+            c.failed,
+            outcome.failures.len()
+        );
+        for f in &outcome.failures {
+            eprintln!(";   {f}");
+        }
+    }
+    eprintln!(
+        "; swept {} of {} point(s) ({} pruned, {} skipped, {} failed) in {:.1} ms on {} thread(s)",
+        c.evaluated,
+        c.total,
+        c.pruned,
+        c.skipped,
+        c.failed,
+        wall.as_secs_f64() * 1e3,
+        codesign_sim::resolve_jobs(inv.jobs),
+    );
+    eprintln!(
+        "; frontier {} (peak {}); {} checkpoint(s) written; sim cache: {}",
+        outcome.frontier.len(),
+        c.peak_frontier,
+        c.checkpoints_written,
+        sim.stats()
+    );
     Ok(())
 }
 
@@ -353,6 +485,12 @@ fn run(inv: &Invocation) -> Result<(), RunError> {
             preload_cache(&sim, inv)?;
             let c = ArchitectureComparison::evaluate_with(&sim, &net, &cfg, opts, energy);
             println!("{c}");
+            save_cache(&sim, inv)?;
+        }
+        Action::Sweep if inv.frontier_mode() => {
+            let sim = Simulator::new().with_tracer(tracer.clone());
+            preload_cache(&sim, inv)?;
+            run_frontier_sweep(&sim, &net, inv, opts, &energy)?;
             save_cache(&sim, inv)?;
         }
         Action::Sweep => {

@@ -58,8 +58,8 @@ use std::time::Duration;
 
 use codesign_arch::{AcceleratorConfig, Dataflow, DataflowPolicy, EnergyModel};
 use codesign_core::{
-    best_by_energy_delay, sweep_streaming_cancellable_with, ArchitectureComparison, DesignPoint,
-    SweepError, SweepEvent, SweepSpace,
+    sweep_frontier_with, ArchitectureComparison, FrontierConfig, FrontierEvent, SweepError,
+    SweepSpace,
 };
 use codesign_dnn::Network;
 use codesign_sim::{
@@ -646,7 +646,7 @@ fn stats_body(state: &ServerState) -> String {
 /// textually different but semantically identical requests produce the
 /// same dedup key.
 enum Compute {
-    Sweep { spec: String, network: Network, space: SweepSpace },
+    Sweep { spec: String, network: Network, space: SweepSpace, chunk: Option<usize>, prune: bool },
     Simulate { spec: String, network: Network, policy: DataflowPolicy, cfg: AcceleratorConfig },
     Codesign { spec: String, network: Network, cfg: AcceleratorConfig },
 }
@@ -684,7 +684,21 @@ impl Compute {
                 rf_depths: axis("rfs", default.rf_depths.clone(), 1)?,
                 buffer_bytes: axis("buffers_kib", default.buffer_bytes.clone(), 1024)?,
             };
-            return Ok(Compute::Sweep { spec, network, space });
+            let chunk = match req.get("chunk") {
+                None => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| usage("`chunk` must be a whole number >= 1".to_owned()))?,
+                ),
+            };
+            let prune = match req.get("prune") {
+                None => false,
+                Some(v) => {
+                    v.as_bool().ok_or_else(|| usage("`prune` must be true or false".to_owned()))?
+                }
+            };
+            return Ok(Compute::Sweep { spec, network, space, chunk, prune });
         }
         let policy = match req.get("arch").and_then(Value::as_str) {
             None | Some("hybrid") => DataflowPolicy::PerLayer,
@@ -725,8 +739,8 @@ impl Compute {
     /// The dedup key: identical in-flight computations share one run.
     fn key(&self) -> String {
         match self {
-            Compute::Sweep { spec, space, .. } => format!(
-                "sweep|{spec}|{:?}|{:?}|{:?}",
+            Compute::Sweep { spec, space, chunk, prune, .. } => format!(
+                "sweep|{spec}|{:?}|{:?}|{:?}|chunk{chunk:?}|prune{prune}",
                 space.array_sizes, space.rf_depths, space.buffer_bytes
             ),
             Compute::Simulate { spec, policy, cfg, .. } => {
@@ -839,24 +853,22 @@ fn compute_and_publish(
     };
     let mut deadline_hit = false;
     match compute {
-        Compute::Sweep { network, space, .. } => {
-            let mut frontier: Vec<DesignPoint> = Vec::new();
+        Compute::Sweep { network, space, chunk, prune, .. } => {
             let mut deltas = 0usize;
-            // Chunk = one scheduling round: each batch of workers
-            // flushes its frontier deltas before the next starts.
-            let chunk = resolve_jobs(state.jobs).max(1);
-            let result = sweep_streaming_cancellable_with(
-                &worker,
-                network,
-                space,
-                opts,
-                &energy,
-                state.jobs,
-                chunk,
-                &cancel,
-                |event| {
-                    if let SweepEvent::Point { index, point } = event {
-                        if frontier_insert(&mut frontier, point) {
+            // Default chunk = one scheduling round: each batch of
+            // workers flushes its frontier deltas before the next
+            // starts. Requests can widen it (`chunk`) to give the
+            // branch-and-bound (`prune`) larger segments to cut.
+            let config = FrontierConfig {
+                jobs: state.jobs,
+                chunk: chunk.unwrap_or_else(|| resolve_jobs(state.jobs).max(1)),
+                prune: *prune,
+                ..FrontierConfig::default()
+            };
+            let result =
+                sweep_frontier_with(&worker, network, space, opts, &energy, &config, &cancel, |event| {
+                    match event {
+                        FrontierEvent::Entered { index, point } => {
                             deltas += 1;
                             emit(format!(
                                 "\"event\":\"frontier\",\"index\":{index},\"design\":{},\"cycles\":{},\"energy\":{},\"utilization\":{},\"area\":{}",
@@ -867,18 +879,26 @@ fn compute_and_publish(
                                 point.area
                             ));
                         }
+                        FrontierEvent::Pruned { from, until } => {
+                            emit(format!("\"event\":\"pruned\",\"from\":{from},\"until\":{until}"));
+                        }
+                        // Failures are aggregated into the done line, as
+                        // before the streaming engine.
+                        FrontierEvent::Failure { .. } => {}
                     }
-                },
-            );
+                });
             match result {
                 Ok(outcome) => {
-                    let best = best_by_energy_delay(&outcome.points)
+                    let best = outcome
+                        .best
+                        .as_ref()
                         .map_or("null".to_owned(), |p| escape(&p.params.to_string()));
                     emit(format!(
-                        "\"event\":\"done\",\"cmd\":\"sweep\",\"points\":{},\"failures\":{},\"frontier\":{},\"best\":{best}",
-                        outcome.points.len(),
-                        outcome.failures.len(),
-                        frontier.len()
+                        "\"event\":\"done\",\"cmd\":\"sweep\",\"points\":{},\"failures\":{},\"pruned\":{},\"frontier\":{},\"best\":{best}",
+                        outcome.counters.evaluated,
+                        outcome.counters.failed,
+                        outcome.counters.pruned,
+                        outcome.frontier.len()
                     ));
                 }
                 Err(SweepError::Cancelled) => {
@@ -934,26 +954,10 @@ fn compute_and_publish(
     state.tracer.absorb_counters(&request_tracer.snapshot());
 }
 
-/// Inserts `p` into the running (cycles, energy, area) Pareto frontier.
-/// Returns whether `p` is a frontier delta — not dominated by (or
-/// duplicating) any current member. Dominated members are evicted, same
-/// dominance as `pareto_designs`.
-fn frontier_insert(frontier: &mut Vec<DesignPoint>, p: &DesignPoint) -> bool {
-    let covered = |a: &DesignPoint, b: &DesignPoint| {
-        a.cycles <= b.cycles && a.energy <= b.energy && a.area <= b.area
-    };
-    if frontier.iter().any(|q| covered(q, p)) {
-        return false;
-    }
-    frontier.retain(|q| !covered(p, q));
-    frontier.push(p.clone());
-    true
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use codesign_core::DesignParams;
+    use codesign_core::{DesignParams, DesignPoint, OnlineFrontier};
     use std::io::Cursor;
 
     fn pt(cycles: u64, energy: f64, area: f64) -> DesignPoint {
@@ -963,15 +967,20 @@ mod tests {
 
     #[test]
     fn frontier_deltas_match_dominance() {
-        let mut frontier = Vec::new();
-        assert!(frontier_insert(&mut frontier, &pt(100, 10.0, 1.0)), "first point always enters");
-        assert!(!frontier_insert(&mut frontier, &pt(100, 10.0, 1.0)), "duplicates are not deltas");
-        assert!(!frontier_insert(&mut frontier, &pt(200, 20.0, 2.0)), "dominated point");
-        assert!(frontier_insert(&mut frontier, &pt(50, 20.0, 1.0)), "cycles trade-off enters");
-        assert!(frontier_insert(&mut frontier, &pt(40, 5.0, 0.5)), "dominating point enters");
-        // The dominating point evicted both earlier members.
+        // The serve sweep streams `OnlineFrontier` insertions as deltas;
+        // pin the semantics it relies on, including the one deliberate
+        // change from the old local helper: exact duplicates are kept
+        // (and hence are deltas), matching `pareto_designs`.
+        let mut frontier = OnlineFrontier::new();
+        assert!(frontier.insert(&pt(100, 10.0, 1.0)), "first point always enters");
+        assert!(frontier.insert(&pt(100, 10.0, 1.0)), "exact duplicates are kept as deltas");
+        assert!(!frontier.insert(&pt(200, 20.0, 2.0)), "dominated point");
+        assert!(frontier.insert(&pt(50, 20.0, 1.0)), "cycles trade-off enters");
+        assert!(frontier.insert(&pt(40, 5.0, 0.5)), "dominating point enters");
+        // The dominating point evicted every earlier member.
         assert_eq!(frontier.len(), 1);
-        assert_eq!(frontier[0].cycles, 40);
+        assert_eq!(frontier.members()[0].cycles, 40);
+        assert_eq!(frontier.peak(), 3, "both duplicates plus the trade-off were live at once");
     }
 
     /// Drains a reader through `read_bounded_line`, tagging each outcome.

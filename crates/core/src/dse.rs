@@ -139,7 +139,7 @@ impl Default for SweepSpace {
 }
 
 /// Why a sweep could not run at all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError {
     /// The sweep space has an empty axis, so there are no grid points to
     /// evaluate. The payload names the empty axis.
@@ -149,6 +149,10 @@ pub enum SweepError {
     /// the observer remain valid — they are a prefix of the uncancelled
     /// run — but no [`SweepOutcome`] is produced.
     Cancelled,
+    /// A checkpointing streaming sweep could not write (or clear) its
+    /// checkpoint files. Losing checkpoints silently would defeat the
+    /// point of asking for them, so the sweep stops instead.
+    Checkpoint(String),
 }
 
 impl fmt::Display for SweepError {
@@ -158,6 +162,7 @@ impl fmt::Display for SweepError {
                 write!(f, "sweep space is empty: the {axis} axis has no values")
             }
             Self::Cancelled => write!(f, "sweep cancelled before completion"),
+            Self::Checkpoint(detail) => write!(f, "sweep checkpoint failed: {detail}"),
         }
     }
 }
@@ -166,7 +171,7 @@ impl std::error::Error for SweepError {}
 
 impl SweepSpace {
     /// `Err` naming the first empty axis, `Ok` otherwise.
-    fn check_non_empty(&self) -> Result<(), SweepError> {
+    pub(crate) fn check_non_empty(&self) -> Result<(), SweepError> {
         if self.array_sizes.is_empty() {
             Err(SweepError::EmptySpace("array-size"))
         } else if self.rf_depths.is_empty() {
@@ -184,7 +189,7 @@ impl SweepSpace {
 /// degenerates — skipped, exactly as before; `Err` when the simulator
 /// rejects the point with a typed error — reported as a
 /// [`PointFailure`] diagnostic.
-fn evaluate_point(
+pub(crate) fn evaluate_point(
     sim: &Simulator,
     network: &Network,
     params: DesignParams,
@@ -497,18 +502,223 @@ pub fn best_by_energy_delay(points: &[DesignPoint]) -> Option<&DesignPoint> {
 /// point survives unless some other point is no worse on all three axes
 /// and strictly better on at least one. Returned sorted by ascending
 /// cycles.
+///
+/// Runs in O(n log n): a sweep over ascending cycles with a 2-D
+/// (energy, area) staircase replaces the former all-pairs scan, but the
+/// survivor set, their relative order, and hence the output bytes are
+/// identical to it.
 pub fn pareto_designs(points: &[DesignPoint]) -> Vec<DesignPoint> {
-    let dominated = |p: &DesignPoint| {
-        points.iter().any(|q| {
-            q.cycles <= p.cycles
-                && q.energy <= p.energy
-                && q.area <= p.area
-                && (q.cycles < p.cycles || q.energy < p.energy || q.area < p.area)
-        })
-    };
-    let mut front: Vec<DesignPoint> = points.iter().filter(|p| !dominated(p)).cloned().collect();
+    let dominated = dominated_mask(points);
+    let mut front: Vec<DesignPoint> =
+        points.iter().zip(&dominated).filter(|(_, d)| !**d).map(|(p, _)| p.clone()).collect();
     front.sort_by_key(|p| p.cycles);
     front
+}
+
+/// For each point, whether some *other* point strictly dominates it —
+/// exactly the all-pairs predicate of the former O(n²) scan, computed
+/// in O(n log n).
+///
+/// Points are visited in ascending-cycles groups. A 2-D staircase holds,
+/// for every energy level, the minimum area achieved by any point with
+/// *strictly smaller* cycles; against those the test is non-strict on
+/// energy and area (the cycles axis supplies the strictness). Points
+/// sharing the point's cycle count are handled inside the group, where
+/// strictness must come from energy or area. NaN coordinates compare
+/// false on every axis, so such points neither dominate nor are
+/// dominated — they bypass both the staircase and the group scan, as in
+/// the all-pairs version.
+fn dominated_mask(points: &[DesignPoint]) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .cycles
+            .cmp(&points[b].cycles)
+            .then(points[a].energy.total_cmp(&points[b].energy))
+            .then(points[a].area.total_cmp(&points[b].area))
+    });
+    let mut dominated = vec![false; points.len()];
+    // (energy, area) pairs: strictly increasing energy, strictly
+    // decreasing area, NaN-free.
+    let mut stairs: Vec<(f64, f64)> = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let cycles = points[order[i]].cycles;
+        let mut j = i + 1;
+        while j < order.len() && points[order[j]].cycles == cycles {
+            j += 1;
+        }
+        let group = &order[i..j];
+        // Dominators with strictly smaller cycles: non-strict staircase
+        // query.
+        for &pi in group {
+            let p = &points[pi];
+            if p.energy.is_nan() || p.area.is_nan() {
+                continue;
+            }
+            let pos = stairs.partition_point(|&(e, _)| e <= p.energy);
+            if pos > 0 && stairs[pos - 1].1 <= p.area {
+                dominated[pi] = true;
+            }
+        }
+        // Dominators within the equal-cycles group: the sort placed the
+        // group in ascending (energy, area), so runs of numerically
+        // equal energy are contiguous (total_cmp splits -0.0/0.0, but
+        // the == grouping below re-merges them). Strictness comes from a
+        // strictly smaller energy or, within a run, a strictly smaller
+        // area.
+        let mut min_area_smaller_energy = f64::INFINITY;
+        let mut k = 0;
+        while k < group.len() {
+            let energy = points[group[k]].energy;
+            let mut m = k + 1;
+            while m < group.len() && points[group[m]].energy == energy {
+                m += 1;
+            }
+            let run = &group[k..m];
+            if !energy.is_nan() {
+                let run_min_area = points[run[0]].area;
+                for &pi in run {
+                    let p = &points[pi];
+                    if p.area.is_nan() {
+                        continue;
+                    }
+                    if min_area_smaller_energy <= p.area || run_min_area < p.area {
+                        dominated[pi] = true;
+                    }
+                }
+                if run_min_area < min_area_smaller_energy {
+                    min_area_smaller_energy = run_min_area;
+                }
+            }
+            k = m;
+        }
+        // Fold the whole group into the staircase for later (larger
+        // cycles) groups. Dominated members are folded too: they can
+        // still dominate, exactly as in the all-pairs scan.
+        for &pi in group {
+            let p = &points[pi];
+            if !(p.energy.is_nan() || p.area.is_nan()) {
+                stair_insert(&mut stairs, p.energy, p.area);
+            }
+        }
+        i = j;
+    }
+    dominated
+}
+
+/// Inserts `(energy, area)` into the staircase, preserving the
+/// strictly-increasing-energy / strictly-decreasing-area invariant.
+fn stair_insert(stairs: &mut Vec<(f64, f64)>, energy: f64, area: f64) {
+    let pos = stairs.partition_point(|&(e, _)| e < energy);
+    // Useless if an entry at no more energy already has no more area.
+    if pos > 0 && stairs[pos - 1].1 <= area {
+        return;
+    }
+    if pos < stairs.len() && stairs[pos].0 == energy && stairs[pos].1 <= area {
+        return;
+    }
+    stairs.insert(pos, (energy, area));
+    // Drop now-covered entries at >= energy with >= area.
+    let mut end = pos + 1;
+    while end < stairs.len() && stairs[end].1 >= area {
+        end += 1;
+    }
+    stairs.drain(pos + 1..end);
+}
+
+/// An online Pareto frontier over (cycles, energy, area) with exactly
+/// [`pareto_designs`]' dominance semantics: inserting every evaluated
+/// point and calling [`OnlineFrontier::into_sorted`] yields bit-identical
+/// output to `pareto_designs` over the same points — while retaining
+/// only the live frontier in memory. This is the bounded-memory heart of
+/// the streaming sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineFrontier {
+    /// Live members in insertion order (the sweep's grid order).
+    members: Vec<DesignPoint>,
+    /// High-water mark of `members.len()` — the quantity the bench's
+    /// bounded-memory assertion watches.
+    peak: usize,
+}
+
+fn strictly_dominates(q: &DesignPoint, p: &DesignPoint) -> bool {
+    q.cycles <= p.cycles
+        && q.energy <= p.energy
+        && q.area <= p.area
+        && (q.cycles < p.cycles || q.energy < p.energy || q.area < p.area)
+}
+
+impl OnlineFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a frontier from checkpointed members (insertion order)
+    /// and the recorded peak.
+    pub(crate) fn from_members(members: Vec<DesignPoint>, peak: usize) -> Self {
+        let peak = peak.max(members.len());
+        Self { members, peak }
+    }
+
+    /// Live members, in insertion order.
+    pub fn members(&self) -> &[DesignPoint] {
+        &self.members
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// High-water mark of the member count over the frontier's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Offers a point. Returns `true` when the point enters the frontier
+    /// (a *frontier delta* — evicted members leave silently), `false`
+    /// when an existing member strictly dominates it. Duplicates of a
+    /// member enter, matching [`pareto_designs`] (which keeps exact
+    /// duplicates: neither strictly dominates the other).
+    pub fn insert(&mut self, p: &DesignPoint) -> bool {
+        if self.members.iter().any(|q| strictly_dominates(q, p)) {
+            return false;
+        }
+        self.members.retain(|q| !strictly_dominates(p, q));
+        self.members.push(p.clone());
+        self.peak = self.peak.max(self.members.len());
+        true
+    }
+
+    /// Whether some member strictly dominates the componentwise lower
+    /// bound `(cycles, energy, area)` — the branch-and-bound prune test.
+    /// Requiring *strict* dominance of the bound means a subtree whose
+    /// best corner merely ties a member (an exact duplicate) is never
+    /// pruned, preserving `pareto_designs`' keep-duplicates semantics.
+    pub fn strictly_dominates_bound(&self, cycles: u64, energy: f64, area: f64) -> bool {
+        self.members.iter().any(|q| {
+            q.cycles <= cycles
+                && q.energy <= energy
+                && q.area <= area
+                && (q.cycles < cycles || q.energy < energy || q.area < area)
+        })
+    }
+
+    /// Finishes the frontier: members sorted by ascending cycles. Because
+    /// members are kept in insertion order and the sort is stable, the
+    /// result is bit-identical to [`pareto_designs`] over every point
+    /// ever offered.
+    pub fn into_sorted(mut self) -> Vec<DesignPoint> {
+        self.members.sort_by_key(|p| p.cycles);
+        self.members
+    }
 }
 
 /// Isolated effect of the paper's register-file tune-up (8 -> 16) on a

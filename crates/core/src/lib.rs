@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 pub mod codesign;
 pub mod dse;
 pub mod evaluate;
@@ -39,6 +40,7 @@ pub mod ranges;
 pub mod roofline;
 pub mod schedule;
 pub mod select;
+pub mod stream;
 
 pub use codesign::{
     evaluate_variant, evaluate_variant_with, CodesignStudy, ModelTransform, VariantResult,
@@ -46,7 +48,7 @@ pub use codesign::{
 pub use dse::{
     best_by_energy_delay, pareto_designs, rf_tuneup_effect, sweep, sweep_full_with,
     sweep_streaming_cancellable_with, sweep_streaming_with, sweep_with, DesignParams, DesignPoint,
-    PointFailure, SweepError, SweepEvent, SweepOutcome, SweepSpace,
+    OnlineFrontier, PointFailure, SweepError, SweepEvent, SweepOutcome, SweepSpace,
 };
 pub use evaluate::{
     compare_all, compare_networks, compare_networks_with, ArchitectureComparison, RelativeResult,
@@ -60,3 +62,7 @@ pub use schedule::{
     NetworkSchedule,
 };
 pub use select::{select_model, Constraints};
+pub use stream::{
+    sweep_frontier_with, CheckpointConfig, FrontierConfig, FrontierEvent, FrontierOutcome,
+    SweepCounters,
+};

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod bounds;
 pub mod cache;
 pub mod cancel;
 pub mod compression;
@@ -66,6 +67,7 @@ pub use batch::{
     simulate_layer_batched, simulate_network_batched, try_simulate_layer_batched,
     try_simulate_network_batched,
 };
+pub use bounds::{layer_traffic_floor, network_traffic_floor};
 pub use cache::{CacheStats, SimCache};
 pub use cancel::CancelToken;
 pub use compression::WeightCompression;
@@ -105,7 +107,9 @@ pub use rs::simulate_rs;
 pub use snapshot::{SnapshotError, SnapshotStats, SNAPSHOT_VERSION};
 pub use sparsity::{measure_sparsity, simulate_network_measured, SparsityMap};
 pub use taxonomy::{compare_taxonomy, try_compare_taxonomy, TaxonomyComparison, TaxonomyDataflow};
-pub use tiling::{optimize_tiling, optimize_tiling_exhaustive, LoopOrder, Tiling, TilingPlan};
+pub use tiling::{
+    optimize_tiling, optimize_tiling_exhaustive, traffic_lower_bound, LoopOrder, Tiling, TilingPlan,
+};
 pub use validate::{validate_network, validate_network_all, ValidationIssue};
 pub use workload::{ConvWork, WorkKind};
 pub use ws::simulate_ws;

@@ -395,6 +395,24 @@ pub fn optimize_tiling_exhaustive(
     })
 }
 
+/// Budget-independent floor on the total DRAM traffic of *any* feasible
+/// tiling of `work`: the untiled plan (whole output height, full channel
+/// tiles, weights outer) moves every operand exactly once, and every
+/// other candidate only adds strip halo, re-fetches, or partial-sum
+/// spills. Because the floor never consults the buffer budget, it
+/// lower-bounds what [`optimize_tiling`] can return at **every** buffer
+/// capacity — the monotone bound the sweep's dominance branch-and-bound
+/// (`codesign-core`'s streaming sweep) leans on.
+///
+/// # Errors
+///
+/// [`SimError::InvalidWorkload`] / [`SimError::ArithmeticOverflow`] for
+/// malformed or overflow-scale workloads.
+pub fn traffic_lower_bound(work: &ConvWork, cfg: &AcceleratorConfig) -> SimResult<u64> {
+    work.validate()?;
+    lower_bound_rows(work, work.out_h, cfg.bytes_per_element())
+}
+
 /// The smallest on-chip working set any candidate tiling of `work`
 /// achieves — the quantity pre-flight buffer-feasibility validation
 /// compares against the working buffer.
